@@ -1,0 +1,73 @@
+"""Ablation — dense recall-matrix evaluation vs the per-query reference.
+
+The individual-cost evaluation is the protocol's hot loop.  This benchmark
+times a full sweep of best responses for every peer with (a) the dense
+``WeightedRecallMatrix`` backend and (b) the exact per-query reference, and
+checks they reach identical decisions.  This is the one bench where the
+timing itself (not a table) is the result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.reporting import format_table
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, build_scenario, initial_configuration
+from repro.game.model import ClusterGame
+
+
+@pytest.fixture(scope="module")
+def discovery_setup(experiment_config):
+    data = build_scenario(SCENARIO_SAME_CATEGORY, experiment_config.scenario)
+    configuration = initial_configuration(data, "random", seed=experiment_config.seed + 13)
+    return experiment_config, data, configuration
+
+
+def test_matrix_backend_best_responses(benchmark, discovery_setup):
+    config, data, configuration = discovery_setup
+    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha, use_matrix=True)
+    game = ClusterGame(cost_model, configuration, allow_new_clusters=False)
+    responses = benchmark(game.best_responses)
+    assert len(responses) == len(data.network)
+
+
+def test_reference_backend_best_responses(benchmark, discovery_setup):
+    config, data, configuration = discovery_setup
+    cost_model = data.network.cost_model(
+        theta=config.theta(), alpha=config.alpha, use_matrix=False
+    )
+    game = ClusterGame(cost_model, configuration, allow_new_clusters=False)
+    sample_peers = data.network.peer_ids()[:10]
+
+    def run_sample():
+        return {peer_id: game.best_response(peer_id) for peer_id in sample_peers}
+
+    responses = benchmark(run_sample)
+    assert len(responses) == len(sample_peers)
+
+
+def test_backends_agree(benchmark, discovery_setup):
+    config, data, configuration = discovery_setup
+    fast_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha, use_matrix=True)
+    slow_model = data.network.cost_model(
+        theta=config.theta(), alpha=config.alpha, use_matrix=False
+    )
+    fast_game = ClusterGame(fast_model, configuration, allow_new_clusters=False)
+    slow_game = ClusterGame(slow_model, configuration, allow_new_clusters=False)
+
+    def compare():
+        fast = fast_game.best_responses()
+        rows = []
+        for peer_id in data.network.peer_ids()[:10]:
+            slow = slow_game.best_response(peer_id)
+            rows.append((str(peer_id), str(fast[peer_id].best_cluster), str(slow.best_cluster)))
+            assert fast[peer_id].best_cluster == slow.best_cluster
+            assert fast[peer_id].best_cost == pytest.approx(slow.best_cost)
+        return rows
+
+    rows = benchmark.pedantic(compare, iterations=1, rounds=1)
+    print_block(
+        "Ablation: recall backends agree (sample of peers)",
+        format_table(("peer", "matrix backend", "reference backend"), rows),
+    )

@@ -1,0 +1,82 @@
+"""Ablation — selfish vs altruistic vs hybrid vs the non-recall baselines.
+
+Runs the scenario-1 discovery from a random configuration with every
+relocation strategy plus the baselines (static, random relocation, global
+re-clustering) and reports the final social cost, cluster purity and the
+number of protocol messages — the trade-off the paper's introduction appeals
+to (local decisions vs global knowledge).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block, run_once
+from repro.analysis.metrics import cluster_purity
+from repro.analysis.reporting import format_table
+from repro.baselines.global_reclustering import GlobalReclustering
+from repro.baselines.random_relocation import RandomRelocationStrategy
+from repro.baselines.static import StaticStrategy
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, build_scenario, initial_configuration
+from repro.experiments.config import build_strategy
+from repro.overlay.messages import MessageBus
+from repro.protocol.reformulation import ReformulationProtocol
+
+PROTOCOL_STRATEGIES = (
+    ("selfish", lambda: build_strategy("selfish")),
+    ("altruistic", lambda: build_strategy("altruistic")),
+    ("hybrid(0.5)", lambda: build_strategy("hybrid", weight=0.5)),
+    ("random relocation", lambda: RandomRelocationStrategy(move_probability=0.2, seed=3)),
+    ("static (no maintenance)", lambda: StaticStrategy()),
+)
+
+
+def run_strategy_ablation(config):
+    rows = []
+    for label, factory in PROTOCOL_STRATEGIES:
+        data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+        configuration = initial_configuration(data, "random", seed=config.seed + 13)
+        cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+        bus = MessageBus()
+        protocol = ReformulationProtocol(cost_model, configuration, factory(), bus=bus)
+        result = protocol.run(max_rounds=min(config.max_rounds, 60))
+        rows.append(
+            (
+                label,
+                round(result.final_social_cost, 3),
+                round(cluster_purity(configuration, data.data_categories), 3),
+                configuration.num_nonempty_clusters(),
+                bus.total(),
+            )
+        )
+
+    # Global re-clustering baseline: centralised, needs global knowledge.
+    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+    bus = MessageBus()
+    reclustered = GlobalReclustering(
+        num_clusters=config.scenario.num_categories, seed=config.seed
+    ).recluster(data.network, bus=bus)
+    rows.append(
+        (
+            "global re-clustering",
+            round(cost_model.social_cost(reclustered.configuration, normalized=True), 3),
+            round(cluster_purity(reclustered.configuration, data.data_categories), 3),
+            reclustered.configuration.num_nonempty_clusters(),
+            bus.total(),
+        )
+    )
+    return rows
+
+
+def test_ablation_strategies(benchmark, experiment_config):
+    rows = run_once(benchmark, run_strategy_ablation, experiment_config)
+    print_block(
+        "Ablation: strategies and baselines (scenario 1, from random clusters)",
+        format_table(("strategy", "SCost", "purity", "# clusters", "messages"), rows),
+    )
+    by_label = {row[0]: row for row in rows}
+    # Recall-driven local maintenance beats doing nothing...
+    assert by_label["selfish"][1] < by_label["static (no maintenance)"][1]
+    # ...and beats random shuffling.
+    assert by_label["selfish"][1] <= by_label["random relocation"][1] + 1e-9
+    # The selfish strategy approaches the quality of centralised re-clustering.
+    assert by_label["selfish"][1] <= by_label["global re-clustering"][1] + 0.1

@@ -1,0 +1,50 @@
+"""Ablation — the cluster membership cost function ``theta``.
+
+The paper uses a linear ``theta`` (fully connected clusters) and notes a
+structured intra-cluster overlay would give a logarithmic one.  This ablation
+reruns the scenario-1 discovery with linear, logarithmic and constant
+``theta`` and reports the final number of clusters and social cost: a cheaper
+membership function tolerates (and produces) larger clusters.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block, run_once
+from repro.analysis.reporting import format_table
+from repro.core.theta import theta_from_name
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, build_scenario, initial_configuration
+from repro.protocol.reformulation import ReformulationProtocol
+from repro.strategies.selfish import SelfishStrategy
+
+THETAS = ("linear", "logarithmic", "constant")
+
+
+def run_theta_ablation(config):
+    rows = []
+    for theta_name in THETAS:
+        data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+        configuration = initial_configuration(data, "singletons", seed=config.seed + 13)
+        cost_model = data.network.cost_model(theta=theta_from_name(theta_name), alpha=config.alpha)
+        protocol = ReformulationProtocol(cost_model, configuration, SelfishStrategy())
+        result = protocol.run(max_rounds=config.max_rounds)
+        rows.append(
+            (
+                theta_name,
+                result.num_rounds,
+                configuration.num_nonempty_clusters(),
+                round(result.final_social_cost, 3),
+                round(result.final_workload_cost, 3),
+            )
+        )
+    return rows
+
+
+def test_ablation_theta(benchmark, experiment_config):
+    rows = run_once(benchmark, run_theta_ablation, experiment_config)
+    print_block(
+        "Ablation: theta function (scenario 1, selfish, from singletons)",
+        format_table(("theta", "# rounds", "# clusters", "SCost", "WCost"), rows),
+    )
+    by_theta = {row[0]: row for row in rows}
+    # A sub-linear membership cost never yields more clusters than the linear one.
+    assert by_theta["logarithmic"][2] <= by_theta["linear"][2]

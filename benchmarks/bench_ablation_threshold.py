@@ -1,0 +1,51 @@
+"""Ablation — the gain threshold ε used as the protocol's stop condition.
+
+The paper uses ε = 0.001 for the maintenance experiments.  This ablation
+sweeps ε on the scenario-1 discovery run: a larger threshold stops the
+protocol earlier (fewer rounds and moves) at the price of a higher final
+social cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block, run_once
+from repro.analysis.reporting import format_table
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, build_scenario, initial_configuration
+from repro.protocol.reformulation import ReformulationProtocol
+from repro.strategies.selfish import SelfishStrategy
+
+THRESHOLDS = (0.0, 0.001, 0.01, 0.05, 0.2)
+
+
+def run_threshold_ablation(config):
+    rows = []
+    for threshold in THRESHOLDS:
+        data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+        configuration = initial_configuration(data, "random", seed=config.seed + 13)
+        cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+        protocol = ReformulationProtocol(
+            cost_model, configuration, SelfishStrategy(), gain_threshold=threshold
+        )
+        result = protocol.run(max_rounds=config.max_rounds)
+        rows.append(
+            (
+                threshold,
+                result.num_rounds,
+                result.total_moves,
+                round(result.final_social_cost, 3),
+            )
+        )
+    return rows
+
+
+def test_ablation_threshold(benchmark, experiment_config):
+    rows = run_once(benchmark, run_threshold_ablation, experiment_config)
+    print_block(
+        "Ablation: gain threshold epsilon (scenario 1, selfish, from random clusters)",
+        format_table(("epsilon", "# rounds", "# moves", "SCost"), rows),
+    )
+    by_threshold = {row[0]: row for row in rows}
+    # A permissive threshold never does worse than a very strict one.
+    assert by_threshold[0.0][3] <= by_threshold[0.2][3] + 1e-9
+    # A very strict threshold performs fewer (or equal) moves.
+    assert by_threshold[0.2][2] <= by_threshold[0.0][2]

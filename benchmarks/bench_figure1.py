@@ -1,0 +1,39 @@
+"""Figure 1 — social and workload cost per protocol round (scenario 1).
+
+Expected shape: both strategies start from the same (high) cost of the random
+configuration; the selfish strategy decreases the social cost steadily every
+round; the workload cost falls faster in the early rounds because demanding
+peers are served first.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block, run_once
+from repro.experiments.figure1 import run_figure1
+
+
+def test_figure1(benchmark, experiment_config):
+    result = run_once(benchmark, run_figure1, experiment_config)
+    print_block("Figure 1: cost through progressing rounds", result.to_text())
+
+    selfish = result.curves["selfish"]
+    assert selfish.social_cost[-1] < selfish.social_cost[0]
+    # Monotone non-increasing social cost for the selfish strategy.
+    assert all(
+        later <= earlier + 1e-9
+        for earlier, later in zip(selfish.social_cost, selfish.social_cost[1:])
+    )
+    # The workload cost falls at least as fast (relatively) early on: after the
+    # first quarter of the rounds it has shed a larger share of its eventual
+    # improvement than the social cost has.
+    rounds = len(selfish.social_cost)
+    if rounds > 4:
+        checkpoint = max(1, rounds // 4)
+        social_drop = selfish.social_cost[0] - selfish.social_cost[-1]
+        workload_drop = selfish.workload_cost[0] - selfish.workload_cost[-1]
+        if social_drop > 0 and workload_drop > 0:
+            social_progress = (selfish.social_cost[0] - selfish.social_cost[checkpoint]) / social_drop
+            workload_progress = (
+                selfish.workload_cost[0] - selfish.workload_cost[checkpoint]
+            ) / workload_drop
+            assert workload_progress >= social_progress - 0.25

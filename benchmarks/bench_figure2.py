@@ -1,0 +1,31 @@
+"""Figure 2 — social cost after workload updates in one cluster.
+
+Expected shape: the social cost grows with the fraction of updated peers /
+updated workload; the selfish strategy only recovers cost for large changes
+(>= 50%), and neither strategy returns to the original (pre-update) cost.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block, run_once
+from repro.experiments.figure2 import run_figure2
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_figure2(benchmark, experiment_config):
+    result = run_once(benchmark, run_figure2, experiment_config, fractions=FRACTIONS)
+    print_block("Figure 2: social cost after workload updates", result.to_text())
+
+    for curve in result.curves:
+        series = curve.series()
+        baseline = series[0.0]
+        # Updates never make the overlay better than the undisturbed ideal.
+        assert all(cost >= baseline - 1e-6 for cost in series.values())
+
+    for curve in result.curves:
+        if curve.strategy != "selfish":
+            continue
+        full_change = [point for point in curve.points if point.fraction == 1.0][0]
+        # A complete workload change is worth reacting to.
+        assert full_change.social_cost <= full_change.social_cost_before_maintenance + 1e-9

@@ -1,0 +1,32 @@
+"""Figure 3 — social cost after content updates in one cluster.
+
+Expected shape: mirrors Figure 2 with the roles of the strategies swapped —
+peers whose *content* changed no longer serve their own cluster, which is a
+motive for the altruistic strategy but not for the selfish one.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block, run_once
+from repro.experiments.figure3 import run_figure3
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+def test_figure3(benchmark, experiment_config):
+    result = run_once(benchmark, run_figure3, experiment_config, fractions=FRACTIONS)
+    print_block("Figure 3: social cost after content updates", result.to_text())
+
+    for curve in result.curves:
+        series = curve.series()
+        baseline = series[0.0]
+        assert all(cost >= baseline - 1e-6 for cost in series.values())
+
+    # The altruistic strategy is the one that reacts to content drift.
+    altruistic_moves = sum(
+        point.moves
+        for curve in result.curves
+        if curve.strategy == "altruistic"
+        for point in curve.points
+    )
+    assert altruistic_moves > 0

@@ -1,0 +1,35 @@
+"""Figure 4 — influence of alpha on a single selfish peer.
+
+Expected shape: for every fraction of changed workload the individual cost
+grows with alpha, and the fraction at which relocating to the (larger) target
+cluster first pays off shifts right as alpha grows.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block, run_once
+from repro.experiments.figure4 import run_figure4
+
+FRACTIONS = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+ALPHAS = (0.0, 1.0, 2.0)
+
+
+def test_figure4(benchmark, experiment_config):
+    result = run_once(
+        benchmark, run_figure4, experiment_config, alphas=ALPHAS, fractions=FRACTIONS
+    )
+    print_block("Figure 4: influence of alpha", result.to_text())
+
+    # Larger alpha, larger cost at every point of the sweep.
+    for fraction in FRACTIONS:
+        costs = [result.curve_for(alpha).series()[fraction] for alpha in ALPHAS]
+        assert costs == sorted(costs)
+
+    # Larger alpha needs a larger workload change before relocation pays off.
+    relocation_points = [
+        result.curve_for(alpha).relocation_fraction
+        if result.curve_for(alpha).relocation_fraction is not None
+        else 2.0
+        for alpha in ALPHAS
+    ]
+    assert relocation_points == sorted(relocation_points)

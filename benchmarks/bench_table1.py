@@ -1,0 +1,32 @@
+"""Table 1 — rounds to equilibrium, #clusters, SCost and WCost.
+
+Regenerates the paper's Table 1: three data/query scenarios x four initial
+configurations x {selfish, altruistic}.  Expected shape: the same-category
+scenario converges quickly to ``M`` clusters with SCost = WCost = 1/M; the
+different-category scenario needs more rounds and keeps a non-zero recall
+loss; the uniform scenario does not converge and costs the most.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_block, run_once
+from repro.experiments.table1 import run_table1
+
+
+def test_table1(benchmark, experiment_config):
+    result = run_once(benchmark, run_table1, experiment_config)
+    print_block("Table 1: fixed query workload and content", result.to_text())
+
+    same_category_rows = result.rows_for("same-category")
+    assert same_category_rows, "the same-category scenario must be part of Table 1"
+    ideal = 1.0 / experiment_config.scenario.num_categories
+    selfish_rows = [row for row in same_category_rows if row.strategy == "selfish"]
+    # The paper's headline: the selfish strategy converges to the desired
+    # number of clusters with the membership-only cost.
+    assert any(row.converged for row in selfish_rows)
+    assert any(abs(row.social_cost - ideal) < 0.05 for row in selfish_rows)
+
+    uniform_rows = result.rows_for("uniform")
+    if uniform_rows:
+        # The uniform scenario is the hardest: its cost always exceeds the ideal.
+        assert min(row.social_cost for row in uniform_rows) > ideal

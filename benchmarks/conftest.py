@@ -1,0 +1,69 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation) exactly once (``benchmark.pedantic`` with one round) and prints the
+rows / series the paper reports, so ``pytest benchmarks/ --benchmark-only``
+doubles as the reproduction run.
+
+The scale is controlled with the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``benchmark`` (default) — 100 peers, 10 categories; the reported *shapes*
+  (who wins, where the crossovers are, the ``1/M`` ideal cost) are the same
+  as at paper scale but the run finishes in minutes.
+* ``paper`` — the paper's 200-peer setup.
+* ``quick`` — the tiny test-suite scale, useful while developing.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+RESULTS_FILE = Path(__file__).parent / "latest_results.txt"
+
+SCALE_PRESETS = {
+    "quick": ExperimentConfig.quick,
+    "benchmark": ExperimentConfig.benchmark,
+    "paper": ExperimentConfig.paper,
+}
+
+
+def bench_scale() -> str:
+    """The benchmark scale selected through ``REPRO_BENCH_SCALE``."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "benchmark").lower()
+    if scale not in SCALE_PRESETS:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(SCALE_PRESETS)}, got {scale!r}"
+        )
+    return scale
+
+
+@pytest.fixture(scope="session")
+def experiment_config() -> ExperimentConfig:
+    """The experiment configuration for the selected benchmark scale."""
+    return SCALE_PRESETS[bench_scale()]()
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run *function* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, iterations=1, rounds=1)
+
+
+def print_block(title: str, body: str) -> None:
+    """Emit a titled block so the bench output reads like the paper's tables.
+
+    The block is written to the real stdout (bypassing pytest's capture, so it
+    appears even without ``-s``) and appended to ``benchmarks/latest_results.txt``
+    so the most recent reproduction run can be inspected after the fact.
+    """
+    separator = "=" * max(len(title), 20)
+    block = f"\n{separator}\n{title} (scale: {bench_scale()})\n{separator}\n{body}\n"
+    sys.__stdout__.write(block)
+    sys.__stdout__.flush()
+    with RESULTS_FILE.open("a", encoding="utf-8") as handle:
+        handle.write(block)

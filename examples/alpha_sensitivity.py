@@ -1,0 +1,44 @@
+"""Alpha sensitivity: when is it worth joining a bigger cluster?
+
+Reproduces the question behind Figure 4 interactively: a single peer's query
+workload gradually drifts towards a topic hosted by a larger cluster.  The
+membership-cost weight ``alpha`` controls how expensive joining that larger
+cluster is, so the drift fraction at which relocation becomes worthwhile
+shifts right as ``alpha`` grows.
+
+Run with::
+
+    python examples/alpha_sensitivity.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentConfig, run_figure4
+
+
+def main() -> None:
+    config = ExperimentConfig.quick()
+    fractions = tuple(round(0.1 * step, 1) for step in range(11))
+    result = run_figure4(config, alphas=(0.0, 1.0, 2.0), fractions=fractions)
+
+    print("individual cost of the observed peer (columns: alpha)")
+    header = "fraction  " + "  ".join(f"alpha={curve.alpha:g}" for curve in result.curves)
+    print(header)
+    for fraction in fractions:
+        row = [f"{fraction:8.1f}"]
+        for curve in result.curves:
+            row.append(f"{curve.series()[fraction]:9.3f}")
+        print("  ".join(row))
+
+    for curve in result.curves:
+        if curve.relocation_fraction is None:
+            print(f"alpha={curve.alpha:g}: never relocates within the sweep")
+        else:
+            print(
+                f"alpha={curve.alpha:g}: relocation first pays off at "
+                f"{curve.relocation_fraction:.0%} workload change"
+            )
+
+
+if __name__ == "__main__":
+    main()

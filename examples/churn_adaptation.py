@@ -1,0 +1,120 @@
+"""Maintenance under change: workload drift, content drift and churn.
+
+Starts from the "good" clustering of the same-category scenario (one cluster
+per topic), then applies three kinds of change the paper discusses:
+
+1. a workload update — half of one cluster's peers become interested in a
+   different topic,
+2. a content update — another cluster's peers replace their data with
+   documents of a different topic,
+3. churn — a handful of peers leave and a new peer joins.
+
+After each change it shows the social cost before maintenance, after running
+the periodic reformulation protocol (selfish strategy, ε = 0.001), and what a
+"do nothing" baseline would leave behind.
+
+Run with::
+
+    python examples/churn_adaptation.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import (
+    SCENARIO_SAME_CATEGORY,
+    ExperimentConfig,
+    Peer,
+    ReformulationProtocol,
+    SelfishStrategy,
+    build_scenario,
+    category_configuration,
+)
+from repro.dynamics import add_peer, random_departures, update_content_full, update_workload_full
+
+
+def social_cost(data, configuration, config):
+    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+    return cost_model.social_cost(configuration, normalized=True), cost_model
+
+
+def maintain(data, configuration, config):
+    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+    protocol = ReformulationProtocol(
+        cost_model,
+        configuration,
+        SelfishStrategy(),
+        gain_threshold=config.maintenance_gain_threshold,
+        allow_cluster_creation=False,
+        restrict_to_nonempty=True,
+    )
+    result = protocol.run(max_rounds=config.max_rounds)
+    return result
+
+
+def main() -> None:
+    config = ExperimentConfig.quick().with_scenario(uniform_workload=True)
+    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+    configuration = category_configuration(data)
+    rng = random.Random(17)
+
+    cost, _model = social_cost(data, configuration, config)
+    print("initial (one cluster per topic) social cost:", round(cost, 3))
+
+    # 1. workload drift in the first cluster.
+    first_cluster = configuration.nonempty_clusters()[0]
+    members = sorted(configuration.members(first_cluster), key=repr)
+    victims = members[: len(members) // 2]
+    categories = sorted({c for c in data.data_categories.values() if c})
+    update_workload_full(data.network, victims, categories[-1], data.generator, rng=rng)
+    cost_before, _model = social_cost(data, configuration, config)
+    result = maintain(data, configuration, config)
+    cost_after, _model = social_cost(data, configuration, config)
+    print(
+        "after workload drift: before maintenance",
+        round(cost_before, 3),
+        "| after",
+        round(cost_after, 3),
+        f"({result.total_moves} moves)",
+    )
+
+    # 2. content drift in the second cluster.
+    second_cluster = configuration.nonempty_clusters()[1]
+    members = sorted(configuration.members(second_cluster), key=repr)
+    update_content_full(data.network, members[:3], categories[0], data.generator, rng=rng)
+    cost_before, _model = social_cost(data, configuration, config)
+    result = maintain(data, configuration, config)
+    cost_after, _model = social_cost(data, configuration, config)
+    print(
+        "after content drift: before maintenance",
+        round(cost_before, 3),
+        "| after",
+        round(cost_after, 3),
+        f"({result.total_moves} moves)",
+    )
+
+    # 3. churn: three departures and one join.
+    random_departures(data.network, configuration, 3, rng=rng)
+    newcomer_workload = data.generator.generate_workload(categories[0], 4, rng=rng)
+    newcomer = Peer(
+        "newcomer",
+        documents=data.generator.generate_documents(categories[0], 5, rng=rng),
+        workload=newcomer_workload,
+    )
+    chosen = add_peer(data.network, configuration, newcomer)
+    cost_before, _model = social_cost(data, configuration, config)
+    result = maintain(data, configuration, config)
+    cost_after, _model = social_cost(data, configuration, config)
+    print(f"newcomer joined cluster {chosen!r}")
+    print(
+        "after churn: before maintenance",
+        round(cost_before, 3),
+        "| after",
+        round(cost_after, 3),
+        f"({result.total_moves} moves)",
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: form clusters with the selfish relocation strategy.
+
+Builds a small synthetic scenario (peers whose data and queries fall into the
+same category), starts from the worst possible overlay (every peer alone in
+its own cluster) and runs the reformulation protocol with the selfish
+strategy until no peer wants to move any more.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    SCENARIO_SAME_CATEGORY,
+    ExperimentConfig,
+    ReformulationProtocol,
+    SelfishStrategy,
+    build_scenario,
+    initial_configuration,
+)
+
+
+def main() -> None:
+    config = ExperimentConfig.quick()
+    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+    configuration = initial_configuration(data, "singletons")
+    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+
+    print(f"peers: {len(data.network)}, categories: {config.scenario.num_categories}")
+    print(
+        "initial social cost:",
+        round(cost_model.social_cost(configuration, normalized=True), 3),
+        f"({configuration.num_nonempty_clusters()} clusters)",
+    )
+
+    protocol = ReformulationProtocol(cost_model, configuration, SelfishStrategy())
+    result = protocol.run(max_rounds=config.max_rounds)
+
+    print(f"converged: {result.converged} after {result.num_rounds} rounds")
+    for round_index, cost in enumerate(result.social_cost_trace):
+        print(f"  round {round_index:2d}: social cost = {cost:.3f}")
+    print(
+        "final:",
+        configuration.num_nonempty_clusters(),
+        "clusters, social cost",
+        round(result.final_social_cost, 3),
+        "workload cost",
+        round(result.final_workload_cost, 3),
+    )
+
+
+if __name__ == "__main__":
+    main()

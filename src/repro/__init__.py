@@ -1,0 +1,176 @@
+"""repro — a full reproduction of "Recall-Based Cluster Reformulation by Selfish Peers".
+
+The library models a clustered peer-to-peer overlay in which peers decide,
+based only on the recall their queries achieve, whether to move to a
+different cluster.  It provides:
+
+* the data/recall/cost model of the paper (``repro.core``),
+* the peer and cluster substrate (``repro.peers``),
+* the overlay simulation with cid-annotated query results (``repro.overlay``),
+* the game-theoretic view of cluster formation (``repro.game``),
+* the selfish / altruistic / hybrid relocation strategies (``repro.strategies``),
+* the round-based reformulation protocol (``repro.protocol``),
+* dataset generators, dynamics, baselines, analysis utilities and the
+  experiment drivers that regenerate every table and figure of the paper.
+
+Quickstart::
+
+    from repro import (
+        ExperimentConfig, build_scenario, initial_configuration,
+        ReformulationProtocol, SelfishStrategy, SCENARIO_SAME_CATEGORY,
+    )
+
+    config = ExperimentConfig.quick()
+    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+    configuration = initial_configuration(data, "singletons")
+    cost_model = data.network.cost_model(alpha=config.alpha)
+    protocol = ReformulationProtocol(cost_model, configuration, SelfishStrategy())
+    result = protocol.run()
+    print(result.converged, result.final_social_cost)
+"""
+
+from repro.baselines import GlobalReclustering, RandomRelocationStrategy, StaticStrategy
+from repro.core import (
+    AttributeSet,
+    CostModel,
+    Document,
+    DocumentCollection,
+    InvertedIndex,
+    LinearTheta,
+    LogarithmicTheta,
+    NEW_CLUSTER,
+    Query,
+    QueryWorkload,
+    RecallModel,
+    ThetaFunction,
+    Vocabulary,
+    WeightedRecallMatrix,
+    theta_from_name,
+)
+from repro.datasets import (
+    SCENARIO_DIFFERENT_CATEGORY,
+    SCENARIO_SAME_CATEGORY,
+    SCENARIO_UNIFORM,
+    CorpusConfig,
+    CorpusGenerator,
+    ScenarioConfig,
+    ScenarioData,
+    build_scenario,
+    category_configuration,
+    initial_configuration,
+)
+from repro.errors import (
+    ConfigurationError,
+    DatasetError,
+    ProtocolError,
+    ReproError,
+    StrategyError,
+    UnknownClusterError,
+    UnknownPeerError,
+)
+from repro.experiments import (
+    ExperimentConfig,
+    build_strategy,
+    run_all,
+    run_figure1,
+    run_figure2,
+    run_figure3,
+    run_figure4,
+    run_table1,
+)
+from repro.game import (
+    BestResponse,
+    ClusterGame,
+    build_two_peer_counterexample,
+    find_pure_nash_equilibria,
+    run_best_response_dynamics,
+)
+from repro.overlay import BroadcastRouter, MessageBus, OverlaySimulator, ProbeKRouter
+from repro.peers import Cluster, ClusterConfiguration, Peer, PeerNetwork
+from repro.protocol import ProtocolResult, ReformulationProtocol
+from repro.strategies import (
+    AltruisticStrategy,
+    HybridStrategy,
+    RelocationProposal,
+    SelfishStrategy,
+    StrategyContext,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "AttributeSet",
+    "Vocabulary",
+    "Document",
+    "DocumentCollection",
+    "Query",
+    "QueryWorkload",
+    "InvertedIndex",
+    "RecallModel",
+    "WeightedRecallMatrix",
+    "CostModel",
+    "NEW_CLUSTER",
+    "ThetaFunction",
+    "LinearTheta",
+    "LogarithmicTheta",
+    "theta_from_name",
+    # peers
+    "Peer",
+    "Cluster",
+    "ClusterConfiguration",
+    "PeerNetwork",
+    # overlay
+    "MessageBus",
+    "BroadcastRouter",
+    "ProbeKRouter",
+    "OverlaySimulator",
+    # game
+    "ClusterGame",
+    "BestResponse",
+    "run_best_response_dynamics",
+    "build_two_peer_counterexample",
+    "find_pure_nash_equilibria",
+    # strategies
+    "SelfishStrategy",
+    "AltruisticStrategy",
+    "HybridStrategy",
+    "RelocationProposal",
+    "StrategyContext",
+    # protocol
+    "ReformulationProtocol",
+    "ProtocolResult",
+    # datasets
+    "CorpusConfig",
+    "CorpusGenerator",
+    "ScenarioConfig",
+    "ScenarioData",
+    "build_scenario",
+    "initial_configuration",
+    "category_configuration",
+    "SCENARIO_SAME_CATEGORY",
+    "SCENARIO_DIFFERENT_CATEGORY",
+    "SCENARIO_UNIFORM",
+    # baselines
+    "GlobalReclustering",
+    "RandomRelocationStrategy",
+    "StaticStrategy",
+    # experiments
+    "ExperimentConfig",
+    "build_strategy",
+    "run_table1",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "run_figure4",
+    "run_all",
+    # errors
+    "ReproError",
+    "ConfigurationError",
+    "UnknownPeerError",
+    "UnknownClusterError",
+    "ProtocolError",
+    "DatasetError",
+    "StrategyError",
+]

@@ -1,0 +1,22 @@
+"""Analysis utilities: clustering metrics, convergence tracking, reporting."""
+
+from repro.analysis.convergence import ConvergenceTracker, relative_change
+from repro.analysis.metrics import (
+    cluster_entropy,
+    cluster_purity,
+    cluster_size_distribution,
+    rand_index,
+)
+from repro.analysis.reporting import format_markdown_table, format_series, format_table
+
+__all__ = [
+    "ConvergenceTracker",
+    "relative_change",
+    "cluster_purity",
+    "cluster_entropy",
+    "cluster_size_distribution",
+    "rand_index",
+    "format_table",
+    "format_markdown_table",
+    "format_series",
+]

@@ -1,0 +1,76 @@
+"""Convergence bookkeeping for protocol and dynamics runs.
+
+The paper reports, per run, whether an equilibrium was reached and after how
+many rounds.  :class:`ConvergenceTracker` watches a sequence of configuration
+snapshots (or cost values) and classifies the run as converged, cycling, or
+still moving; it is shared by the experiment drivers and by the tests that
+assert convergence behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+__all__ = ["ConvergenceTracker", "relative_change"]
+
+
+def relative_change(previous: float, current: float) -> float:
+    """Relative change between two cost values (0 when both are 0)."""
+    if previous == 0.0 and current == 0.0:
+        return 0.0
+    denominator = max(abs(previous), abs(current))
+    return abs(current - previous) / denominator
+
+
+class ConvergenceTracker:
+    """Tracks configuration signatures and cost values across rounds."""
+
+    def __init__(self, *, cost_tolerance: float = 1e-9) -> None:
+        self.cost_tolerance = cost_tolerance
+        self._signatures: List[Tuple] = []
+        self._costs: List[float] = []
+        self._cycle_start: Optional[int] = None
+
+    def observe(self, signature: Tuple, cost: float) -> None:
+        """Record the configuration *signature* and *cost* after one round."""
+        if signature in self._signatures and self._cycle_start is None:
+            self._cycle_start = self._signatures.index(signature)
+        self._signatures.append(signature)
+        self._costs.append(cost)
+
+    @property
+    def rounds_observed(self) -> int:
+        """Number of observations recorded so far."""
+        return len(self._signatures)
+
+    @property
+    def cycle_detected(self) -> bool:
+        """``True`` when a configuration signature repeated."""
+        return self._cycle_start is not None
+
+    @property
+    def cycle_length(self) -> Optional[int]:
+        """Length of the detected cycle (``None`` when no cycle was seen)."""
+        if self._cycle_start is None:
+            return None
+        return len(self._signatures) - 1 - self._cycle_start
+
+    def is_stable(self, window: int = 2) -> bool:
+        """``True`` when the last *window* observations have (numerically) equal cost."""
+        if len(self._costs) < window:
+            return False
+        recent = self._costs[-window:]
+        return all(
+            relative_change(recent[index], recent[index + 1]) <= self.cost_tolerance
+            for index in range(len(recent) - 1)
+        )
+
+    def cost_trace(self) -> List[float]:
+        """The recorded cost values in observation order."""
+        return list(self._costs)
+
+    def __repr__(self) -> str:
+        return (
+            f"ConvergenceTracker(rounds={self.rounds_observed}, "
+            f"cycle={self.cycle_detected})"
+        )

@@ -1,0 +1,111 @@
+"""Cluster-quality metrics used by the experiment reports.
+
+Besides the paper's own cost measures (social and workload cost, reported
+normalised by the number of peers), the analysis layer computes standard
+external clustering metrics against the ground-truth data categories of the
+synthetic corpus: purity, entropy and the Rand index.  The algorithms never
+see categories; these metrics only describe how well the recall-driven game
+rediscovers the category structure (the paper's "cluster discovery"
+observation in Section 4.1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Mapping
+from typing import Dict, Optional
+
+from repro.peers.configuration import ClusterConfiguration
+
+__all__ = [
+    "cluster_size_distribution",
+    "cluster_purity",
+    "cluster_entropy",
+    "rand_index",
+]
+
+PeerId = Hashable
+ClusterId = Hashable
+
+
+def cluster_size_distribution(configuration: ClusterConfiguration) -> Dict[ClusterId, int]:
+    """Sizes of all non-empty clusters."""
+    return configuration.sizes()
+
+
+def _label_counts_per_cluster(
+    configuration: ClusterConfiguration, labels: Mapping[PeerId, Optional[str]]
+) -> Dict[ClusterId, Dict[str, int]]:
+    counts: Dict[ClusterId, Dict[str, int]] = {}
+    for cluster_id in configuration.nonempty_clusters():
+        cluster_counts: Dict[str, int] = {}
+        for peer_id in configuration.members(cluster_id):
+            label = labels.get(peer_id)
+            if label is None:
+                continue
+            cluster_counts[label] = cluster_counts.get(label, 0) + 1
+        counts[cluster_id] = cluster_counts
+    return counts
+
+
+def cluster_purity(
+    configuration: ClusterConfiguration, labels: Mapping[PeerId, Optional[str]]
+) -> float:
+    """Weighted purity: fraction of peers that share their cluster's majority label.
+
+    Peers without a label (scenario 3 has none) are ignored; returns 0.0 when
+    no peer is labelled.
+    """
+    counts = _label_counts_per_cluster(configuration, labels)
+    labelled = sum(sum(cluster_counts.values()) for cluster_counts in counts.values())
+    if labelled == 0:
+        return 0.0
+    majority = sum(
+        max(cluster_counts.values()) for cluster_counts in counts.values() if cluster_counts
+    )
+    return majority / labelled
+
+
+def cluster_entropy(
+    configuration: ClusterConfiguration, labels: Mapping[PeerId, Optional[str]]
+) -> float:
+    """Size-weighted average label entropy of the clusters (0 = perfectly pure)."""
+    counts = _label_counts_per_cluster(configuration, labels)
+    labelled = sum(sum(cluster_counts.values()) for cluster_counts in counts.values())
+    if labelled == 0:
+        return 0.0
+    total_entropy = 0.0
+    for cluster_counts in counts.values():
+        cluster_total = sum(cluster_counts.values())
+        if cluster_total == 0:
+            continue
+        entropy = 0.0
+        for count in cluster_counts.values():
+            probability = count / cluster_total
+            entropy -= probability * math.log2(probability)
+        total_entropy += (cluster_total / labelled) * entropy
+    return total_entropy
+
+
+def rand_index(
+    configuration: ClusterConfiguration, labels: Mapping[PeerId, Optional[str]]
+) -> float:
+    """Rand index between the cluster partition and the label partition.
+
+    Considers only labelled peers; returns 1.0 when fewer than two labelled
+    peers exist (every partition of at most one element agrees with itself).
+    """
+    peers = [peer_id for peer_id in configuration.peer_ids() if labels.get(peer_id) is not None]
+    if len(peers) < 2:
+        return 1.0
+    agreements = 0
+    pairs = 0
+    cluster_of = {peer_id: configuration.cluster_of(peer_id) for peer_id in peers}
+    for index, left in enumerate(peers):
+        for right in peers[index + 1 :]:
+            pairs += 1
+            same_cluster = cluster_of[left] == cluster_of[right]
+            same_label = labels[left] == labels[right]
+            if same_cluster == same_label:
+                agreements += 1
+    return agreements / pairs

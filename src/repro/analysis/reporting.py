@@ -1,0 +1,56 @@
+"""Plain-text reporting helpers for tables and series.
+
+The benchmark harness prints the rows and series the paper reports (Table 1
+and Figures 1-4).  These helpers render them as aligned plain-text tables /
+two-column series so the output is readable both on a terminal and in
+``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from typing import List
+
+__all__ = ["format_table", "format_series", "format_markdown_table"]
+
+
+def _stringify(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render an aligned plain-text table."""
+    string_rows: List[List[str]] = [[_stringify(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        for column, cell in enumerate(row):
+            if column < len(widths):
+                widths[column] = max(widths[column], len(cell))
+            else:
+                widths.append(len(cell))
+    lines = []
+    header_line = "  ".join(header.ljust(widths[column]) for column, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[column] for column in range(len(headers))))
+    for row in string_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[column]) for column, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_markdown_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a GitHub-flavoured markdown table (used to build EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(str(header) for header in headers) + " |"]
+    lines.append("|" + "|".join("---" for _header in headers) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(_stringify(cell) for cell in row) + " |")
+    return "\n".join(lines)
+
+
+def format_series(name: str, series: Mapping[object, object]) -> str:
+    """Render an x/y series (one figure curve) as two aligned columns."""
+    rows = [(x, y) for x, y in series.items()]
+    return f"{name}\n" + format_table(["x", "y"], rows)

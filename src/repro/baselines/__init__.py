@@ -1,0 +1,17 @@
+"""Baselines: global re-clustering, random relocation, and no maintenance."""
+
+from repro.baselines.global_reclustering import (
+    GlobalReclustering,
+    ReclusteringResult,
+    jaccard_similarity,
+)
+from repro.baselines.random_relocation import RandomRelocationStrategy
+from repro.baselines.static import StaticStrategy
+
+__all__ = [
+    "GlobalReclustering",
+    "ReclusteringResult",
+    "jaccard_similarity",
+    "RandomRelocationStrategy",
+    "StaticStrategy",
+]

@@ -1,0 +1,199 @@
+"""Command-line interface for the reproduction.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli discover   --scale quick --strategy selfish
+    python -m repro.cli maintain   --scale quick --periods 3
+    python -m repro.cli table1     --scale benchmark
+    python -m repro.cli figure2    --scale quick
+    python -m repro.cli report     --scale benchmark --output report.md
+
+Every subcommand prints a plain-text table/series; ``report`` runs the whole
+suite and renders the markdown that EXPERIMENTS.md is derived from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.analysis.metrics import cluster_purity
+from repro.analysis.reporting import format_table
+from repro.datasets.scenarios import (
+    SCENARIO_SAME_CATEGORY,
+    build_scenario,
+    category_configuration,
+    initial_configuration,
+)
+from repro.dynamics.periodic import PeriodicMaintenanceLoop
+from repro.dynamics.updates import update_workload_full
+from repro.experiments.config import ExperimentConfig, build_strategy
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.runner import render_report, run_all
+from repro.experiments.table1 import run_table1
+from repro.protocol.reformulation import ReformulationProtocol
+
+__all__ = ["main", "build_parser"]
+
+_SCALES = ("quick", "benchmark", "paper")
+
+
+def _config_for(scale: str) -> ExperimentConfig:
+    return getattr(ExperimentConfig, scale)()
+
+
+def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        choices=_SCALES,
+        default="quick",
+        help="experiment scale preset (default: quick)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Recall-based cluster reformulation by selfish peers - reproduction CLI",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    discover = subparsers.add_parser(
+        "discover", help="form clusters from scratch with a relocation strategy"
+    )
+    _add_scale_argument(discover)
+    discover.add_argument(
+        "--strategy", choices=("selfish", "altruistic", "hybrid"), default="selfish"
+    )
+    discover.add_argument(
+        "--initial",
+        choices=("singletons", "random", "fewer", "more"),
+        default="singletons",
+        help="initial configuration (paper's cases i-iv)",
+    )
+
+    maintain = subparsers.add_parser(
+        "maintain", help="run periodic maintenance under workload drift"
+    )
+    _add_scale_argument(maintain)
+    maintain.add_argument("--periods", type=int, default=3)
+    maintain.add_argument(
+        "--strategy", choices=("selfish", "altruistic", "hybrid"), default="selfish"
+    )
+
+    for name in ("table1", "figure1", "figure2", "figure3", "figure4"):
+        sub = subparsers.add_parser(name, help=f"regenerate {name} of the paper")
+        _add_scale_argument(sub)
+
+    report = subparsers.add_parser("report", help="run the whole suite and render a report")
+    _add_scale_argument(report)
+    report.add_argument("--output", default=None, help="write the markdown report to this file")
+
+    return parser
+
+
+def _command_discover(arguments: argparse.Namespace) -> int:
+    config = _config_for(arguments.scale)
+    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+    configuration = initial_configuration(data, arguments.initial, seed=config.seed + 13)
+    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+    protocol = ReformulationProtocol(
+        cost_model, configuration, build_strategy(arguments.strategy)
+    )
+    result = protocol.run(max_rounds=config.max_rounds)
+    rows = [
+        ("strategy", arguments.strategy),
+        ("initial configuration", arguments.initial),
+        ("converged", result.converged and not result.cycle_detected),
+        ("rounds", result.num_rounds),
+        ("clusters", configuration.num_nonempty_clusters()),
+        ("social cost", round(result.final_social_cost, 3)),
+        ("workload cost", round(result.final_workload_cost, 3)),
+        ("purity", round(cluster_purity(configuration, data.data_categories), 3)),
+    ]
+    print(format_table(("metric", "value"), rows))
+    return 0
+
+
+def _command_maintain(arguments: argparse.Namespace) -> int:
+    config = _config_for(arguments.scale)
+    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+    configuration = category_configuration(data)
+    loop = PeriodicMaintenanceLoop(
+        data.network,
+        configuration,
+        build_strategy(arguments.strategy),
+        alpha=config.alpha,
+        theta=config.theta(),
+        gain_threshold=config.maintenance_gain_threshold,
+    )
+    categories = sorted({c for c in data.data_categories.values() if c})
+    rng = random.Random(config.seed + 31)
+
+    def drift(network, current_configuration):
+        cluster_id = current_configuration.nonempty_clusters()[0]
+        members = sorted(current_configuration.members(cluster_id), key=repr)
+        victims = members[: max(1, len(members) // 4)]
+        update_workload_full(network, victims, categories[-1], data.generator, rng=rng)
+
+    for period in range(arguments.periods):
+        loop.run_period(drift if period > 0 else None)
+    rows = [
+        (
+            record.period,
+            round(record.social_cost_before, 3),
+            round(record.social_cost_after, 3),
+            record.moves,
+            record.rounds,
+        )
+        for record in loop.records
+    ]
+    print(format_table(("period", "SCost before", "SCost after", "moves", "rounds"), rows))
+    return 0
+
+
+def _command_experiment(arguments: argparse.Namespace) -> int:
+    config = _config_for(arguments.scale)
+    runners = {
+        "table1": lambda: run_table1(config).to_text(),
+        "figure1": lambda: run_figure1(config).to_text(),
+        "figure2": lambda: run_figure2(config).to_text(),
+        "figure3": lambda: run_figure3(config).to_text(),
+        "figure4": lambda: run_figure4(config).to_text(),
+    }
+    print(runners[arguments.command]())
+    return 0
+
+
+def _command_report(arguments: argparse.Namespace) -> int:
+    config = _config_for(arguments.scale)
+    report = render_report(run_all(config), config=config)
+    if arguments.output:
+        with open(arguments.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"report written to {arguments.output}")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    arguments = build_parser().parse_args(argv)
+    if arguments.command == "discover":
+        return _command_discover(arguments)
+    if arguments.command == "maintain":
+        return _command_maintain(arguments)
+    if arguments.command == "report":
+        return _command_report(arguments)
+    return _command_experiment(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

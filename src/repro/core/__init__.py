@@ -1,0 +1,53 @@
+"""Core data model and cost model of the reproduction.
+
+This package is self-contained (it does not depend on the peer substrate):
+
+* attribute / document / query data model with subset matching,
+* an inverted index for fast ``result(q, p)`` evaluation,
+* the recall model ``r(q, p)`` and dense weighted recall matrices,
+* the cluster membership cost functions ``theta``,
+* the cost model: individual cost (Eq. 1), social cost (Eq. 2) and
+  workload cost (Eq. 3).
+"""
+
+from repro.core.attributes import AttributeSet, Vocabulary, normalize_attribute
+from repro.core.costs import NEW_CLUSTER, CostModel
+from repro.core.documents import Document, DocumentCollection
+from repro.core.index import InvertedIndex
+from repro.core.matching import matches, matching_documents, result_count
+from repro.core.queries import Query, QueryWorkload
+from repro.core.recall import RecallModel, ResultProvider
+from repro.core.recall_matrix import WeightedRecallMatrix
+from repro.core.theta import (
+    ConstantTheta,
+    LinearTheta,
+    LogarithmicTheta,
+    PolynomialTheta,
+    ThetaFunction,
+    theta_from_name,
+)
+
+__all__ = [
+    "AttributeSet",
+    "Vocabulary",
+    "normalize_attribute",
+    "Document",
+    "DocumentCollection",
+    "Query",
+    "QueryWorkload",
+    "InvertedIndex",
+    "matches",
+    "matching_documents",
+    "result_count",
+    "RecallModel",
+    "ResultProvider",
+    "WeightedRecallMatrix",
+    "CostModel",
+    "NEW_CLUSTER",
+    "ThetaFunction",
+    "LinearTheta",
+    "LogarithmicTheta",
+    "ConstantTheta",
+    "PolynomialTheta",
+    "theta_from_name",
+]

@@ -1,0 +1,36 @@
+"""Query/document matching semantics.
+
+The paper's matching rule: a query ``q`` matches a data item ``d`` of peer
+``p`` if the query attributes are a subset of the attributes describing ``d``.
+``result(q, p)`` is the number of such matching items at ``p``.
+
+These helpers are the *reference* implementation — simple, obviously correct
+scans.  The :mod:`repro.core.index` module provides an inverted index with the
+same semantics for the experiment-scale workloads, and the test suite checks
+the two against each other.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from typing import List
+
+from repro.core.documents import Document
+from repro.core.queries import Query
+
+__all__ = ["matches", "result_count", "matching_documents"]
+
+
+def matches(query: Query, document: Document) -> bool:
+    """Return ``True`` if *query* matches *document* (subset semantics)."""
+    return query.attributes.issubset(document.attributes)
+
+
+def result_count(query: Query, documents: Iterable[Document]) -> int:
+    """``result(q, p)``: the number of documents in *documents* matched by *query*."""
+    return sum(1 for document in documents if matches(query, document))
+
+
+def matching_documents(query: Query, documents: Iterable[Document]) -> List[Document]:
+    """Return the documents matched by *query*, preserving input order."""
+    return [document for document in documents if matches(query, document)]

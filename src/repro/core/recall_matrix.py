@@ -1,0 +1,229 @@
+"""Dense, workload-weighted recall matrices.
+
+Evaluating the individual cost of every peer against every candidate cluster
+on every protocol round is the hot loop of the reproduction (200 peers x up
+to 200 clusters x hundreds of rounds).  The recall term of the individual
+cost only ever uses the per-query recalls ``r(q, pj)`` weighted by the query
+frequencies of the evaluating peer, so the whole term collapses to a single
+|P| x |P| matrix::
+
+    W[i, j] = sum over q in Q(p_i) of  num(q, Q(p_i)) / num(Q(p_i)) * r(q, p_j)
+
+With ``W`` in hand, the recall loss of peer ``i`` for a set of co-clustered
+peers ``P(s_i)`` is ``W[i, :].sum() - W[i, P(s_i)].sum()`` — a couple of numpy
+reductions instead of thousands of per-query lookups.
+
+An analogous matrix with global query frequencies supports the workload cost::
+
+    V[i, j] = sum over q in Q(p_i) of  num(q, Q(p_i)) / num(Q) * r(q, p_j)
+
+Both matrices are exact restatements of the paper's formulas; the test suite
+cross-checks them against the reference (per-query) implementation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.queries import QueryWorkload
+from repro.core.recall import RecallModel
+from repro.errors import UnknownPeerError
+
+__all__ = ["WeightedRecallMatrix"]
+
+PeerId = Hashable
+
+
+class WeightedRecallMatrix:
+    """Pre-computed, workload-weighted recall matrices over a peer population.
+
+    Parameters
+    ----------
+    recall_model:
+        The exact recall model providing ``r(q, p)``.
+    workloads:
+        Mapping from peer id to that peer's local query workload ``Q(p)``.
+    peer_order:
+        Optional explicit ordering of peer ids (defaults to the recall
+        model's deterministic order).  The ordering fixes the matrix row /
+        column layout.
+    """
+
+    def __init__(
+        self,
+        recall_model: RecallModel,
+        workloads: Mapping[PeerId, QueryWorkload],
+        peer_order: Optional[Sequence[PeerId]] = None,
+    ) -> None:
+        self._recall_model = recall_model
+        self._workloads = workloads
+        self._peer_order: List[PeerId] = list(peer_order) if peer_order is not None else list(
+            recall_model.peer_ids
+        )
+        self._index_of: Dict[PeerId, int] = {
+            peer_id: index for index, peer_id in enumerate(self._peer_order)
+        }
+        if len(self._index_of) != len(self._peer_order):
+            raise ValueError("peer_order contains duplicate peer ids")
+        self._local, self._global, self._service = self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> tuple:
+        population = len(self._peer_order)
+        local = np.zeros((population, population), dtype=float)
+        global_weighted = np.zeros((population, population), dtype=float)
+        service = np.zeros((population, population), dtype=float)
+        global_total = sum(
+            self._workloads.get(peer_id, QueryWorkload()).total() for peer_id in self._peer_order
+        )
+        for row, peer_id in enumerate(self._peer_order):
+            workload = self._workloads.get(peer_id)
+            if workload is None or workload.total() == 0:
+                continue
+            local_total = workload.total()
+            for query, count in workload.items():
+                recall_vector = self._recall_model.recall_vector(query)
+                weights = np.fromiter(
+                    (recall_vector.get(other, 0.0) for other in self._peer_order),
+                    dtype=float,
+                    count=population,
+                )
+                local[row] += (count / local_total) * weights
+                if global_total:
+                    global_weighted[row] += (count / global_total) * weights
+                # Absolute result counts served by each provider to this
+                # issuer's workload: result(q, provider) = r(q, provider) *
+                # total results for q.  Rows of ``service`` are providers.
+                total_results = self._recall_model.total_results(query)
+                if total_results:
+                    service[:, row] += count * weights * total_results
+        return local, global_weighted, service
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def peer_order(self) -> List[PeerId]:
+        """The row/column ordering of peer ids."""
+        return list(self._peer_order)
+
+    def index_of(self, peer_id: PeerId) -> int:
+        """Row index of *peer_id*."""
+        try:
+            return self._index_of[peer_id]
+        except KeyError:
+            raise UnknownPeerError(peer_id) from None
+
+    def local_matrix(self) -> np.ndarray:
+        """Copy of the locally-weighted matrix ``W`` (rows: evaluating peer)."""
+        return self._local.copy()
+
+    def global_matrix(self) -> np.ndarray:
+        """Copy of the globally-weighted matrix ``V`` used by the workload cost."""
+        return self._global.copy()
+
+    def service_matrix(self) -> np.ndarray:
+        """Copy of the service matrix ``S``.
+
+        ``S[p, j]`` is the total number of results peer ``p`` provides for the
+        local workload of peer ``j`` (``sum over q in Q(p_j) of num(q, Q(p_j))
+        * result(q, p)``) — the raw material of the altruistic contribution
+        measure (Eq. 6).
+        """
+        return self._service.copy()
+
+    def contribution_matrix(self, membership: np.ndarray) -> np.ndarray:
+        """Vectorised ``contribution(p, c)`` (Eq. 6) for every peer and cluster.
+
+        Parameters
+        ----------
+        membership:
+            A ``(|P|, |C|)`` 0/1 matrix of current cluster membership.
+
+        Returns
+        -------
+        numpy.ndarray
+            A ``(|P|, |C|)`` matrix whose ``[p, k]`` entry is the fraction of
+            all results served by peer ``p`` that go to queries issued by
+            members of cluster ``k``.  Rows of peers that serve no results are
+            all zeros.
+        """
+        if membership.shape[0] != len(self._peer_order):
+            raise ValueError(
+                f"membership has {membership.shape[0]} rows, expected {len(self._peer_order)}"
+            )
+        served_per_cluster = self._service @ membership
+        totals = self._service.sum(axis=1, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            contributions = np.where(totals > 0, served_per_cluster / totals, 0.0)
+        return contributions
+
+    # -- recall-loss queries ---------------------------------------------------
+
+    def total_weight(self, peer_id: PeerId) -> float:
+        """Total weighted recall available to *peer_id* (joining every cluster)."""
+        return float(self._local[self.index_of(peer_id)].sum())
+
+    def covered_weight(self, peer_id: PeerId, covered_peers: Sequence[PeerId]) -> float:
+        """Weighted recall that *peer_id* obtains from the peers in *covered_peers*."""
+        row = self._local[self.index_of(peer_id)]
+        indices = [self._index_of[other] for other in covered_peers if other in self._index_of]
+        if not indices:
+            return 0.0
+        return float(row[indices].sum())
+
+    def recall_loss(self, peer_id: PeerId, covered_peers: Sequence[PeerId]) -> float:
+        """Weighted recall lost by not reaching peers outside *covered_peers*.
+
+        This equals the second term of the individual cost (Eq. 1) for the
+        strategy whose covered peer set is *covered_peers*.
+        """
+        return self.total_weight(peer_id) - self.covered_weight(peer_id, covered_peers)
+
+    def global_recall_loss(self, peer_id: PeerId, covered_peers: Sequence[PeerId]) -> float:
+        """Globally-weighted recall loss for *peer_id* (workload-cost weighting)."""
+        row = self._global[self.index_of(peer_id)]
+        total = float(row.sum())
+        indices = [self._index_of[other] for other in covered_peers if other in self._index_of]
+        covered = float(row[indices].sum()) if indices else 0.0
+        return total - covered
+
+    def loss_matrix_for_clusters(self, membership: np.ndarray) -> np.ndarray:
+        """Vectorised recall loss of every peer against every cluster.
+
+        Parameters
+        ----------
+        membership:
+            A ``(|P|, |C|)`` 0/1 matrix whose entry ``[j, k]`` is 1 when peer
+            ``j`` belongs to cluster ``k``.
+
+        Returns
+        -------
+        numpy.ndarray
+            A ``(|P|, |C|)`` matrix whose entry ``[i, k]`` is the recall loss
+            peer ``i`` would suffer if its strategy were exactly cluster ``k``
+            (with peer ``i`` itself counted as covered — a peer always reaches
+            its own content).
+        """
+        if membership.shape[0] != len(self._peer_order):
+            raise ValueError(
+                f"membership has {membership.shape[0]} rows, expected {len(self._peer_order)}"
+            )
+        covered = self._local @ membership
+        own = np.diag(self._local)[:, None]
+        # A peer that is not currently a member of cluster k would still reach
+        # its own results after joining; add its own weight unless the cluster
+        # already contains it (in which case the product already counted it).
+        own_counted = membership * np.diag(self._local)[:, None]
+        covered_adjusted = covered - own_counted + own
+        totals = self._local.sum(axis=1, keepdims=True)
+        return totals - covered_adjusted
+
+    def __len__(self) -> int:
+        return len(self._peer_order)
+
+    def __repr__(self) -> str:
+        return f"WeightedRecallMatrix(peers={len(self._peer_order)})"

@@ -1,0 +1,32 @@
+"""Synthetic dataset generation: vocabularies, corpus, workloads and scenario builders."""
+
+from repro.datasets.corpus import CorpusConfig, CorpusGenerator
+from repro.datasets.scenarios import (
+    SCENARIO_DIFFERENT_CATEGORY,
+    SCENARIO_SAME_CATEGORY,
+    SCENARIO_UNIFORM,
+    ScenarioConfig,
+    ScenarioData,
+    build_scenario,
+    category_configuration,
+    initial_configuration,
+)
+from repro.datasets.vocabulary import CategoryVocabularies, zipf_weights
+from repro.datasets.workload import uniform_query_volumes, zipf_query_volumes
+
+__all__ = [
+    "CorpusConfig",
+    "CorpusGenerator",
+    "CategoryVocabularies",
+    "zipf_weights",
+    "zipf_query_volumes",
+    "uniform_query_volumes",
+    "ScenarioConfig",
+    "ScenarioData",
+    "build_scenario",
+    "initial_configuration",
+    "category_configuration",
+    "SCENARIO_SAME_CATEGORY",
+    "SCENARIO_DIFFERENT_CATEGORY",
+    "SCENARIO_UNIFORM",
+]

@@ -1,0 +1,235 @@
+"""Builders for the paper's experimental scenarios (Section 4).
+
+The evaluation shares Newsgroup-style documents in 10 categories across 200
+peers and considers three data/query distributions:
+
+1. **same-category** — each peer's data and queries fall into the same
+   category; the ideal clustering has ``M = 10`` equal-sized clusters and a
+   zero recall loss.
+2. **different-category** — each peer's data is from one category and its
+   queries target a single *different* category; the (data, query) category
+   pairs are spread evenly, so the paper's ideal cluster count is
+   ``M = 10 * 9 = 90``.
+3. **uniform** — both data and queries are drawn uniformly at random from all
+   categories; no clustering is clearly favoured.
+
+Queries are distributed among the peers with a Zipf distribution (some peers
+are more demanding), or uniformly for the Section 4.2 maintenance
+experiments.  Four initial configurations are studied: (i) every peer in its
+own cluster, (ii) peers randomly spread over ``m = M`` clusters, (iii)
+``m < M`` clusters and (iv) ``m > M`` clusters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.datasets.corpus import CorpusConfig, CorpusGenerator
+from repro.datasets.workload import uniform_query_volumes, zipf_query_volumes
+from repro.errors import DatasetError
+from repro.peers.configuration import ClusterConfiguration
+from repro.peers.network import PeerNetwork
+from repro.peers.peer import Peer
+
+__all__ = [
+    "SCENARIO_SAME_CATEGORY",
+    "SCENARIO_DIFFERENT_CATEGORY",
+    "SCENARIO_UNIFORM",
+    "ScenarioConfig",
+    "ScenarioData",
+    "build_scenario",
+    "initial_configuration",
+]
+
+SCENARIO_SAME_CATEGORY = "same-category"
+SCENARIO_DIFFERENT_CATEGORY = "different-category"
+SCENARIO_UNIFORM = "uniform"
+
+_SCENARIOS = (SCENARIO_SAME_CATEGORY, SCENARIO_DIFFERENT_CATEGORY, SCENARIO_UNIFORM)
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Knobs of a scenario build (paper defaults, scaled to run quickly)."""
+
+    num_peers: int = 200
+    num_categories: int = 10
+    documents_per_peer: int = 10
+    terms_per_document: int = 5
+    category_vocabulary_size: int = 60
+    common_vocabulary_size: int = 0
+    queries_per_peer: int = 6
+    zipf_exponent: float = 0.8
+    uniform_workload: bool = False
+    seed: int = 7
+
+    def corpus_config(self) -> CorpusConfig:
+        """The corresponding corpus generator configuration."""
+        return CorpusConfig(
+            num_categories=self.num_categories,
+            category_vocabulary_size=self.category_vocabulary_size,
+            common_vocabulary_size=self.common_vocabulary_size,
+            terms_per_document=self.terms_per_document,
+        )
+
+
+@dataclass
+class ScenarioData:
+    """A fully built scenario: the network plus the ground truth used for analysis."""
+
+    scenario: str
+    config: ScenarioConfig
+    network: PeerNetwork
+    generator: CorpusGenerator
+    data_categories: Dict[object, Optional[str]] = field(default_factory=dict)
+    query_categories: Dict[object, Optional[str]] = field(default_factory=dict)
+    optimal_cluster_count: int = 0
+
+    def peer_ids(self) -> List[object]:
+        """The peer ids of the scenario's network."""
+        return self.network.peer_ids()
+
+
+def _peer_name(index: int) -> str:
+    return f"peer{index:03d}"
+
+
+def build_scenario(scenario: str, config: Optional[ScenarioConfig] = None) -> ScenarioData:
+    """Build the network (peers, content, workloads) for one of the paper's scenarios."""
+    if scenario not in _SCENARIOS:
+        raise DatasetError(f"unknown scenario {scenario!r}; expected one of {_SCENARIOS}")
+    config = config if config is not None else ScenarioConfig()
+    generator = CorpusGenerator(config.corpus_config(), seed=config.seed)
+    rng = random.Random(config.seed + 1)
+    categories = generator.categories
+
+    total_queries = config.num_peers * config.queries_per_peer
+    if config.uniform_workload:
+        volumes = uniform_query_volumes(config.num_peers, total_queries)
+    else:
+        volumes = zipf_query_volumes(
+            config.num_peers, total_queries, exponent=config.zipf_exponent, rng=rng
+        )
+
+    data = ScenarioData(
+        scenario=scenario,
+        config=config,
+        network=PeerNetwork(),
+        generator=generator,
+    )
+
+    for index in range(config.num_peers):
+        peer_id = _peer_name(index)
+        data_category: Optional[str]
+        query_category: Optional[str]
+        if scenario == SCENARIO_SAME_CATEGORY:
+            data_category = categories[index % len(categories)]
+            query_category = data_category
+        elif scenario == SCENARIO_DIFFERENT_CATEGORY:
+            # Cycle through all ordered (data, query) pairs with distinct
+            # categories so the pairs are spread as evenly as possible.
+            pair_index = index % (len(categories) * (len(categories) - 1))
+            data_index = pair_index // (len(categories) - 1)
+            offset = pair_index % (len(categories) - 1)
+            query_index = (data_index + 1 + offset) % len(categories)
+            data_category = categories[data_index]
+            query_category = categories[query_index]
+        else:
+            data_category = None
+            query_category = None
+
+        if data_category is None:
+            documents = generator.generate_mixed_documents(config.documents_per_peer, rng=rng)
+        else:
+            documents = generator.generate_documents(
+                data_category, config.documents_per_peer, rng=rng
+            )
+        if query_category is None:
+            workload = generator.generate_mixed_workload(volumes[index], rng=rng)
+        else:
+            workload = generator.generate_workload(query_category, volumes[index], rng=rng)
+
+        peer = Peer(peer_id, documents=documents, workload=workload)
+        data.network.add_peer(peer)
+        data.data_categories[peer_id] = data_category
+        data.query_categories[peer_id] = query_category
+
+    if scenario == SCENARIO_SAME_CATEGORY:
+        data.optimal_cluster_count = config.num_categories
+    elif scenario == SCENARIO_DIFFERENT_CATEGORY:
+        data.optimal_cluster_count = config.num_categories * (config.num_categories - 1)
+    else:
+        data.optimal_cluster_count = config.num_categories
+    return data
+
+
+def initial_configuration(
+    data: ScenarioData,
+    kind: str,
+    *,
+    num_clusters: Optional[int] = None,
+    seed: int = 11,
+) -> ClusterConfiguration:
+    """Build one of the paper's four initial configurations.
+
+    Parameters
+    ----------
+    kind:
+        ``"singletons"`` (i — every peer its own cluster), ``"random"``
+        (ii — peers random over ``m = M`` clusters), ``"fewer"`` (iii —
+        ``m < M``) or ``"more"`` (iv — ``m > M``).
+    num_clusters:
+        Explicit ``m`` overriding the kind's default.
+    """
+    peer_ids = data.peer_ids()
+    if kind == "singletons":
+        return ClusterConfiguration.singletons(peer_ids)
+
+    optimal = max(data.optimal_cluster_count, 1)
+    if kind == "random":
+        cluster_count = num_clusters if num_clusters is not None else optimal
+    elif kind == "fewer":
+        cluster_count = num_clusters if num_clusters is not None else max(2, optimal // 2)
+    elif kind == "more":
+        cluster_count = (
+            num_clusters if num_clusters is not None else min(len(peer_ids), optimal * 2)
+        )
+    else:
+        raise DatasetError(
+            f"unknown initial configuration kind {kind!r}; "
+            "expected 'singletons', 'random', 'fewer' or 'more'"
+        )
+    cluster_count = max(1, min(cluster_count, len(peer_ids)))
+
+    configuration = ClusterConfiguration.with_slots(len(peer_ids))
+    slots = configuration.cluster_ids()[:cluster_count]
+    rng = random.Random(seed)
+    for peer_id in peer_ids:
+        configuration.assign(peer_id, rng.choice(slots))
+    return configuration
+
+
+def category_configuration(data: ScenarioData) -> ClusterConfiguration:
+    """The ground-truth clustering: one cluster per data category.
+
+    Only defined for scenarios with per-peer data categories; this is the
+    "good cluster configuration" from which the Section 4.2 maintenance
+    experiments start.
+    """
+    configuration = ClusterConfiguration.with_slots(len(data.peer_ids()))
+    slots = configuration.cluster_ids()
+    categories = sorted({category for category in data.data_categories.values() if category})
+    if not categories:
+        raise DatasetError("category_configuration requires per-peer data categories")
+    slot_of_category = {category: slots[index] for index, category in enumerate(categories)}
+    for peer_id in data.peer_ids():
+        category = data.data_categories.get(peer_id)
+        if category is None:
+            raise DatasetError(f"peer {peer_id!r} has no data category")
+        configuration.assign(peer_id, slot_of_category[category])
+    return configuration
+
+
+__all__.append("category_configuration")

@@ -1,0 +1,74 @@
+"""Workload assignment across peers.
+
+The paper distributes the queries among the peers using a Zipf distribution,
+"thus, some peers are more demanding than others"; Section 4.2 instead
+assumes the workload is assigned uniformly.  Both assignments are provided
+here as deterministic (seeded) helpers that return the number of queries each
+peer should issue.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.datasets.vocabulary import zipf_weights
+from repro.errors import DatasetError
+
+__all__ = ["zipf_query_volumes", "uniform_query_volumes"]
+
+
+def zipf_query_volumes(
+    num_peers: int,
+    total_queries: int,
+    *,
+    exponent: float = 0.8,
+    rng: Optional[random.Random] = None,
+    shuffle: bool = True,
+) -> List[int]:
+    """Split *total_queries* across *num_peers* with Zipf-skewed shares.
+
+    Every peer is guaranteed at least one query (a peer with an empty local
+    workload would be indifferent between clusters).  With ``shuffle=True``
+    (the default) the demanding peers are spread randomly over the peer id
+    space rather than always being the first ones.
+    """
+    if num_peers <= 0:
+        raise DatasetError(f"num_peers must be positive, got {num_peers}")
+    if total_queries < num_peers:
+        raise DatasetError(
+            f"total_queries ({total_queries}) must be at least num_peers ({num_peers}) "
+            "so every peer issues at least one query"
+        )
+    weights = zipf_weights(num_peers, exponent)
+    volumes = [1] * num_peers
+    remaining = total_queries - num_peers
+    # Largest remainder apportionment of the remaining volume.
+    exact = [weight * remaining for weight in weights]
+    floors = [int(value) for value in exact]
+    volumes = [base + extra for base, extra in zip(volumes, floors)]
+    leftover = remaining - sum(floors)
+    remainders = sorted(
+        range(num_peers), key=lambda index: (exact[index] - floors[index]), reverse=True
+    )
+    for index in remainders[:leftover]:
+        volumes[index] += 1
+    if shuffle:
+        rng = rng if rng is not None else random.Random(0)
+        rng.shuffle(volumes)
+    return volumes
+
+
+def uniform_query_volumes(num_peers: int, total_queries: int) -> List[int]:
+    """Split *total_queries* across *num_peers* as evenly as possible.
+
+    This is the Section 4.2 setting ("the total query workload is assigned
+    uniformly to peers"), under which Property 1 makes the social and
+    workload costs proportional.
+    """
+    if num_peers <= 0:
+        raise DatasetError(f"num_peers must be positive, got {num_peers}")
+    if total_queries < 0:
+        raise DatasetError(f"total_queries must be non-negative, got {total_queries}")
+    base, leftover = divmod(total_queries, num_peers)
+    return [base + (1 if index < leftover else 0) for index in range(num_peers)]

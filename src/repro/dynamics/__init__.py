@@ -1,0 +1,24 @@
+"""Dynamics: workload/content updates and peer churn."""
+
+from repro.dynamics.churn import add_peer, random_departures, remove_peers
+from repro.dynamics.periodic import PeriodicMaintenanceLoop, PeriodRecord
+from repro.dynamics.updates import (
+    UpdateReport,
+    update_content_fraction,
+    update_content_full,
+    update_workload_fraction,
+    update_workload_full,
+)
+
+__all__ = [
+    "PeriodicMaintenanceLoop",
+    "PeriodRecord",
+    "UpdateReport",
+    "update_workload_full",
+    "update_workload_fraction",
+    "update_content_full",
+    "update_content_fraction",
+    "add_peer",
+    "remove_peers",
+    "random_departures",
+]

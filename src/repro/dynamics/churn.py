@@ -1,0 +1,94 @@
+"""Peer churn: joins and departures.
+
+Churn is one of the change sources the paper lists ("topology updates as
+peers enter and leave the system").  The helpers keep the network and the
+cluster configuration consistent: a departing peer is removed from both, a
+joining peer is added to the network and placed either into a named cluster
+or into the cluster that a quick selfish evaluation prefers.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+from typing import List, Optional
+
+from repro.core.costs import CostModel
+from repro.errors import ConfigurationError, DatasetError
+from repro.game.model import ClusterGame
+from repro.peers.configuration import ClusterConfiguration
+from repro.peers.network import PeerNetwork
+from repro.peers.peer import Peer
+
+__all__ = ["remove_peers", "add_peer", "random_departures"]
+
+PeerId = Hashable
+ClusterId = Hashable
+
+
+def remove_peers(
+    network: PeerNetwork,
+    configuration: ClusterConfiguration,
+    peer_ids: Sequence[PeerId],
+) -> List[Peer]:
+    """Remove *peer_ids* from both the network and the configuration; return the peers."""
+    removed: List[Peer] = []
+    for peer_id in peer_ids:
+        if peer_id in configuration:
+            configuration.remove_peer(peer_id)
+        removed.append(network.remove_peer(peer_id))
+    return removed
+
+
+def random_departures(
+    network: PeerNetwork,
+    configuration: ClusterConfiguration,
+    count: int,
+    *,
+    rng: Optional[random.Random] = None,
+) -> List[Peer]:
+    """Remove *count* uniformly random peers (a simple churn burst)."""
+    if count < 0:
+        raise DatasetError(f"count must be non-negative, got {count}")
+    if count > len(network):
+        raise DatasetError(
+            f"cannot remove {count} peers from a network of {len(network)}"
+        )
+    rng = rng if rng is not None else random.Random(0)
+    victims = rng.sample(network.peer_ids(), count)
+    return remove_peers(network, configuration, victims)
+
+
+def add_peer(
+    network: PeerNetwork,
+    configuration: ClusterConfiguration,
+    peer: Peer,
+    *,
+    cluster_id: Optional[ClusterId] = None,
+    cost_model: Optional[CostModel] = None,
+) -> ClusterId:
+    """Add *peer* to the network and place it in a cluster.
+
+    If *cluster_id* is given the peer joins that cluster; otherwise the peer
+    joins the non-empty cluster a selfish evaluation prefers (requires a
+    *cost_model* built over the network *after* the peer was added — one is
+    constructed on the fly when not supplied).  Returns the chosen cluster.
+    """
+    network.add_peer(peer)
+    if cluster_id is not None:
+        configuration.assign(peer.peer_id, cluster_id)
+        return cluster_id
+
+    candidates = configuration.nonempty_clusters() or configuration.empty_clusters()
+    if not candidates:
+        raise ConfigurationError("the configuration has no cluster slot for the joining peer")
+    model = cost_model if cost_model is not None else network.cost_model(use_matrix=False)
+    best_cluster = min(
+        candidates,
+        key=lambda candidate: (
+            model.prospective_pcost(peer.peer_id, candidate, configuration),
+            repr(candidate),
+        ),
+    )
+    configuration.assign(peer.peer_id, best_cluster)
+    return best_cluster

@@ -1,0 +1,176 @@
+"""Periodic maintenance loop: observation periods interleaved with protocol runs.
+
+The paper's relocation strategies are *periodic*: every period ``T`` each peer
+observes where its results come from (and whom it serves), then the
+reformulation protocol runs one maintenance pass.  :class:`PeriodicMaintenanceLoop`
+drives that loop end-to-end:
+
+1. optionally apply the period's exogenous changes (workload drift, content
+   drift, churn) supplied by the caller,
+2. simulate the period's query traffic over the overlay (collecting the
+   per-peer observations the strategies need),
+3. rebuild the cost model against the updated network state,
+4. run the reformulation protocol until it quiesces,
+5. record the social/workload cost before and after maintenance.
+
+The loop works with both the observation-driven ("observed") and the oracle
+("exact") strategy modes; in the latter case the query simulation can be
+skipped to save time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.core.theta import ThetaFunction
+from repro.overlay.messages import MessageBus
+from repro.overlay.routing import QueryRouter
+from repro.overlay.simulator import OverlaySimulator
+from repro.peers.configuration import ClusterConfiguration
+from repro.peers.network import PeerNetwork
+from repro.protocol.reformulation import ProtocolResult, ReformulationProtocol
+from repro.strategies.base import RelocationStrategy
+
+__all__ = ["PeriodRecord", "PeriodicMaintenanceLoop"]
+
+#: Callback applying one period's exogenous changes.  It receives the network
+#: and the configuration and may mutate both (e.g. apply updates, churn).
+UpdateCallback = Callable[[PeerNetwork, ClusterConfiguration], None]
+
+
+@dataclass
+class PeriodRecord:
+    """What happened during one maintenance period."""
+
+    period: int
+    social_cost_before: float
+    social_cost_after: float
+    workload_cost_after: float
+    moves: int
+    rounds: int
+    converged: bool
+    queries_routed: int = 0
+
+    @property
+    def improvement(self) -> float:
+        """Reduction of the normalised social cost achieved by this period's maintenance."""
+        return self.social_cost_before - self.social_cost_after
+
+
+class PeriodicMaintenanceLoop:
+    """Drives periods of (change, observation, maintenance) over a network."""
+
+    def __init__(
+        self,
+        network: PeerNetwork,
+        configuration: ClusterConfiguration,
+        strategy: RelocationStrategy,
+        *,
+        alpha: float = 1.0,
+        theta: Optional[ThetaFunction] = None,
+        gain_threshold: float = 0.001,
+        allow_cluster_creation: bool = False,
+        restrict_to_nonempty: bool = True,
+        max_rounds_per_period: int = 100,
+        simulate_queries: Optional[bool] = None,
+        router_factory: Optional[Callable[[PeerNetwork], QueryRouter]] = None,
+    ) -> None:
+        self.network = network
+        self.configuration = configuration
+        self.strategy = strategy
+        self.alpha = alpha
+        self.theta = theta
+        self.gain_threshold = gain_threshold
+        self.allow_cluster_creation = allow_cluster_creation
+        self.restrict_to_nonempty = restrict_to_nonempty
+        self.max_rounds_per_period = max_rounds_per_period
+        # Observation-driven strategies need the query simulation; oracle
+        # strategies do not, unless explicitly requested.
+        if simulate_queries is None:
+            simulate_queries = getattr(strategy, "mode", "exact") == "observed"
+        self.simulate_queries = simulate_queries
+        self.router_factory = router_factory
+        self.records: List[PeriodRecord] = []
+        self.bus = MessageBus()
+
+    # -- internals ---------------------------------------------------------------
+
+    def _cost_model(self):
+        return self.network.cost_model(theta=self.theta, alpha=self.alpha)
+
+    def _run_observation(self) -> Optional[OverlaySimulator]:
+        if not self.simulate_queries:
+            return None
+        router = self.router_factory(self.network) if self.router_factory else None
+        simulator = OverlaySimulator(self.network, self.configuration, router=router, bus=self.bus)
+        simulator.run_period()
+        return simulator
+
+    # -- public API ------------------------------------------------------------------
+
+    def run_period(self, update: Optional[UpdateCallback] = None) -> PeriodRecord:
+        """Run one full period: apply *update*, observe, maintain, record."""
+        if update is not None:
+            update(self.network, self.configuration)
+            self.network.invalidate()
+
+        simulator = self._run_observation()
+        cost_model = self._cost_model()
+        before = cost_model.social_cost(self.configuration, normalized=True)
+
+        protocol = ReformulationProtocol(
+            cost_model,
+            self.configuration,
+            self.strategy,
+            gain_threshold=self.gain_threshold,
+            allow_cluster_creation=self.allow_cluster_creation,
+            restrict_to_nonempty=self.restrict_to_nonempty,
+            bus=self.bus,
+        )
+        statistics = simulator.statistics if simulator is not None else None
+        result: ProtocolResult = protocol.run(
+            max_rounds=self.max_rounds_per_period, statistics=statistics
+        )
+
+        record = PeriodRecord(
+            period=len(self.records),
+            social_cost_before=before,
+            social_cost_after=cost_model.social_cost(self.configuration, normalized=True),
+            workload_cost_after=cost_model.workload_cost(self.configuration, normalized=True),
+            moves=result.total_moves,
+            rounds=result.num_rounds,
+            converged=result.converged and not result.cycle_detected,
+            queries_routed=0 if simulator is None else sum(
+                stats.recall_tracker.queries_observed()
+                for stats in simulator.statistics.values()
+            ),
+        )
+        self.records.append(record)
+        return record
+
+    def run(
+        self,
+        periods: int,
+        *,
+        updates: Optional[List[Optional[UpdateCallback]]] = None,
+    ) -> List[PeriodRecord]:
+        """Run *periods* consecutive periods; ``updates[i]`` (if given) is applied before period ``i``."""
+        if periods < 0:
+            raise ValueError(f"periods must be non-negative, got {periods}")
+        if updates is not None and len(updates) < periods:
+            raise ValueError("updates must provide one (possibly None) entry per period")
+        for period in range(periods):
+            update = updates[period] if updates is not None else None
+            self.run_period(update)
+        return list(self.records)
+
+    def social_cost_trace(self) -> List[float]:
+        """Normalised social cost after each completed period."""
+        return [record.social_cost_after for record in self.records]
+
+    def __repr__(self) -> str:
+        return (
+            f"PeriodicMaintenanceLoop(strategy={self.strategy!r}, "
+            f"periods={len(self.records)})"
+        )

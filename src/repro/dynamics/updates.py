@@ -1,0 +1,162 @@
+"""Workload and content updates (the change model of Section 4.2).
+
+The maintenance experiments start from a good clustering and then perturb a
+single cluster ``c_cur`` in one of two ways:
+
+* **scenario (a)** — a varying *number of peers* in ``c_cur`` is updated
+  completely (their whole workload, or their whole content, switches to a
+  different category), or
+* **scenario (b)** — *all* peers in ``c_cur`` are updated by a varying
+  *degree* (a fraction of their workload / content switches category).
+
+The helpers below apply those perturbations to a network in place; they work
+on any subset of peers so they are also reusable for churn-style studies.
+All randomness is seeded through the generator that produced the data.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.datasets.corpus import CorpusGenerator
+from repro.errors import DatasetError
+from repro.peers.network import PeerNetwork
+
+__all__ = [
+    "UpdateReport",
+    "update_workload_full",
+    "update_workload_fraction",
+    "update_content_full",
+    "update_content_fraction",
+]
+
+PeerId = Hashable
+
+
+@dataclass(frozen=True)
+class UpdateReport:
+    """Record of one applied update (useful for experiment logs)."""
+
+    kind: str
+    peer_ids: tuple
+    new_category: str
+    fraction: float
+
+    @property
+    def num_peers(self) -> int:
+        """Number of peers whose state was updated."""
+        return len(self.peer_ids)
+
+
+def _validate_peers(network: PeerNetwork, peer_ids: Sequence[PeerId]) -> List[PeerId]:
+    missing = [peer_id for peer_id in peer_ids if peer_id not in network]
+    if missing:
+        raise DatasetError(f"peers not in network: {missing!r}")
+    return list(peer_ids)
+
+
+def update_workload_full(
+    network: PeerNetwork,
+    peer_ids: Sequence[PeerId],
+    new_category: str,
+    generator: CorpusGenerator,
+    *,
+    rng: Optional[random.Random] = None,
+) -> UpdateReport:
+    """Replace the whole workload of *peer_ids* with queries about *new_category*.
+
+    The volume of each peer's workload is preserved (the peers become
+    interested in data located at another cluster, but they do not become
+    more or less demanding).
+    """
+    peers = _validate_peers(network, peer_ids)
+    for peer_id in peers:
+        peer = network.peer(peer_id)
+        volume = max(peer.workload.total(), 1)
+        peer.replace_workload(generator.generate_workload(new_category, volume, rng=rng))
+    network.invalidate()
+    return UpdateReport(
+        kind="workload-full", peer_ids=tuple(peers), new_category=new_category, fraction=1.0
+    )
+
+
+def update_workload_fraction(
+    network: PeerNetwork,
+    peer_ids: Sequence[PeerId],
+    new_category: str,
+    generator: CorpusGenerator,
+    fraction: float,
+    *,
+    rng: Optional[random.Random] = None,
+) -> UpdateReport:
+    """Replace *fraction* of each peer's workload volume with *new_category* queries."""
+    if not 0.0 <= fraction <= 1.0:
+        raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
+    peers = _validate_peers(network, peer_ids)
+    for peer_id in peers:
+        peer = network.peer(peer_id)
+        volume = max(peer.workload.total(), 1)
+        replaced_volume = max(int(round(fraction * volume)), 1) if fraction > 0 else 0
+        if replaced_volume == 0:
+            continue
+        replacement = generator.generate_workload(new_category, replaced_volume, rng=rng)
+        peer.replace_workload_fraction(fraction, replacement)
+    network.invalidate()
+    return UpdateReport(
+        kind="workload-fraction",
+        peer_ids=tuple(peers),
+        new_category=new_category,
+        fraction=fraction,
+    )
+
+
+def update_content_full(
+    network: PeerNetwork,
+    peer_ids: Sequence[PeerId],
+    new_category: str,
+    generator: CorpusGenerator,
+    *,
+    rng: Optional[random.Random] = None,
+) -> UpdateReport:
+    """Replace the whole content of *peer_ids* with documents of *new_category*."""
+    peers = _validate_peers(network, peer_ids)
+    for peer_id in peers:
+        peer = network.peer(peer_id)
+        count = max(len(peer.documents), 1)
+        peer.replace_documents(generator.generate_documents(new_category, count, rng=rng))
+    network.invalidate()
+    return UpdateReport(
+        kind="content-full", peer_ids=tuple(peers), new_category=new_category, fraction=1.0
+    )
+
+
+def update_content_fraction(
+    network: PeerNetwork,
+    peer_ids: Sequence[PeerId],
+    new_category: str,
+    generator: CorpusGenerator,
+    fraction: float,
+    *,
+    rng: Optional[random.Random] = None,
+) -> UpdateReport:
+    """Replace *fraction* of each peer's documents with documents of *new_category*."""
+    if not 0.0 <= fraction <= 1.0:
+        raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
+    peers = _validate_peers(network, peer_ids)
+    for peer_id in peers:
+        peer = network.peer(peer_id)
+        replaced_count = int(round(fraction * len(peer.documents)))
+        if replaced_count == 0:
+            continue
+        replacements = generator.generate_documents(new_category, replaced_count, rng=rng)
+        peer.replace_document_fraction(fraction, replacements)
+    network.invalidate()
+    return UpdateReport(
+        kind="content-fraction",
+        peer_ids=tuple(peers),
+        new_category=new_category,
+        fraction=fraction,
+    )

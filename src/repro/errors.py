@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause
+while letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a cluster configuration or experiment setup is invalid.
+
+    Examples include assigning a peer to a cluster that does not exist,
+    assigning the same peer twice, or building a network with duplicate
+    peer identifiers.
+    """
+
+
+class UnknownPeerError(ReproError):
+    """Raised when a peer identifier is not part of the network."""
+
+    def __init__(self, peer_id: object) -> None:
+        super().__init__(f"unknown peer: {peer_id!r}")
+        self.peer_id = peer_id
+
+
+class UnknownClusterError(ReproError):
+    """Raised when a cluster identifier is not part of the configuration."""
+
+    def __init__(self, cluster_id: object) -> None:
+        super().__init__(f"unknown cluster: {cluster_id!r}")
+        self.cluster_id = cluster_id
+
+
+class ProtocolError(ReproError):
+    """Raised when the reformulation protocol is driven incorrectly.
+
+    For example serving relocation requests before the gathering phase has
+    completed, or granting a request that violates the lock rule.
+    """
+
+
+class DatasetError(ReproError):
+    """Raised when synthetic dataset generation parameters are invalid."""
+
+
+class StrategyError(ReproError):
+    """Raised when a relocation strategy is misconfigured or misused."""

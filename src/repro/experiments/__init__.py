@@ -1,0 +1,38 @@
+"""Experiment drivers regenerating every table and figure of the paper."""
+
+from repro.experiments.config import ExperimentConfig, build_strategy
+from repro.experiments.figure1 import Figure1Curve, Figure1Result, run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import Figure4Curve, Figure4Result, run_figure4
+from repro.experiments.maintenance import (
+    MaintenanceCurve,
+    MaintenancePoint,
+    MaintenanceResult,
+    run_maintenance_experiment,
+)
+from repro.experiments.runner import ExperimentSuiteResult, render_report, run_all
+from repro.experiments.table1 import Table1Result, Table1Row, run_table1
+
+__all__ = [
+    "ExperimentConfig",
+    "build_strategy",
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "Figure1Curve",
+    "Figure1Result",
+    "run_figure1",
+    "run_figure2",
+    "run_figure3",
+    "MaintenancePoint",
+    "MaintenanceCurve",
+    "MaintenanceResult",
+    "run_maintenance_experiment",
+    "Figure4Curve",
+    "Figure4Result",
+    "run_figure4",
+    "ExperimentSuiteResult",
+    "run_all",
+    "render_report",
+]

@@ -1,0 +1,94 @@
+"""Shared experiment configuration.
+
+The paper's evaluation fixes: 200 peers, Newsgroup articles in 10 categories,
+``alpha = 1``, a linear ``theta`` (fully connected clusters), Zipf-distributed
+query workload for Section 4.1, uniform workload and a gain threshold
+``epsilon = 0.001`` for Section 4.2.  :class:`ExperimentConfig` bundles those
+defaults, and provides a ``quick()`` preset (fewer peers/documents) that the
+test-suite and fast CI runs use — the experiment *logic* is identical, only
+the scale changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.core.theta import ThetaFunction, theta_from_name
+from repro.datasets.scenarios import ScenarioConfig
+from repro.strategies.altruistic import AltruisticStrategy
+from repro.strategies.base import RelocationStrategy
+from repro.strategies.hybrid import HybridStrategy
+from repro.strategies.selfish import SelfishStrategy
+
+__all__ = ["ExperimentConfig", "build_strategy"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by every experiment driver."""
+
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    alpha: float = 1.0
+    theta_name: str = "linear"
+    gain_threshold: float = 0.0
+    maintenance_gain_threshold: float = 0.001
+    max_rounds: int = 200
+    seed: int = 7
+
+    def theta(self) -> ThetaFunction:
+        """The configured cluster membership cost function."""
+        return theta_from_name(self.theta_name)
+
+    # -- presets ------------------------------------------------------------------
+
+    @classmethod
+    def paper(cls) -> "ExperimentConfig":
+        """The paper-scale configuration (200 peers, 10 categories)."""
+        return cls()
+
+    @classmethod
+    def benchmark(cls) -> "ExperimentConfig":
+        """A medium-scale configuration for the benchmark harness.
+
+        Numbers such as the normalised membership cost of the ideal clustering
+        (``1 / M``) do not depend on the population size, so the reported
+        shapes match the paper-scale run while keeping bench times short.
+        """
+        scenario = ScenarioConfig(
+            num_peers=100,
+            num_categories=10,
+            documents_per_peer=8,
+            queries_per_peer=5,
+        )
+        return cls(scenario=scenario, max_rounds=150)
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A small configuration for tests (40 peers, 4 categories)."""
+        scenario = ScenarioConfig(
+            num_peers=40,
+            num_categories=4,
+            documents_per_peer=6,
+            terms_per_document=4,
+            category_vocabulary_size=30,
+            queries_per_peer=4,
+        )
+        return cls(scenario=scenario, max_rounds=80)
+
+    def with_scenario(self, **overrides: object) -> "ExperimentConfig":
+        """A copy of this config with some scenario fields replaced."""
+        return replace(self, scenario=replace(self.scenario, **overrides))
+
+
+def build_strategy(name: str, *, mode: str = "exact", **kwargs: object) -> RelocationStrategy:
+    """Construct a relocation strategy by name (``selfish``, ``altruistic``, ``hybrid``)."""
+    normalized = name.lower()
+    if normalized == "selfish":
+        return SelfishStrategy(mode=mode)
+    if normalized == "altruistic":
+        return AltruisticStrategy(mode=mode)
+    if normalized == "hybrid":
+        weight = float(kwargs.get("weight", 0.5))
+        return HybridStrategy(weight=weight, mode=mode)
+    raise ValueError(f"unknown strategy {name!r}; expected selfish, altruistic or hybrid")

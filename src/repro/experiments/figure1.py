@@ -1,0 +1,85 @@
+"""Figure 1: social and workload cost through progressing rounds.
+
+The paper plots, for the first scenario (data and queries in the same
+category), the normalised social cost (left panel) and workload cost (right
+panel) after each round of the relocation protocol, for the selfish and the
+altruistic strategy.  The expected shape: the social cost decreases roughly
+linearly across rounds, while the workload cost decreases faster in the early
+rounds because the requests of the more demanding peers are granted first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, build_scenario, initial_configuration
+from repro.experiments.config import ExperimentConfig, build_strategy
+from repro.protocol.reformulation import ReformulationProtocol
+
+__all__ = ["Figure1Curve", "Figure1Result", "run_figure1"]
+
+
+@dataclass
+class Figure1Curve:
+    """One strategy's per-round cost traces."""
+
+    strategy: str
+    social_cost: List[float] = field(default_factory=list)
+    workload_cost: List[float] = field(default_factory=list)
+    converged: bool = False
+    rounds: int = 0
+
+    def social_series(self) -> Dict[int, float]:
+        """Round -> normalised social cost (the left panel of Figure 1)."""
+        return {index: value for index, value in enumerate(self.social_cost)}
+
+    def workload_series(self) -> Dict[int, float]:
+        """Round -> normalised workload cost (the right panel of Figure 1)."""
+        return {index: value for index, value in enumerate(self.workload_cost)}
+
+
+@dataclass
+class Figure1Result:
+    """Both curves of Figure 1."""
+
+    curves: Dict[str, Figure1Curve] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        """Plain-text rendering of both panels."""
+        blocks = []
+        for strategy, curve in sorted(self.curves.items()):
+            blocks.append(format_series(f"social cost ({strategy})", curve.social_series()))
+            blocks.append(format_series(f"workload cost ({strategy})", curve.workload_series()))
+        return "\n\n".join(blocks)
+
+
+def run_figure1(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    strategies: Sequence[str] = ("selfish", "altruistic"),
+    initial_kind: str = "random",
+) -> Figure1Result:
+    """Regenerate Figure 1 (scenario 1, cost per protocol round)."""
+    config = config if config is not None else ExperimentConfig.paper()
+    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+    result = Figure1Result()
+    for strategy_name in strategies:
+        configuration = initial_configuration(data, initial_kind, seed=config.seed + 13)
+        cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+        protocol = ReformulationProtocol(
+            cost_model,
+            configuration,
+            build_strategy(strategy_name),
+            gain_threshold=config.gain_threshold,
+        )
+        run = protocol.run(max_rounds=config.max_rounds)
+        result.curves[strategy_name] = Figure1Curve(
+            strategy=strategy_name,
+            social_cost=list(run.social_cost_trace),
+            workload_cost=list(run.workload_cost_trace),
+            converged=run.converged and not run.cycle_detected,
+            rounds=run.num_rounds,
+        )
+    return result

@@ -1,0 +1,38 @@
+"""Figure 2: social cost after **workload** updates in a single cluster.
+
+Left panel — a varying fraction of the peers in the perturbed cluster change
+their whole workload to another category; right panel — all peers in the
+cluster change a varying fraction of their workload.  Selfish vs altruistic,
+uniform workload assignment, gain threshold ε = 0.001, fixed cluster count.
+
+Expected shape (paper): the selfish strategy only improves the social cost
+once the change is large (above ~50%), because moving the updated peers hurts
+the peers whose workload did not change; the altruistic strategy needs an
+equally large change before the serving peers follow the demand; neither
+recovers the original (pre-update) social cost.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.maintenance import (
+    DEFAULT_FRACTIONS,
+    MaintenanceResult,
+    run_maintenance_experiment,
+)
+
+__all__ = ["run_figure2"]
+
+
+def run_figure2(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    strategies: Sequence[str] = ("selfish", "altruistic"),
+) -> MaintenanceResult:
+    """Regenerate Figure 2 (workload updates)."""
+    return run_maintenance_experiment(
+        "workload", config, fractions=fractions, strategies=strategies
+    )

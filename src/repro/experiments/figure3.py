@@ -1,0 +1,36 @@
+"""Figure 3: social cost after **content** updates in a single cluster.
+
+Same two update scenarios as Figure 2, but the perturbation replaces the
+*data* of the peers in the perturbed cluster with data of a different
+category (their workloads stay unchanged).
+
+Expected shape (paper): the altruistic strategy now behaves like the selfish
+one did for workload updates — a peer whose content changed no longer serves
+its own cluster and is motivated to leave — while selfish peers have no
+motive to move because their own workload did not change.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.maintenance import (
+    DEFAULT_FRACTIONS,
+    MaintenanceResult,
+    run_maintenance_experiment,
+)
+
+__all__ = ["run_figure3"]
+
+
+def run_figure3(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    strategies: Sequence[str] = ("selfish", "altruistic"),
+) -> MaintenanceResult:
+    """Regenerate Figure 3 (content updates)."""
+    return run_maintenance_experiment(
+        "content", config, fractions=fractions, strategies=strategies
+    )

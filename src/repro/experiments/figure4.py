@@ -1,0 +1,127 @@
+"""Figure 4: influence of the ``alpha`` parameter.
+
+A single peer follows the selfish strategy while its query workload gradually
+changes towards a different category.  For ``alpha`` in {0, 1, 2} the figure
+plots the peer's individual cost (after it applies its best response) against
+the fraction of its workload that has changed.
+
+Expected shape (paper): the larger ``alpha``, the more expensive cluster
+membership becomes, so a larger portion of the workload must change before
+the peer benefits from joining the (larger) cluster that holds the new data —
+the cost curve for large ``alpha`` stays high for longer before dropping.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.datasets.scenarios import (
+    SCENARIO_SAME_CATEGORY,
+    build_scenario,
+    category_configuration,
+)
+from repro.dynamics.updates import update_workload_fraction
+from repro.experiments.config import ExperimentConfig
+from repro.game.model import ClusterGame
+from repro.experiments.maintenance import DEFAULT_FRACTIONS
+
+__all__ = ["Figure4Curve", "Figure4Result", "run_figure4"]
+
+DEFAULT_ALPHAS: Sequence[float] = (0.0, 1.0, 2.0)
+
+
+@dataclass
+class Figure4Curve:
+    """Individual cost of the observed peer for one value of ``alpha``."""
+
+    alpha: float
+    points: Dict[float, float] = field(default_factory=dict)
+    relocation_fraction: Optional[float] = None
+
+    def series(self) -> Dict[float, float]:
+        """fraction of changed workload -> individual cost after the best response."""
+        return dict(self.points)
+
+
+@dataclass
+class Figure4Result:
+    """All ``alpha`` curves of Figure 4."""
+
+    curves: List[Figure4Curve] = field(default_factory=list)
+
+    def curve_for(self, alpha: float) -> Figure4Curve:
+        """The curve for one ``alpha`` value."""
+        for curve in self.curves:
+            if curve.alpha == alpha:
+                return curve
+        raise KeyError(f"no curve for alpha={alpha}")
+
+    def to_text(self) -> str:
+        """Plain-text rendering of every curve."""
+        return "\n\n".join(
+            format_series(f"individual cost (alpha={curve.alpha:g})", curve.series())
+            for curve in self.curves
+        )
+
+
+def run_figure4(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    alphas: Sequence[float] = DEFAULT_ALPHAS,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+) -> Figure4Result:
+    """Regenerate Figure 4 (individual cost of a single selfish peer vs workload change)."""
+    config = config if config is not None else ExperimentConfig.paper()
+    result = Figure4Result()
+    for alpha in alphas:
+        curve = Figure4Curve(alpha=alpha)
+        for fraction in fractions:
+            data = build_scenario(
+                SCENARIO_SAME_CATEGORY, replace(config.scenario, uniform_workload=True)
+            )
+            configuration = category_configuration(data)
+            observed_peer = sorted(data.peer_ids())[0]
+            current_category = data.data_categories[observed_peer]
+            other_categories = sorted(
+                category
+                for category in set(data.data_categories.values())
+                if category is not None and category != current_category
+            )
+            new_category = other_categories[0]
+            # The paper studies the trade-off of "joining a cluster with more
+            # members": make the cluster hosting the new category noticeably
+            # larger by merging a third category's peers into it, so the
+            # membership-cost increase of the move actually scales with alpha.
+            if len(other_categories) >= 2:
+                target_cluster = None
+                donor_category = other_categories[1]
+                for peer_id in data.peer_ids():
+                    if data.data_categories[peer_id] == new_category:
+                        target_cluster = configuration.cluster_of(peer_id)
+                        break
+                if target_cluster is not None:
+                    for peer_id in data.peer_ids():
+                        if data.data_categories[peer_id] == donor_category:
+                            configuration.move(
+                                peer_id, configuration.cluster_of(peer_id), target_cluster
+                            )
+            if fraction > 0.0:
+                update_workload_fraction(
+                    data.network,
+                    [observed_peer],
+                    new_category,
+                    data.generator,
+                    fraction,
+                    rng=random.Random(config.seed + 211),
+                )
+            cost_model = data.network.cost_model(theta=config.theta(), alpha=alpha)
+            game = ClusterGame(cost_model, configuration, allow_new_clusters=False)
+            response = game.best_response(observed_peer)
+            curve.points[fraction] = response.best_cost
+            if response.wants_to_move and curve.relocation_fraction is None:
+                curve.relocation_fraction = fraction
+        result.curves.append(curve)
+    return result

@@ -1,0 +1,226 @@
+"""Shared driver for the maintenance experiments (Figures 2 and 3).
+
+Both figures start from the "good" clustering of scenario 1 (one cluster per
+data category), keep the number of clusters fixed, assign the workload
+uniformly and perturb a single cluster ``c_cur``:
+
+* Figure 2 updates **workloads** — (left) the whole workload of a varying
+  fraction of the peers in ``c_cur`` switches to another category's data,
+  (right) a varying fraction of the workload of *all* peers in ``c_cur``
+  switches;
+* Figure 3 applies the same two scenarios to the **content** of the peers in
+  ``c_cur``.
+
+After each perturbation the reformulation protocol runs (with the paper's
+gain threshold ε = 0.001) until no more relocation requests are issued, and
+the normalised social cost of the resulting configuration is recorded.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.reporting import format_series
+from repro.datasets.corpus import CorpusGenerator
+from repro.datasets.scenarios import (
+    SCENARIO_SAME_CATEGORY,
+    ScenarioData,
+    build_scenario,
+    category_configuration,
+)
+from repro.dynamics.updates import (
+    update_content_fraction,
+    update_content_full,
+    update_workload_fraction,
+    update_workload_full,
+)
+from repro.experiments.config import ExperimentConfig, build_strategy
+from repro.peers.configuration import ClusterConfiguration
+from repro.protocol.reformulation import ReformulationProtocol
+
+__all__ = [
+    "DEFAULT_FRACTIONS",
+    "MaintenancePoint",
+    "MaintenanceCurve",
+    "MaintenanceResult",
+    "run_maintenance_experiment",
+]
+
+DEFAULT_FRACTIONS: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class MaintenancePoint:
+    """One measured point: the social cost after maintenance for a given update fraction."""
+
+    fraction: float
+    social_cost: float
+    social_cost_before_maintenance: float
+    moves: int
+    rounds: int
+
+
+@dataclass
+class MaintenanceCurve:
+    """One strategy's curve over update fractions."""
+
+    strategy: str
+    update_kind: str
+    points: List[MaintenancePoint] = field(default_factory=list)
+
+    def series(self) -> Dict[float, float]:
+        """fraction -> normalised social cost after maintenance."""
+        return {point.fraction: point.social_cost for point in self.points}
+
+    def before_series(self) -> Dict[float, float]:
+        """fraction -> normalised social cost before any maintenance (static baseline)."""
+        return {point.fraction: point.social_cost_before_maintenance for point in self.points}
+
+
+@dataclass
+class MaintenanceResult:
+    """All curves of one maintenance figure (two update scenarios x strategies)."""
+
+    figure: str
+    curves: List[MaintenanceCurve] = field(default_factory=list)
+
+    def curve(self, update_kind: str, strategy: str) -> MaintenanceCurve:
+        """Find the curve for an (update scenario, strategy) pair."""
+        for candidate in self.curves:
+            if candidate.update_kind == update_kind and candidate.strategy == strategy:
+                return candidate
+        raise KeyError(f"no curve for {update_kind!r} / {strategy!r}")
+
+    def to_text(self) -> str:
+        """Plain-text rendering of every curve."""
+        blocks = []
+        for curve in self.curves:
+            blocks.append(
+                format_series(f"{self.figure} {curve.update_kind} ({curve.strategy})", curve.series())
+            )
+        return "\n\n".join(blocks)
+
+
+def _choose_clusters(
+    data: ScenarioData, configuration: ClusterConfiguration
+) -> Dict[str, object]:
+    """Pick the perturbed cluster ``c_cur`` and the category of the target cluster ``c_new``."""
+    clusters = configuration.nonempty_clusters()
+    current_cluster = clusters[0]
+    current_members = sorted(configuration.members(current_cluster), key=repr)
+    current_category = data.data_categories[current_members[0]]
+    other_categories = sorted(
+        {
+            category
+            for category in data.data_categories.values()
+            if category is not None and category != current_category
+        }
+    )
+    new_category = other_categories[0]
+    return {
+        "current_cluster": current_cluster,
+        "current_members": current_members,
+        "current_category": current_category,
+        "new_category": new_category,
+    }
+
+
+def _apply_update(
+    update_target: str,
+    update_kind: str,
+    data: ScenarioData,
+    members: Sequence[object],
+    new_category: str,
+    fraction: float,
+    generator: CorpusGenerator,
+    rng: random.Random,
+) -> None:
+    if update_kind == "updated-peers":
+        affected_count = int(round(fraction * len(members)))
+        affected = list(members)[:affected_count]
+        if not affected:
+            return
+        if update_target == "workload":
+            update_workload_full(data.network, affected, new_category, generator, rng=rng)
+        else:
+            update_content_full(data.network, affected, new_category, generator, rng=rng)
+    elif update_kind == "updated-degree":
+        if fraction <= 0.0:
+            return
+        if update_target == "workload":
+            update_workload_fraction(
+                data.network, members, new_category, generator, fraction, rng=rng
+            )
+        else:
+            update_content_fraction(
+                data.network, members, new_category, generator, fraction, rng=rng
+            )
+    else:
+        raise ValueError(f"unknown update kind {update_kind!r}")
+
+
+def run_maintenance_experiment(
+    update_target: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    strategies: Sequence[str] = ("selfish", "altruistic"),
+    update_kinds: Sequence[str] = ("updated-peers", "updated-degree"),
+) -> MaintenanceResult:
+    """Run the Figure 2 (``update_target="workload"``) or Figure 3 (``"content"``) experiment."""
+    if update_target not in {"workload", "content"}:
+        raise ValueError(f"update_target must be 'workload' or 'content', got {update_target!r}")
+    config = config if config is not None else ExperimentConfig.paper()
+    scenario_config = config.scenario
+    figure_name = "figure2" if update_target == "workload" else "figure3"
+    result = MaintenanceResult(figure=figure_name)
+
+    for update_kind in update_kinds:
+        for strategy_name in strategies:
+            curve = MaintenanceCurve(strategy=strategy_name, update_kind=update_kind)
+            for fraction in fractions:
+                # Rebuild the scenario from the same seed for every point so
+                # each measurement perturbs an identical starting state.
+                data = build_scenario(
+                    SCENARIO_SAME_CATEGORY,
+                    replace(scenario_config, uniform_workload=True),
+                )
+                configuration = category_configuration(data)
+                choice = _choose_clusters(data, configuration)
+                rng = random.Random(config.seed + 101)
+                generator = data.generator
+                _apply_update(
+                    update_target,
+                    update_kind,
+                    data,
+                    choice["current_members"],
+                    choice["new_category"],
+                    fraction,
+                    generator,
+                    rng,
+                )
+                cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+                before = cost_model.social_cost(configuration, normalized=True)
+                protocol = ReformulationProtocol(
+                    cost_model,
+                    configuration,
+                    build_strategy(strategy_name),
+                    gain_threshold=config.maintenance_gain_threshold,
+                    allow_cluster_creation=False,
+                    restrict_to_nonempty=True,
+                )
+                run = protocol.run(max_rounds=config.max_rounds)
+                after = cost_model.social_cost(configuration, normalized=True)
+                curve.points.append(
+                    MaintenancePoint(
+                        fraction=fraction,
+                        social_cost=after,
+                        social_cost_before_maintenance=before,
+                        moves=run.total_moves,
+                        rounds=run.num_rounds,
+                    )
+                )
+            result.curves.append(curve)
+    return result

@@ -1,0 +1,145 @@
+"""Table 1: fixed query workload and content.
+
+For each of the three data/query scenarios and each of the four initial
+configurations (i: singletons, ii: random with ``m = M``, iii: ``m < M``,
+iv: ``m > M``), run the reformulation protocol with the selfish and the
+altruistic strategy and report:
+
+* whether a Nash equilibrium was reached and in how many rounds,
+* the number of non-empty clusters at the end,
+* the normalised social cost and workload cost.
+
+This mirrors Table 1 of the paper; scenario 3 ("uniform") is expected not to
+converge, which is reported as a missing round count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import cluster_purity
+from repro.analysis.reporting import format_table
+from repro.datasets.scenarios import (
+    SCENARIO_DIFFERENT_CATEGORY,
+    SCENARIO_SAME_CATEGORY,
+    SCENARIO_UNIFORM,
+    ScenarioData,
+    build_scenario,
+    initial_configuration,
+)
+from repro.experiments.config import ExperimentConfig, build_strategy
+from repro.protocol.reformulation import ProtocolResult, ReformulationProtocol
+
+__all__ = ["Table1Row", "Table1Result", "run_table1", "DEFAULT_SCENARIOS", "DEFAULT_INITIAL_KINDS"]
+
+DEFAULT_SCENARIOS: Tuple[str, ...] = (
+    SCENARIO_SAME_CATEGORY,
+    SCENARIO_DIFFERENT_CATEGORY,
+    SCENARIO_UNIFORM,
+)
+DEFAULT_INITIAL_KINDS: Tuple[str, ...] = ("singletons", "random", "fewer", "more")
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One cell group of Table 1: a (scenario, initial configuration, strategy) run."""
+
+    scenario: str
+    initial_kind: str
+    strategy: str
+    converged: bool
+    rounds: Optional[int]
+    clusters: int
+    social_cost: float
+    workload_cost: float
+    purity: float
+
+    def as_sequence(self) -> Sequence[object]:
+        """Row values for tabular rendering."""
+        return (
+            self.scenario,
+            self.initial_kind,
+            self.strategy,
+            self.rounds if self.converged and self.rounds is not None else "-",
+            self.clusters,
+            round(self.social_cost, 3),
+            round(self.workload_cost, 3),
+            round(self.purity, 3),
+        )
+
+
+@dataclass
+class Table1Result:
+    """All rows of the regenerated Table 1."""
+
+    rows: List[Table1Row] = field(default_factory=list)
+
+    def rows_for(self, scenario: str) -> List[Table1Row]:
+        """The rows belonging to one scenario."""
+        return [row for row in self.rows if row.scenario == scenario]
+
+    def to_text(self) -> str:
+        """Plain-text rendering in the paper's row order."""
+        headers = (
+            "scenario",
+            "initial",
+            "strategy",
+            "# rounds",
+            "# clusters",
+            "SCost",
+            "WCost",
+            "purity",
+        )
+        return format_table(headers, [row.as_sequence() for row in self.rows])
+
+
+def _run_single(
+    data: ScenarioData,
+    initial_kind: str,
+    strategy_name: str,
+    config: ExperimentConfig,
+) -> Tuple[Table1Row, ProtocolResult]:
+    configuration = initial_configuration(data, initial_kind, seed=config.seed + 13)
+    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+    strategy = build_strategy(strategy_name)
+    protocol = ReformulationProtocol(
+        cost_model,
+        configuration,
+        strategy,
+        gain_threshold=config.gain_threshold,
+        allow_cluster_creation=True,
+    )
+    result = protocol.run(max_rounds=config.max_rounds)
+    converged = result.converged and not result.cycle_detected
+    row = Table1Row(
+        scenario=data.scenario,
+        initial_kind=initial_kind,
+        strategy=strategy_name,
+        converged=converged,
+        rounds=result.num_rounds if converged else None,
+        clusters=configuration.num_nonempty_clusters(),
+        social_cost=cost_model.social_cost(configuration, normalized=True),
+        workload_cost=cost_model.workload_cost(configuration, normalized=True),
+        purity=cluster_purity(configuration, data.data_categories),
+    )
+    return row, result
+
+
+def run_table1(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    initial_kinds: Sequence[str] = DEFAULT_INITIAL_KINDS,
+    strategies: Sequence[str] = ("selfish", "altruistic"),
+) -> Table1Result:
+    """Regenerate Table 1 for the requested scenarios / initial configurations / strategies."""
+    config = config if config is not None else ExperimentConfig.paper()
+    result = Table1Result()
+    for scenario in scenarios:
+        data = build_scenario(scenario, config.scenario)
+        for initial_kind in initial_kinds:
+            for strategy_name in strategies:
+                row, _protocol_result = _run_single(data, initial_kind, strategy_name, config)
+                result.rows.append(row)
+    return result

@@ -1,0 +1,32 @@
+"""Game-theoretic layer: the cluster-formulation game, dynamics and equilibrium analysis."""
+
+from repro.game.dynamics import BestResponseResult, BestResponseStep, run_best_response_dynamics
+from repro.game.equilibrium import (
+    CounterexampleInstance,
+    build_two_peer_counterexample,
+    enumerate_single_cluster_configurations,
+    find_pure_nash_equilibria,
+)
+from repro.game.model import BestResponse, ClusterGame
+from repro.game.properties import (
+    CostDecomposition,
+    decompose_costs,
+    property1_holds,
+    workload_is_uniform,
+)
+
+__all__ = [
+    "ClusterGame",
+    "BestResponse",
+    "BestResponseResult",
+    "BestResponseStep",
+    "run_best_response_dynamics",
+    "CounterexampleInstance",
+    "build_two_peer_counterexample",
+    "enumerate_single_cluster_configurations",
+    "find_pure_nash_equilibria",
+    "CostDecomposition",
+    "decompose_costs",
+    "property1_holds",
+    "workload_is_uniform",
+]

@@ -1,0 +1,101 @@
+"""Structural properties of the cost model (Property 1 of the paper).
+
+Property 1: if every peer issues an equal share of the global query workload,
+``num(Q(p_i)) = num(Q) / |P|`` for all peers, then the recall parts of the
+social cost and the workload cost are proportional to each other (with factor
+``1 / |P|``), so improving one improves the other.
+
+The helpers here check the premise for a network and compute the two cost
+decompositions so the relationship can be verified numerically (the test
+suite and an ablation benchmark exercise both the uniform and the skewed
+case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.costs import CostModel
+from repro.peers.configuration import ClusterConfiguration
+from repro.peers.network import PeerNetwork
+
+__all__ = ["CostDecomposition", "workload_is_uniform", "decompose_costs", "property1_holds"]
+
+
+@dataclass(frozen=True)
+class CostDecomposition:
+    """Membership and recall components of the social and workload costs."""
+
+    social_membership: float
+    social_recall: float
+    workload_membership: float
+    workload_recall: float
+
+    @property
+    def social_total(self) -> float:
+        """Full social cost (Eq. 2)."""
+        return self.social_membership + self.social_recall
+
+    @property
+    def workload_total(self) -> float:
+        """Full workload cost (Eq. 3)."""
+        return self.workload_membership + self.workload_recall
+
+
+def workload_is_uniform(network: PeerNetwork) -> bool:
+    """``True`` when every peer issues the same number of queries (Property 1's premise)."""
+    totals = {peer.peer_id: peer.workload.total() for peer in network.peers()}
+    values = set(totals.values())
+    return len(values) <= 1
+
+
+def decompose_costs(cost_model: CostModel, configuration: ClusterConfiguration) -> CostDecomposition:
+    """Split the social and workload costs into membership and recall components."""
+    peer_ids = cost_model.recall_model.peer_ids
+
+    social_membership = 0.0
+    social_recall = 0.0
+    workload_recall = 0.0
+    for peer_id in peer_ids:
+        clusters = configuration.clusters_of(peer_id)
+        sizes = [configuration.size(cluster_id) for cluster_id in clusters]
+        covered = set(configuration.covered_peers(peer_id))
+        covered.add(peer_id)
+        social_membership += cost_model.membership_cost(sizes)
+        social_recall += cost_model.recall_loss(peer_id, covered)
+        workload_recall += cost_model.global_recall_loss(peer_id, covered)
+
+    workload_membership = 0.0
+    for cluster_id in configuration.cluster_ids():
+        size = configuration.size(cluster_id)
+        workload_membership += size * cost_model.theta(size)
+    workload_membership = cost_model.alpha * workload_membership / cost_model.population_size
+
+    return CostDecomposition(
+        social_membership=social_membership,
+        social_recall=social_recall,
+        workload_membership=workload_membership,
+        workload_recall=workload_recall,
+    )
+
+
+def property1_holds(
+    cost_model: CostModel,
+    configuration: ClusterConfiguration,
+    network: PeerNetwork,
+    *,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check Property 1 numerically.
+
+    When the workload is uniformly spread over peers, the recall component of
+    the workload cost must equal the recall component of the social cost
+    scaled by ``1 / |P|`` (each peer holds ``num(Q)/|P|`` of the queries,
+    hence ``num(q, Q(p))/num(Q) = num(q, Q(p))/(|P| * num(Q(p)))``).
+    """
+    if not workload_is_uniform(network):
+        return False
+    decomposition = decompose_costs(cost_model, configuration)
+    expected_workload_recall = decomposition.social_recall / len(network)
+    return abs(decomposition.workload_recall - expected_workload_recall) <= tolerance

@@ -1,0 +1,39 @@
+"""Overlay substrate: topologies, messages, routing and the period simulator."""
+
+from repro.overlay.messages import (
+    GainReportMessage,
+    GrantMessage,
+    Message,
+    MessageBus,
+    QueryMessage,
+    RelocationRequestMessage,
+    ResultMessage,
+)
+from repro.overlay.routing import AnnotatedResult, BroadcastRouter, ProbeKRouter, QueryRouter
+from repro.overlay.simulator import OverlaySimulator, PeriodReport
+from repro.overlay.topology import (
+    ClusterTopology,
+    FullMeshTopology,
+    RingTopology,
+    StructuredTopology,
+)
+
+__all__ = [
+    "Message",
+    "MessageBus",
+    "QueryMessage",
+    "ResultMessage",
+    "GainReportMessage",
+    "RelocationRequestMessage",
+    "GrantMessage",
+    "QueryRouter",
+    "BroadcastRouter",
+    "ProbeKRouter",
+    "AnnotatedResult",
+    "OverlaySimulator",
+    "PeriodReport",
+    "ClusterTopology",
+    "FullMeshTopology",
+    "RingTopology",
+    "StructuredTopology",
+]

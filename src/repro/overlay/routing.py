@@ -1,0 +1,148 @@
+"""Query routing over the clustered overlay.
+
+The paper assumes that every result returned to a peer is annotated with the
+``cid`` of the cluster that provided it, and defines *cluster recall* as the
+fraction of the results returned by a cluster relative to all results
+returned for the query.  How many clusters a query reaches depends on the
+routing algorithm; when a query reaches every cluster, cluster recall is
+exact.
+
+Two routers are provided:
+
+* :class:`BroadcastRouter` — the query is evaluated against every non-empty
+  cluster (exact cluster recall; the setting under which the paper's
+  definitions coincide with the global recall model).
+* :class:`ProbeKRouter` — the query only reaches the issuer's own cluster
+  plus the ``k - 1`` largest other clusters, modelling a cheaper routing
+  scheme; observed cluster recall then under-estimates remote clusters,
+  which is exactly the approximation the local strategies have to live with.
+
+Both routers return :class:`AnnotatedResult` records and publish query /
+result messages to an optional :class:`~repro.overlay.messages.MessageBus`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.queries import Query
+from repro.overlay.messages import MessageBus, QueryMessage, ResultMessage
+from repro.peers.configuration import ClusterConfiguration
+from repro.peers.network import PeerNetwork
+
+__all__ = ["AnnotatedResult", "QueryRouter", "BroadcastRouter", "ProbeKRouter"]
+
+PeerId = Hashable
+ClusterId = Hashable
+
+
+@dataclass(frozen=True)
+class AnnotatedResult:
+    """Results for one query served by one peer, annotated with the providing cluster's cid."""
+
+    query: Query
+    issuer: PeerId
+    provider: PeerId
+    cluster_id: ClusterId
+    result_count: int
+
+
+class QueryRouter:
+    """Base class for routing a query from its issuer over the clustered overlay."""
+
+    def __init__(self, network: PeerNetwork, bus: Optional[MessageBus] = None) -> None:
+        self.network = network
+        self.bus = bus
+
+    def target_clusters(
+        self, issuer: PeerId, configuration: ClusterConfiguration
+    ) -> List[ClusterId]:
+        """The clusters the query will reach (routing policy); implemented by subclasses."""
+        raise NotImplementedError
+
+    def route(
+        self, issuer: PeerId, query: Query, configuration: ClusterConfiguration
+    ) -> List[AnnotatedResult]:
+        """Evaluate *query* issued by *issuer* and return the annotated results."""
+        results: List[AnnotatedResult] = []
+        for cluster_id in self.target_clusters(issuer, configuration):
+            members = configuration.members(cluster_id)
+            if self.bus is not None:
+                self.bus.publish(
+                    QueryMessage(
+                        sender=issuer,
+                        receiver=cluster_id,
+                        query=query,
+                        target_cluster=cluster_id,
+                    )
+                )
+            for provider in sorted(members, key=repr):
+                count = self.network.peer(provider).result_count(query)
+                if count == 0:
+                    continue
+                results.append(
+                    AnnotatedResult(
+                        query=query,
+                        issuer=issuer,
+                        provider=provider,
+                        cluster_id=cluster_id,
+                        result_count=count,
+                    )
+                )
+                if self.bus is not None:
+                    self.bus.publish(
+                        ResultMessage(
+                            sender=provider,
+                            receiver=issuer,
+                            query=query,
+                            cluster_id=cluster_id,
+                            result_count=count,
+                        )
+                    )
+        return results
+
+    @staticmethod
+    def cluster_recall(results: List[AnnotatedResult], cluster_id: ClusterId) -> float:
+        """Observed cluster recall: share of the returned results provided by *cluster_id*."""
+        total = sum(result.result_count for result in results)
+        if total == 0:
+            return 0.0
+        from_cluster = sum(
+            result.result_count for result in results if result.cluster_id == cluster_id
+        )
+        return from_cluster / total
+
+
+class BroadcastRouter(QueryRouter):
+    """Route every query to every non-empty cluster (exact cluster recall)."""
+
+    def target_clusters(
+        self, issuer: PeerId, configuration: ClusterConfiguration
+    ) -> List[ClusterId]:
+        return configuration.nonempty_clusters()
+
+
+class ProbeKRouter(QueryRouter):
+    """Route a query to the issuer's cluster plus the ``k - 1`` largest other clusters."""
+
+    def __init__(
+        self, network: PeerNetwork, k: int, bus: Optional[MessageBus] = None
+    ) -> None:
+        super().__init__(network, bus)
+        if k < 1:
+            raise ValueError(f"k must be at least 1, got {k}")
+        self.k = k
+
+    def target_clusters(
+        self, issuer: PeerId, configuration: ClusterConfiguration
+    ) -> List[ClusterId]:
+        own_cluster = configuration.cluster_of(issuer)
+        others = [
+            cluster_id
+            for cluster_id in configuration.nonempty_clusters()
+            if cluster_id != own_cluster
+        ]
+        others.sort(key=lambda cluster_id: (-configuration.size(cluster_id), repr(cluster_id)))
+        return [own_cluster] + others[: self.k - 1]

@@ -1,0 +1,17 @@
+"""Peer substrate: peers, clusters, configurations, networks and statistics."""
+
+from repro.peers.cluster import Cluster
+from repro.peers.configuration import ClusterConfiguration
+from repro.peers.network import PeerNetwork
+from repro.peers.peer import Peer
+from repro.peers.statistics import ClusterRecallTracker, ContributionTracker, PeerStatistics
+
+__all__ = [
+    "Peer",
+    "Cluster",
+    "ClusterConfiguration",
+    "PeerNetwork",
+    "PeerStatistics",
+    "ClusterRecallTracker",
+    "ContributionTracker",
+]

@@ -1,0 +1,63 @@
+"""The cycle-avoiding lock rule of the reformulation protocol (Section 3.2).
+
+To avoid groups of peers moving in loops among the same set of clusters, the
+protocol enforces: *if peer ``p`` in cluster ``c_i`` moves to ``c_j``, then
+``c_i`` is locked with direction "leave" and ``c_j`` with direction "join";
+in the same round, no more peers can **join** ``c_i`` or **leave** ``c_j``.*
+
+:class:`LockTable` tracks both lock sets within one round and answers
+whether a pending request may still be granted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from typing import Set
+
+from repro.protocol.requests import RelocationRequest
+
+__all__ = ["LockTable"]
+
+ClusterId = Hashable
+
+
+class LockTable:
+    """Per-round join/leave locks on clusters."""
+
+    def __init__(self) -> None:
+        # Clusters that a peer left this round: nobody may *join* them any more.
+        self._join_blocked: Set[ClusterId] = set()
+        # Clusters that a peer joined this round: nobody may *leave* them any more.
+        self._leave_blocked: Set[ClusterId] = set()
+
+    def allows(self, request: RelocationRequest) -> bool:
+        """``True`` when granting *request* would not violate the lock rule."""
+        if request.target_cluster in self._join_blocked:
+            return False
+        if request.source_cluster in self._leave_blocked:
+            return False
+        return True
+
+    def lock_for(self, request: RelocationRequest) -> None:
+        """Record the locks implied by granting *request*."""
+        self._join_blocked.add(request.source_cluster)
+        self._leave_blocked.add(request.target_cluster)
+
+    def join_blocked(self, cluster_id: ClusterId) -> bool:
+        """``True`` when no further peer may join *cluster_id* this round."""
+        return cluster_id in self._join_blocked
+
+    def leave_blocked(self, cluster_id: ClusterId) -> bool:
+        """``True`` when no further peer may leave *cluster_id* this round."""
+        return cluster_id in self._leave_blocked
+
+    def reset(self) -> None:
+        """Clear all locks (called at the start of every round)."""
+        self._join_blocked.clear()
+        self._leave_blocked.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"LockTable(join_blocked={sorted(self._join_blocked, key=repr)!r}, "
+            f"leave_blocked={sorted(self._leave_blocked, key=repr)!r})"
+        )

@@ -1,0 +1,233 @@
+"""The periodic cluster reformulation protocol (Section 3.2).
+
+:class:`ReformulationProtocol` drives rounds until either no peer issues a
+relocation request any more (the paper's stop condition), a configuration
+repeats (a cycle — the game need not have an equilibrium), or a round budget
+is exhausted.  It records the social and workload cost after every round so
+that Figure 1 can be regenerated directly from a run.
+
+Two behaviours of the paper are configurable:
+
+* **gain threshold ε** — a peer only issues a request if its gain exceeds ε;
+* **cluster creation** — a peer whose cost increased significantly since the
+  previous period and that cannot improve by joining any existing cluster may
+  move to an empty cluster slot, becoming its representative.  Section 4.2
+  keeps the number of clusters fixed, which corresponds to
+  ``allow_cluster_creation=False`` together with an explicit candidate set of
+  the non-empty clusters.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.costs import NEW_CLUSTER, CostModel
+from repro.game.model import ClusterGame
+from repro.overlay.messages import MessageBus
+from repro.peers.configuration import ClusterConfiguration
+from repro.peers.statistics import PeerStatistics
+from repro.protocol.rounds import RoundResult, execute_round
+from repro.strategies.base import RelocationProposal, RelocationStrategy, StrategyContext
+
+__all__ = ["ProtocolResult", "ReformulationProtocol"]
+
+PeerId = Hashable
+ClusterId = Hashable
+
+
+@dataclass
+class ProtocolResult:
+    """Outcome of a full protocol run."""
+
+    converged: bool
+    cycle_detected: bool
+    rounds: List[RoundResult] = field(default_factory=list)
+    social_cost_trace: List[float] = field(default_factory=list)
+    workload_cost_trace: List[float] = field(default_factory=list)
+    cluster_count_trace: List[int] = field(default_factory=list)
+    message_counts: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of rounds in which at least one request was advertised."""
+        return sum(1 for round_result in self.rounds if not round_result.quiescent)
+
+    @property
+    def total_moves(self) -> int:
+        """Total number of granted relocations across all rounds."""
+        return sum(round_result.num_granted for round_result in self.rounds)
+
+    @property
+    def final_social_cost(self) -> float:
+        """Normalised social cost after the last round."""
+        return self.social_cost_trace[-1] if self.social_cost_trace else float("nan")
+
+    @property
+    def final_workload_cost(self) -> float:
+        """Normalised workload cost after the last round."""
+        return self.workload_cost_trace[-1] if self.workload_cost_trace else float("nan")
+
+    @property
+    def final_cluster_count(self) -> int:
+        """Number of non-empty clusters after the last round."""
+        return self.cluster_count_trace[-1] if self.cluster_count_trace else 0
+
+
+class ReformulationProtocol:
+    """Round-based, representative-coordinated cluster maintenance."""
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        configuration: ClusterConfiguration,
+        strategy: RelocationStrategy,
+        *,
+        gain_threshold: float = 0.0,
+        allow_cluster_creation: bool = True,
+        creation_cost_increase: float = 0.0,
+        restrict_to_nonempty: bool = False,
+        enforce_locks: bool = True,
+        bus: Optional[MessageBus] = None,
+    ) -> None:
+        self.cost_model = cost_model
+        self.configuration = configuration
+        self.strategy = strategy
+        self.gain_threshold = gain_threshold
+        self.allow_cluster_creation = allow_cluster_creation
+        self.creation_cost_increase = creation_cost_increase
+        self.restrict_to_nonempty = restrict_to_nonempty
+        self.enforce_locks = enforce_locks
+        self.bus = bus if bus is not None else MessageBus()
+        self._previous_costs: Optional[Dict[PeerId, float]] = None
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _build_game(self) -> ClusterGame:
+        candidates = self.configuration.nonempty_clusters() if self.restrict_to_nonempty else None
+        return ClusterGame(
+            self.cost_model,
+            self.configuration,
+            allow_new_clusters=self.allow_cluster_creation,
+            candidate_clusters=candidates,
+        )
+
+    def _filter_new_cluster_proposals(
+        self, proposals: Dict[PeerId, RelocationProposal], game: ClusterGame
+    ) -> Dict[PeerId, RelocationProposal]:
+        """Apply the paper's cluster-creation precondition.
+
+        A proposal targeting a fresh cluster is kept only if the peer's cost
+        has increased by at least ``creation_cost_increase`` since the end of
+        the previous period (always kept when no previous period is known and
+        the threshold is zero).
+        """
+        if not self.allow_cluster_creation:
+            return {
+                peer_id: proposal
+                for peer_id, proposal in proposals.items()
+                if proposal.target_cluster != NEW_CLUSTER
+            }
+        if self.creation_cost_increase <= 0.0 or self._previous_costs is None:
+            return proposals
+        filtered: Dict[PeerId, RelocationProposal] = {}
+        for peer_id, proposal in proposals.items():
+            if proposal.target_cluster != NEW_CLUSTER:
+                filtered[peer_id] = proposal
+                continue
+            previous = self._previous_costs.get(peer_id)
+            current = game.current_cost(peer_id)
+            if previous is None or current - previous >= self.creation_cost_increase:
+                filtered[peer_id] = proposal
+        return filtered
+
+    def _record_costs(self, result: ProtocolResult) -> None:
+        result.social_cost_trace.append(
+            self.cost_model.social_cost(self.configuration, normalized=True)
+        )
+        result.workload_cost_trace.append(
+            self.cost_model.workload_cost(self.configuration, normalized=True)
+        )
+        result.cluster_count_trace.append(self.configuration.num_nonempty_clusters())
+
+    # -- main drivers -------------------------------------------------------------
+
+    def run_round(
+        self,
+        round_number: int,
+        *,
+        statistics: Optional[Mapping[PeerId, PeerStatistics]] = None,
+    ) -> RoundResult:
+        """Run a single two-phase round against the current configuration."""
+        game = self._build_game()
+        context = StrategyContext(
+            game=game, statistics=statistics, previous_costs=self._previous_costs
+        )
+        proposals = self.strategy.propose_all(self.configuration.peer_ids(), context)
+        proposals = self._filter_new_cluster_proposals(proposals, game)
+        return execute_round(
+            self.configuration,
+            proposals,
+            round_number=round_number,
+            gain_threshold=self.gain_threshold,
+            bus=self.bus,
+            enforce_locks=self.enforce_locks,
+        )
+
+    def run(
+        self,
+        *,
+        max_rounds: int = 500,
+        statistics: Optional[Mapping[PeerId, PeerStatistics]] = None,
+        detect_cycles: bool = True,
+    ) -> ProtocolResult:
+        """Run rounds until quiescence, a cycle, or the round budget is exhausted."""
+        result = ProtocolResult(converged=False, cycle_detected=False)
+        self._record_costs(result)
+        seen_signatures: Set[Tuple] = set()
+        if detect_cycles:
+            seen_signatures.add(self.configuration.signature())
+
+        for round_number in range(max_rounds):
+            round_result = self.run_round(round_number, statistics=statistics)
+            result.rounds.append(round_result)
+            if round_result.quiescent:
+                result.converged = True
+                break
+            self._record_costs(result)
+            if round_result.num_granted == 0:
+                # Requests were issued but none could be served (all blocked);
+                # the configuration cannot change any further this way.
+                result.converged = True
+                break
+            if detect_cycles:
+                signature = self.configuration.signature()
+                if signature in seen_signatures:
+                    result.cycle_detected = True
+                    break
+                seen_signatures.add(signature)
+
+        game = self._build_game()
+        self._previous_costs = {
+            peer_id: game.current_cost(peer_id) for peer_id in self.configuration.peer_ids()
+        }
+        result.message_counts = self.bus.snapshot()
+        return result
+
+    def remember_current_costs(self) -> None:
+        """Snapshot every peer's current cost as the "previous period" baseline.
+
+        Call this before applying workload/content updates so the
+        cluster-creation rule can compare against pre-update costs.
+        """
+        game = self._build_game()
+        self._previous_costs = {
+            peer_id: game.current_cost(peer_id) for peer_id in self.configuration.peer_ids()
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ReformulationProtocol(strategy={self.strategy!r}, "
+            f"threshold={self.gain_threshold}, clusters={self.configuration.num_nonempty_clusters()})"
+        )

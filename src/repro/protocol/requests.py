@@ -1,0 +1,50 @@
+"""Relocation requests exchanged between cluster representatives.
+
+During the first phase of a protocol round, every peer reports its gain to
+its cluster representative; the representative keeps only the request with
+the highest gain in its cluster and advertises it to the other
+representatives.  A request therefore always identifies the source cluster,
+the target cluster, the relocating peer and the gain that justified it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.strategies.base import RelocationProposal
+
+__all__ = ["RelocationRequest"]
+
+PeerId = Hashable
+ClusterId = Hashable
+
+
+@dataclass(frozen=True)
+class RelocationRequest:
+    """A relocation request advertised by a cluster representative."""
+
+    source_cluster: ClusterId
+    target_cluster: ClusterId
+    peer_id: PeerId
+    gain: float
+
+    @classmethod
+    def from_proposal(cls, proposal: RelocationProposal) -> "RelocationRequest":
+        """Build a request from a strategy proposal."""
+        return cls(
+            source_cluster=proposal.source_cluster,
+            target_cluster=proposal.target_cluster,
+            peer_id=proposal.peer_id,
+            gain=proposal.gain,
+        )
+
+    def sort_key(self) -> tuple:
+        """Deterministic ordering key: decreasing gain, then stable tie-breaking."""
+        return (-self.gain, repr(self.source_cluster), repr(self.peer_id))
+
+    def __repr__(self) -> str:
+        return (
+            f"RelocationRequest(peer={self.peer_id!r}, {self.source_cluster!r} -> "
+            f"{self.target_cluster!r}, gain={self.gain:.6f})"
+        )

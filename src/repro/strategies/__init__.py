@@ -1,0 +1,16 @@
+"""Relocation strategies: selfish, altruistic, and the hybrid extension."""
+
+from repro.strategies.altruistic import AltruisticStrategy, exact_contributions
+from repro.strategies.base import RelocationProposal, RelocationStrategy, StrategyContext
+from repro.strategies.hybrid import HybridStrategy
+from repro.strategies.selfish import SelfishStrategy
+
+__all__ = [
+    "RelocationStrategy",
+    "RelocationProposal",
+    "StrategyContext",
+    "SelfishStrategy",
+    "AltruisticStrategy",
+    "HybridStrategy",
+    "exact_contributions",
+]

@@ -1,0 +1,255 @@
+"""The altruistic relocation strategy (Section 3.1.2).
+
+An altruistic peer moves to the cluster whose recall would improve the most
+from the move — i.e. the cluster whose members' queries it serves the most.
+The measure tracked over the period ``T`` is Eq. 6::
+
+    contribution(p, c_i) =
+        sum over p_i in c_i, q_m in Q(p_i) of result(q_m, p)
+        -------------------------------------------------------
+        sum over p_j in P,  q_m in Q(p_j) of result(q_m, p)
+
+The peer selects the cluster ``c_new`` with the maximum contribution and
+evaluates the *cluster gain* ``clgain`` that the reformulation protocol uses
+to rank requests.  The paper defines ``clgain`` tersely ("the increase in the
+membership cost of ``c_new`` p will cause if it joins it, minus p's
+contribution to it"); this implementation makes the following documented
+reading, chosen so that the altruistic dynamics reproduce the behaviour the
+paper reports (convergence to topic clusters, no collapse into one giant
+cluster, and the Figure 2/3 asymmetries):
+
+* **sign** — the gain is reported as *benefit minus cost* so that, exactly
+  like ``pgain``, a larger gain means a more beneficial move and the protocol
+  can rank all requests uniformly.
+* **benefit** — the system-recall improvement of the move: the target
+  cluster's recall improves by the peer's contribution to it, but the cluster
+  being left loses the peer's contribution to *it*, so the benefit is the
+  contribution difference ``contribution(p, c_new) - contribution(p, c_cur)``.
+* **cost** — the *net* increase of the system's cluster-maintenance cost
+  caused by the move (the first term of the workload cost):
+  ``alpha * [ (|c_new|+1) theta(|c_new|+1) - |c_new| theta(|c_new|) ] / |P|``
+  for joining, minus the symmetric decrease for leaving ``c_cur``.  Reading
+  the cost as only the joining peer's own membership term makes the penalty
+  negligible and lets every provider chase the largest demand pool, which
+  collapses the overlay into one or two giant clusters — the opposite of what
+  the paper observes.
+
+A peer only proposes a move when the target's contribution strictly exceeds
+the current cluster's contribution (the paper's Figure 2 discussion: peers in
+``c_new`` only move to ``c_cur`` once the demand from ``c_cur`` matches what
+they currently serve).
+
+Exact mode computes contributions from the recall/workload model; observed
+mode uses the peer's :class:`~repro.peers.statistics.ContributionTracker`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import StrategyError
+from repro.strategies.base import RelocationProposal, RelocationStrategy, StrategyContext
+
+__all__ = ["AltruisticStrategy", "exact_contributions"]
+
+PeerId = Hashable
+ClusterId = Hashable
+
+
+def exact_contributions(peer_id: PeerId, context: StrategyContext) -> Dict[ClusterId, float]:
+    """``contribution(p, c)`` (Eq. 6) for every non-empty cluster, from global knowledge."""
+    configuration = context.game.configuration
+    cost_model = context.game.cost_model
+    recall_model = cost_model.recall_model
+
+    served_per_cluster: Dict[ClusterId, float] = {}
+    total_served = 0.0
+    for other_id in recall_model.peer_ids:
+        workload = cost_model.workloads.get(other_id)
+        if workload is None or workload.total() == 0:
+            continue
+        served_to_other = 0.0
+        for query, count in workload.items():
+            served_to_other += count * recall_model.result(query, peer_id)
+        if served_to_other == 0.0:
+            continue
+        total_served += served_to_other
+        if other_id not in configuration:
+            continue
+        other_cluster = configuration.cluster_of(other_id)
+        served_per_cluster[other_cluster] = (
+            served_per_cluster.get(other_cluster, 0.0) + served_to_other
+        )
+
+    if total_served == 0.0:
+        return {cluster_id: 0.0 for cluster_id in configuration.nonempty_clusters()}
+    return {
+        cluster_id: served_per_cluster.get(cluster_id, 0.0) / total_served
+        for cluster_id in configuration.nonempty_clusters()
+    }
+
+
+class AltruisticStrategy(RelocationStrategy):
+    """Move to the cluster to which the peer contributes the most results."""
+
+    name = "altruistic"
+
+    def __init__(self, *, mode: str = "exact") -> None:
+        if mode not in {"exact", "observed"}:
+            raise StrategyError(f"mode must be 'exact' or 'observed', got {mode!r}")
+        self.mode = mode
+
+    # -- contribution sources ---------------------------------------------------
+
+    def contributions(self, peer_id: PeerId, context: StrategyContext) -> Dict[ClusterId, float]:
+        """Contribution of *peer_id* to every cluster, per the configured mode."""
+        if self.mode == "exact":
+            return exact_contributions(peer_id, context)
+        if context.statistics is None or peer_id not in context.statistics:
+            raise StrategyError(
+                f"observed mode requires period statistics for peer {peer_id!r}"
+            )
+        tracker = context.statistics[peer_id].contribution_tracker
+        observed = tracker.contributions()
+        return {
+            cluster_id: observed.get(cluster_id, 0.0)
+            for cluster_id in context.game.configuration.nonempty_clusters()
+        }
+
+    # -- gain ------------------------------------------------------------------------
+
+    @staticmethod
+    def join_cost_increase(cost_model, cluster_size: int) -> float:
+        """Increase of the system's cluster-maintenance cost when a peer joins a cluster of *cluster_size*."""
+        theta = cost_model.theta
+        return (
+            cost_model.alpha
+            * ((cluster_size + 1) * theta(cluster_size + 1) - cluster_size * theta(cluster_size))
+            / cost_model.population_size
+        )
+
+    @staticmethod
+    def leave_cost_decrease(cost_model, cluster_size: int) -> float:
+        """Decrease of the system's cluster-maintenance cost when a peer leaves a cluster of *cluster_size*."""
+        if cluster_size <= 0:
+            return 0.0
+        theta = cost_model.theta
+        return (
+            cost_model.alpha
+            * (cluster_size * theta(cluster_size) - (cluster_size - 1) * theta(cluster_size - 1))
+            / cost_model.population_size
+        )
+
+    def cluster_gain(
+        self,
+        peer_id: PeerId,
+        target_cluster: ClusterId,
+        context: StrategyContext,
+        *,
+        source_cluster: Optional[ClusterId] = None,
+        contributions: Optional[Dict[ClusterId, float]] = None,
+    ) -> float:
+        """``clgain`` of moving *peer_id* from its cluster to *target_cluster* (larger = better)."""
+        configuration = context.game.configuration
+        cost_model = context.game.cost_model
+        if source_cluster is None:
+            source_cluster = configuration.cluster_of(peer_id)
+        if contributions is None:
+            contributions = self.contributions(peer_id, context)
+        benefit = contributions.get(target_cluster, 0.0) - contributions.get(source_cluster, 0.0)
+        net_increase = self.join_cost_increase(
+            cost_model, configuration.size(target_cluster)
+        ) - self.leave_cost_decrease(cost_model, configuration.size(source_cluster))
+        return benefit - net_increase
+
+    def propose(self, peer_id: PeerId, context: StrategyContext) -> Optional[RelocationProposal]:
+        configuration = context.game.configuration
+        current_cluster = configuration.cluster_of(peer_id)
+        contributions = self.contributions(peer_id, context)
+        if not contributions:
+            return self._stay(peer_id, context)
+        best_cluster = max(
+            sorted(contributions, key=repr), key=lambda cluster_id: contributions[cluster_id]
+        )
+        if best_cluster == current_cluster:
+            return self._stay(peer_id, context)
+        # The move must help the target cluster more than the peer currently
+        # helps the cluster it would leave, otherwise the altruist stays put.
+        if contributions[best_cluster] <= contributions.get(current_cluster, 0.0):
+            return self._stay(peer_id, context)
+        gain = self.cluster_gain(
+            peer_id,
+            best_cluster,
+            context,
+            source_cluster=current_cluster,
+            contributions=contributions,
+        )
+        if gain <= 0.0:
+            return self._stay(peer_id, context)
+        return RelocationProposal(
+            peer_id=peer_id,
+            source_cluster=current_cluster,
+            target_cluster=best_cluster,
+            gain=gain,
+        )
+
+    def propose_all(self, peer_ids, context: StrategyContext):
+        """Vectorised batch evaluation in exact mode (per-peer fallback otherwise)."""
+        matrix = context.game.cost_model.matrix
+        if self.mode != "exact" or matrix is None:
+            return super().propose_all(peer_ids, context)
+        configuration = context.game.configuration
+        cost_model = context.game.cost_model
+        peer_order = matrix.peer_order
+        cluster_order = configuration.nonempty_clusters()
+        membership, cluster_order = configuration.membership_matrix(peer_order, cluster_order)
+        contributions = matrix.contribution_matrix(membership)
+        sizes = membership.sum(axis=0)
+        join_increases = np.array(
+            [self.join_cost_increase(cost_model, int(size)) for size in sizes], dtype=float
+        )
+        leave_decreases = np.array(
+            [self.leave_cost_decrease(cost_model, int(size)) for size in sizes], dtype=float
+        )
+        cluster_index = {cluster_id: column for column, cluster_id in enumerate(cluster_order)}
+        wanted = set(peer_ids)
+        proposals = {}
+        for row, peer_id in enumerate(peer_order):
+            if peer_id not in wanted or peer_id not in configuration:
+                continue
+            current_cluster = configuration.cluster_of(peer_id)
+            current_column = cluster_index.get(current_cluster)
+            row_contributions = contributions[row]
+            best_column = int(np.argmax(row_contributions))
+            best_cluster = cluster_order[best_column]
+            stay = self._stay(peer_id, context)
+            if (
+                best_cluster == current_cluster
+                or current_column is None
+                or row_contributions[best_column] <= row_contributions[current_column]
+            ):
+                proposals[peer_id] = stay
+                continue
+            benefit = float(row_contributions[best_column] - row_contributions[current_column])
+            net_increase = float(join_increases[best_column] - leave_decreases[current_column])
+            gain = benefit - net_increase
+            if gain <= 0.0:
+                proposals[peer_id] = stay
+                continue
+            proposals[peer_id] = RelocationProposal(
+                peer_id=peer_id,
+                source_cluster=current_cluster,
+                target_cluster=best_cluster,
+                gain=gain,
+            )
+        for peer_id in wanted - set(proposals):
+            proposal = self.propose(peer_id, context)
+            if proposal is not None:
+                proposals[peer_id] = proposal
+        return proposals
+
+    def __repr__(self) -> str:
+        return f"AltruisticStrategy(mode={self.mode!r})"

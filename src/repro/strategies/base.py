@@ -1,0 +1,120 @@
+"""Relocation strategies: the peer-local decision rules of Section 3.1.
+
+At the end of every observation period ``T`` each peer runs its relocation
+strategy to decide whether it should move to another cluster and how much it
+(or the system) would gain.  A strategy produces a
+:class:`RelocationProposal`; the reformulation protocol then gathers the
+proposals, keeps the best one per cluster and serves them subject to the
+lock rule.
+
+Strategies can work in two modes:
+
+* **exact** — the gain is computed from the cost model / recall model
+  (global knowledge).  This is the mode used for the experiment-scale runs;
+  under broadcast routing the observed quantities equal the exact ones, so
+  nothing is lost.
+* **observed** — the gain is computed from the peer's own
+  :class:`~repro.peers.statistics.PeerStatistics`, i.e. from the cid-annotated
+  results it saw during the period.  This is the faithful, purely local mode;
+  it is exercised by the integration tests and an ablation bench.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.game.model import ClusterGame
+from repro.peers.statistics import PeerStatistics
+
+__all__ = ["RelocationProposal", "StrategyContext", "RelocationStrategy"]
+
+PeerId = Hashable
+ClusterId = Hashable
+
+
+@dataclass(frozen=True)
+class RelocationProposal:
+    """A peer's proposal to relocate, produced by a strategy.
+
+    Attributes
+    ----------
+    peer_id:
+        The peer proposing to move.
+    source_cluster:
+        The cluster it currently belongs to.
+    target_cluster:
+        The cluster it wants to move to (possibly
+        :data:`~repro.core.costs.NEW_CLUSTER`).
+    gain:
+        The strategy-specific gain of the move (``pgain`` for the selfish
+        strategy, ``clgain`` for the altruistic one).  Larger is better.
+    """
+
+    peer_id: PeerId
+    source_cluster: ClusterId
+    target_cluster: ClusterId
+    gain: float
+
+    @property
+    def is_move(self) -> bool:
+        """``True`` when the proposal actually changes cluster."""
+        return self.source_cluster != self.target_cluster
+
+
+@dataclass
+class StrategyContext:
+    """Everything a strategy may consult when evaluating one peer.
+
+    Attributes
+    ----------
+    game:
+        The cluster game (cost model + current configuration).
+    statistics:
+        Optional per-peer observation trackers filled by the overlay
+        simulator; required by the ``observed`` strategy mode.
+    previous_costs:
+        Optional mapping of peer id to its individual cost at the end of the
+        *previous* period, used by the new-cluster creation rule ("its cost
+        has significantly increased since the last time period").
+    """
+
+    game: ClusterGame
+    statistics: Optional[Mapping[PeerId, PeerStatistics]] = None
+    previous_costs: Optional[Mapping[PeerId, float]] = None
+
+
+class RelocationStrategy:
+    """Base class for relocation strategies."""
+
+    name = "strategy"
+
+    def propose(self, peer_id: PeerId, context: StrategyContext) -> Optional[RelocationProposal]:
+        """Return the peer's relocation proposal, or ``None`` if it prefers to stay."""
+        raise NotImplementedError
+
+    def propose_all(self, peer_ids, context: StrategyContext):
+        """Proposals for many peers at once.
+
+        The default implementation simply calls :meth:`propose` per peer;
+        the selfish and altruistic strategies override it with vectorised
+        evaluations (identical results, verified by tests) because the
+        reformulation protocol calls this every round at experiment scale.
+        """
+        proposals = {}
+        for peer_id in peer_ids:
+            proposal = self.propose(peer_id, context)
+            if proposal is not None:
+                proposals[peer_id] = proposal
+        return proposals
+
+    def _stay(self, peer_id: PeerId, context: StrategyContext) -> RelocationProposal:
+        """A zero-gain proposal that keeps the peer where it is."""
+        current = context.game.configuration.cluster_of(peer_id)
+        return RelocationProposal(
+            peer_id=peer_id, source_cluster=current, target_cluster=current, gain=0.0
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

@@ -1,0 +1,82 @@
+"""Hybrid relocation strategy (the extension sketched in Section 6).
+
+The paper's future-work section suggests "a hybrid strategy taking into
+consideration both the individual cost and the contribution measure".  This
+strategy scores every candidate cluster with a convex combination of the two
+gains::
+
+    score(c) = weight * pgain(p, c) + (1 - weight) * clgain(p, c)
+
+where ``pgain(p, c) = pcost(p, c_cur) - pcost(p, c)`` and ``clgain`` is the
+altruistic cluster gain of :class:`~repro.strategies.altruistic.AltruisticStrategy`.
+``weight = 1`` recovers the selfish strategy, ``weight = 0`` an altruistic
+variant that evaluates every cluster (not only the top-contribution one).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from typing import Dict, Optional
+
+from repro.errors import StrategyError
+from repro.strategies.altruistic import AltruisticStrategy
+from repro.strategies.base import RelocationProposal, RelocationStrategy, StrategyContext
+
+__all__ = ["HybridStrategy"]
+
+PeerId = Hashable
+ClusterId = Hashable
+
+
+class HybridStrategy(RelocationStrategy):
+    """Blend of the selfish and altruistic criteria with a configurable weight."""
+
+    name = "hybrid"
+
+    def __init__(self, *, weight: float = 0.5, mode: str = "exact") -> None:
+        if not 0.0 <= weight <= 1.0:
+            raise StrategyError(f"weight must be in [0, 1], got {weight}")
+        self.weight = weight
+        self._altruistic = AltruisticStrategy(mode=mode)
+        self.mode = mode
+
+    def scores(self, peer_id: PeerId, context: StrategyContext) -> Dict[ClusterId, float]:
+        """Combined score of every candidate (non-empty) cluster."""
+        game = context.game
+        configuration = game.configuration
+        current_cluster = configuration.cluster_of(peer_id)
+        current_cost = game.current_cost(peer_id)
+        contributions = self._altruistic.contributions(peer_id, context)
+
+        scores: Dict[ClusterId, float] = {}
+        for cluster_id in configuration.nonempty_clusters():
+            if cluster_id == current_cluster:
+                continue
+            selfish_gain = current_cost - game.prospective_cost(peer_id, cluster_id)
+            altruistic_gain = self._altruistic.cluster_gain(
+                peer_id,
+                cluster_id,
+                context,
+                source_cluster=current_cluster,
+                contributions=contributions,
+            )
+            scores[cluster_id] = self.weight * selfish_gain + (1.0 - self.weight) * altruistic_gain
+        return scores
+
+    def propose(self, peer_id: PeerId, context: StrategyContext) -> Optional[RelocationProposal]:
+        scores = self.scores(peer_id, context)
+        if not scores:
+            return self._stay(peer_id, context)
+        best_cluster = max(sorted(scores, key=repr), key=lambda cluster_id: scores[cluster_id])
+        best_score = scores[best_cluster]
+        if best_score <= 0.0:
+            return self._stay(peer_id, context)
+        return RelocationProposal(
+            peer_id=peer_id,
+            source_cluster=context.game.configuration.cluster_of(peer_id),
+            target_cluster=best_cluster,
+            gain=best_score,
+        )
+
+    def __repr__(self) -> str:
+        return f"HybridStrategy(weight={self.weight}, mode={self.mode!r})"

@@ -1,0 +1,65 @@
+"""Tests for convergence tracking and plain-text reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.convergence import ConvergenceTracker, relative_change
+from repro.analysis.reporting import format_markdown_table, format_series, format_table
+
+
+class TestRelativeChange:
+    def test_zero_to_zero(self):
+        assert relative_change(0.0, 0.0) == 0.0
+
+    def test_symmetric(self):
+        assert relative_change(1.0, 2.0) == relative_change(2.0, 1.0)
+
+    def test_scale(self):
+        assert relative_change(1.0, 1.1) == pytest.approx(0.1 / 1.1)
+
+
+class TestConvergenceTracker:
+    def test_detects_repeated_signature(self):
+        tracker = ConvergenceTracker()
+        tracker.observe(("a",), 1.0)
+        tracker.observe(("b",), 0.9)
+        assert not tracker.cycle_detected
+        tracker.observe(("a",), 1.0)
+        assert tracker.cycle_detected
+        assert tracker.cycle_length == 2
+
+    def test_stability_window(self):
+        tracker = ConvergenceTracker()
+        tracker.observe(("a",), 1.0)
+        assert not tracker.is_stable()
+        tracker.observe(("b",), 1.0)
+        assert tracker.is_stable()
+        tracker.observe(("c",), 0.5)
+        assert not tracker.is_stable()
+
+    def test_cost_trace(self):
+        tracker = ConvergenceTracker()
+        tracker.observe(("a",), 1.0)
+        tracker.observe(("b",), 0.5)
+        assert tracker.cost_trace() == [1.0, 0.5]
+        assert tracker.rounds_observed == 2
+
+
+class TestReporting:
+    def test_format_table_aligns_columns(self):
+        text = format_table(["name", "value"], [["selfish", 0.123456], ["alt", 2]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "selfish" in lines[2]
+        assert "0.123" in lines[2]
+
+    def test_format_markdown_table(self):
+        text = format_markdown_table(["a", "b"], [[1, 2]])
+        assert text.splitlines()[0] == "| a | b |"
+        assert text.splitlines()[2] == "| 1 | 2 |"
+
+    def test_format_series(self):
+        text = format_series("social cost", {0: 1.0, 1: 0.5})
+        assert text.startswith("social cost")
+        assert "0.500" in text

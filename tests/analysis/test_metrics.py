@@ -1,0 +1,70 @@
+"""Tests for the external clustering metrics (purity, entropy, Rand index)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    cluster_entropy,
+    cluster_purity,
+    cluster_size_distribution,
+    rand_index,
+)
+from repro.peers.configuration import ClusterConfiguration
+
+LABELS = {"p1": "music", "p2": "music", "p3": "movies", "p4": "movies"}
+
+
+def perfect_configuration():
+    return ClusterConfiguration(
+        ["c1", "c2"], {"p1": "c1", "p2": "c1", "p3": "c2", "p4": "c2"}
+    )
+
+
+def mixed_configuration():
+    return ClusterConfiguration(
+        ["c1", "c2"], {"p1": "c1", "p3": "c1", "p2": "c2", "p4": "c2"}
+    )
+
+
+class TestPurity:
+    def test_perfect_clustering(self):
+        assert cluster_purity(perfect_configuration(), LABELS) == 1.0
+
+    def test_fully_mixed_clustering(self):
+        assert cluster_purity(mixed_configuration(), LABELS) == 0.5
+
+    def test_unlabelled_peers_are_ignored(self):
+        labels = dict(LABELS)
+        labels["p4"] = None
+        assert cluster_purity(perfect_configuration(), labels) == 1.0
+
+    def test_no_labels_gives_zero(self):
+        assert cluster_purity(perfect_configuration(), {}) == 0.0
+
+
+class TestEntropy:
+    def test_perfect_clustering_has_zero_entropy(self):
+        assert cluster_entropy(perfect_configuration(), LABELS) == 0.0
+
+    def test_mixed_clustering_has_one_bit_of_entropy(self):
+        assert cluster_entropy(mixed_configuration(), LABELS) == pytest.approx(1.0)
+
+    def test_no_labels_gives_zero(self):
+        assert cluster_entropy(perfect_configuration(), {}) == 0.0
+
+
+class TestRandIndex:
+    def test_perfect_agreement(self):
+        assert rand_index(perfect_configuration(), LABELS) == 1.0
+
+    def test_mixed_clustering_is_worse(self):
+        assert rand_index(mixed_configuration(), LABELS) < 1.0
+
+    def test_single_labelled_peer(self):
+        assert rand_index(perfect_configuration(), {"p1": "music"}) == 1.0
+
+
+class TestSizeDistribution:
+    def test_sizes(self):
+        assert cluster_size_distribution(perfect_configuration()) == {"c1": 2, "c2": 2}

@@ -1,0 +1,64 @@
+"""Tests for the centralised re-clustering baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.global_reclustering import GlobalReclustering, jaccard_similarity
+from repro.errors import ConfigurationError
+from repro.overlay.messages import MessageBus
+from repro.analysis.metrics import cluster_purity
+from repro.peers.network import PeerNetwork
+
+
+class TestJaccard:
+    def test_identical_sets(self):
+        assert jaccard_similarity(frozenset({"a"}), frozenset({"a"})) == 1.0
+
+    def test_disjoint_sets(self):
+        assert jaccard_similarity(frozenset({"a"}), frozenset({"b"})) == 0.0
+
+    def test_empty_sets(self):
+        assert jaccard_similarity(frozenset(), frozenset()) == 1.0
+
+    def test_partial_overlap(self):
+        assert jaccard_similarity(frozenset({"a", "b"}), frozenset({"b", "c"})) == pytest.approx(
+            1 / 3
+        )
+
+
+class TestGlobalReclustering:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GlobalReclustering(num_clusters=0)
+        with pytest.raises(ConfigurationError):
+            GlobalReclustering(num_clusters=3).recluster(PeerNetwork())
+
+    def test_every_peer_is_assigned(self, small_scenario):
+        reclustering = GlobalReclustering(num_clusters=4, seed=1)
+        result = reclustering.recluster(small_scenario.network)
+        assert sorted(result.configuration.peer_ids()) == small_scenario.peer_ids()
+        assert result.configuration.num_nonempty_clusters() <= 4
+
+    def test_recovers_the_category_structure(self, small_scenario):
+        reclustering = GlobalReclustering(num_clusters=4, seed=1)
+        result = reclustering.recluster(small_scenario.network)
+        purity = cluster_purity(result.configuration, small_scenario.data_categories)
+        assert purity >= 0.75
+
+    def test_message_accounting(self, small_scenario):
+        bus = MessageBus()
+        reclustering = GlobalReclustering(num_clusters=4, seed=1)
+        result = reclustering.recluster(small_scenario.network, bus=bus)
+        # Every peer ships its profile and receives its assignment.
+        assert result.messages == 2 * len(small_scenario.network)
+        assert bus.total() == result.messages
+
+    def test_deterministic_for_a_seed(self, small_scenario):
+        first = GlobalReclustering(num_clusters=4, seed=7).recluster(small_scenario.network)
+        second = GlobalReclustering(num_clusters=4, seed=7).recluster(small_scenario.network)
+        assert first.configuration.as_partition() == second.configuration.as_partition()
+
+    def test_peer_profile_is_union_of_attributes(self, tiny_network):
+        profile = GlobalReclustering.peer_profile(tiny_network, "alice")
+        assert profile == frozenset({"music", "rock", "jazz"})

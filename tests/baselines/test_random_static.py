@@ -1,0 +1,58 @@
+"""Tests for the random-relocation and static baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.random_relocation import RandomRelocationStrategy
+from repro.baselines.static import StaticStrategy
+from repro.errors import StrategyError
+from repro.game.model import ClusterGame
+from repro.strategies.base import StrategyContext
+
+
+@pytest.fixture
+def context(tiny_network, tiny_configuration):
+    return StrategyContext(
+        game=ClusterGame(tiny_network.cost_model(use_matrix=False), tiny_configuration)
+    )
+
+
+class TestStaticStrategy:
+    def test_never_moves(self, context):
+        strategy = StaticStrategy()
+        for peer_id in ("alice", "bob", "carol"):
+            proposal = strategy.propose(peer_id, context)
+            assert not proposal.is_move
+            assert proposal.gain == 0.0
+
+
+class TestRandomRelocation:
+    def test_probability_validation(self):
+        with pytest.raises(StrategyError):
+            RandomRelocationStrategy(move_probability=1.5)
+
+    def test_zero_probability_never_moves(self, context):
+        strategy = RandomRelocationStrategy(move_probability=0.0, seed=1)
+        assert not any(
+            strategy.propose(peer_id, context).is_move for peer_id in ("alice", "bob", "carol")
+        )
+
+    def test_certain_probability_always_proposes_a_move(self, context):
+        strategy = RandomRelocationStrategy(move_probability=1.0, seed=1)
+        for peer_id in ("alice", "bob", "carol"):
+            proposal = strategy.propose(peer_id, context)
+            assert proposal.is_move
+            assert proposal.target_cluster in {"c1", "c2"}
+            assert proposal.target_cluster != proposal.source_cluster
+
+    def test_moves_are_reproducible_for_a_seed(self, context):
+        first = [
+            RandomRelocationStrategy(move_probability=0.5, seed=9).propose(peer, context).is_move
+            for peer in ("alice", "bob", "carol")
+        ]
+        second = [
+            RandomRelocationStrategy(move_probability=0.5, seed=9).propose(peer, context).is_move
+            for peer in ("alice", "bob", "carol")
+        ]
+        assert first == second

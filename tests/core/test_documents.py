@@ -1,0 +1,68 @@
+"""Tests for documents and document collections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.attributes import AttributeSet
+from repro.core.documents import Document, DocumentCollection
+
+
+class TestDocument:
+    def test_matches_subset(self):
+        document = Document(["music", "rock", "guitar"])
+        assert document.matches(AttributeSet(["music"]))
+        assert document.matches(AttributeSet(["music", "rock"]))
+        assert not document.matches(AttributeSet(["music", "jazz"]))
+
+    def test_accepts_attribute_set(self):
+        attributes = AttributeSet(["a", "b"])
+        assert Document(attributes).attributes == attributes
+
+    def test_equality_includes_identity_fields(self):
+        assert Document(["a"], doc_id="1") != Document(["a"], doc_id="2")
+        assert Document(["a"], doc_id="1", category="x") == Document(["a"], doc_id="1", category="x")
+
+    def test_len_counts_attributes(self):
+        assert len(Document(["a", "b", "b"])) == 2
+
+
+class TestDocumentCollection:
+    def _collection(self):
+        return DocumentCollection(
+            [
+                Document(["music"], doc_id="1", category="music"),
+                Document(["movies"], doc_id="2", category="movies"),
+                Document(["music", "movies"], doc_id="3", category="music"),
+            ]
+        )
+
+    def test_match_count(self):
+        collection = self._collection()
+        assert collection.match_count(AttributeSet(["music"])) == 2
+        assert collection.match_count(AttributeSet(["movies"])) == 2
+        assert collection.match_count(AttributeSet(["music", "movies"])) == 1
+
+    def test_replace_swaps_content(self):
+        collection = self._collection()
+        collection.replace([Document(["sports"])])
+        assert len(collection) == 1
+        assert collection.match_count(AttributeSet(["music"])) == 0
+
+    def test_remove_fraction(self):
+        collection = self._collection()
+        removed = collection.remove_fraction(2 / 3)
+        assert len(removed) == 2
+        assert len(collection) == 1
+
+    def test_remove_fraction_validates(self):
+        with pytest.raises(ValueError):
+            self._collection().remove_fraction(1.5)
+
+    def test_categories(self):
+        assert sorted(self._collection().categories()) == ["movies", "music", "music"]
+
+    def test_iteration_and_indexing(self):
+        collection = self._collection()
+        assert [doc.doc_id for doc in collection] == ["1", "2", "3"]
+        assert collection[0].doc_id == "1"

@@ -1,0 +1,87 @@
+"""Matching semantics and inverted-index equivalence with the reference scan."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.documents import Document
+from repro.core.index import InvertedIndex
+from repro.core.matching import matches, matching_documents, result_count
+from repro.core.queries import Query
+
+
+def _documents():
+    return [
+        Document(["music", "rock"], doc_id="1"),
+        Document(["music", "jazz"], doc_id="2"),
+        Document(["movies", "drama", "music"], doc_id="3"),
+        Document(["sports"], doc_id="4"),
+    ]
+
+
+class TestReferenceMatching:
+    def test_matches_subset_rule(self):
+        document = Document(["music", "rock"])
+        assert matches(Query(["music"]), document)
+        assert matches(Query(["music", "rock"]), document)
+        assert not matches(Query(["music", "jazz"]), document)
+
+    def test_result_count(self):
+        assert result_count(Query(["music"]), _documents()) == 3
+        assert result_count(Query(["music", "jazz"]), _documents()) == 1
+        assert result_count(Query(["unknown"]), _documents()) == 0
+
+    def test_matching_documents_preserve_order(self):
+        found = matching_documents(Query(["music"]), _documents())
+        assert [doc.doc_id for doc in found] == ["1", "2", "3"]
+
+    def test_empty_query_matches_everything(self):
+        assert result_count(Query([]), _documents()) == 4
+
+
+class TestInvertedIndex:
+    def test_counts_match_reference(self):
+        index = InvertedIndex(_documents())
+        for attributes in (["music"], ["music", "jazz"], ["movies"], ["unknown"], []):
+            query = Query(attributes)
+            assert index.result_count(query) == result_count(query, _documents())
+
+    def test_matching_documents_match_reference(self):
+        index = InvertedIndex(_documents())
+        query = Query(["music"])
+        assert index.matching_documents(query) == matching_documents(query, _documents())
+
+    def test_add_updates_counts(self):
+        index = InvertedIndex(_documents())
+        index.add(Document(["music", "metal"], doc_id="5"))
+        assert index.result_count(Query(["music"])) == 4
+        assert len(index) == 5
+
+    def test_rebuild_replaces_content(self):
+        index = InvertedIndex(_documents())
+        index.rebuild([Document(["fresh"])])
+        assert index.result_count(Query(["music"])) == 0
+        assert index.result_count(Query(["fresh"])) == 1
+        assert len(index) == 1
+
+    def test_vocabulary_lists_attributes(self):
+        index = InvertedIndex([Document(["b", "a"])])
+        assert index.vocabulary() == ["a", "b"]
+
+
+# Strategy: documents over a small alphabet so that collisions are frequent.
+_terms = st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"])
+_document_lists = st.lists(
+    st.lists(_terms, min_size=1, max_size=4).map(lambda terms: Document(terms)),
+    min_size=0,
+    max_size=12,
+)
+_queries = st.lists(_terms, min_size=0, max_size=3).map(Query)
+
+
+class TestIndexEquivalenceProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(documents=_document_lists, query=_queries)
+    def test_index_equals_reference_scan(self, documents, query):
+        index = InvertedIndex(documents)
+        assert index.result_count(query) == result_count(query, documents)

@@ -1,0 +1,90 @@
+"""Tests for the recall model ``r(q, p)``."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.documents import Document
+from repro.core.queries import Query
+from repro.core.recall import RecallModel, ResultProvider
+from repro.errors import UnknownPeerError
+
+
+class TestResultProvider:
+    def test_wraps_document_collection(self, tiny_network):
+        provider = ResultProvider(tiny_network.peer("alice").documents)
+        assert provider.result_count(Query(["music"])) == 2
+
+    def test_wraps_index(self, tiny_network):
+        provider = ResultProvider(tiny_network.peer("alice").index)
+        assert provider.result_count(Query(["music"])) == 2
+
+    def test_rejects_unknown_content(self):
+        with pytest.raises(TypeError):
+            ResultProvider(object())
+
+
+class TestRecallModel:
+    def _model(self, tiny_network) -> RecallModel:
+        return tiny_network.recall_model()
+
+    def test_result_counts(self, tiny_network):
+        model = self._model(tiny_network)
+        movies = Query(["movies"])
+        assert model.result(movies, "alice") == 0
+        assert model.result(movies, "bob") == 1
+        assert model.result(movies, "carol") == 1
+        assert model.total_results(movies) == 2
+
+    def test_recall_values(self, tiny_network):
+        model = self._model(tiny_network)
+        movies = Query(["movies"])
+        assert model.recall(movies, "bob") == pytest.approx(0.5)
+        assert model.recall(movies, "alice") == 0.0
+
+    def test_recall_vector_sums_to_one(self, tiny_network):
+        model = self._model(tiny_network)
+        vector = model.recall_vector(Query(["music"]))
+        assert sum(vector.values()) == pytest.approx(1.0)
+
+    def test_recall_vector_all_zero_when_no_results(self, tiny_network):
+        model = self._model(tiny_network)
+        vector = model.recall_vector(Query(["nonexistent"]))
+        assert set(vector.values()) == {0.0}
+
+    def test_group_recall_and_loss_are_complements(self, tiny_network):
+        model = self._model(tiny_network)
+        music = Query(["music"])
+        covered = {"alice", "carol"}
+        assert model.group_recall(music, covered) + model.recall_loss(music, covered) == pytest.approx(
+            1.0
+        )
+
+    def test_unknown_peer_raises(self, tiny_network):
+        model = self._model(tiny_network)
+        with pytest.raises(UnknownPeerError):
+            model.result(Query(["music"]), "mallory")
+
+    def test_set_content_invalidates(self, tiny_network):
+        from repro.core.index import InvertedIndex
+
+        model = self._model(tiny_network)
+        music = Query(["music"])
+        assert model.total_results(music) == 3
+        model.set_content("alice", InvertedIndex([Document(["movies"])]))
+        assert model.total_results(music) == 1
+
+    def test_remove_peer(self, tiny_network):
+        model = self._model(tiny_network)
+        model.remove_peer("alice")
+        assert "alice" not in model
+        assert len(model) == 2
+        with pytest.raises(UnknownPeerError):
+            model.remove_peer("alice")
+
+    def test_caching_returns_consistent_values(self, tiny_network):
+        model = self._model(tiny_network)
+        music = Query(["music"])
+        first = model.recall(music, "alice")
+        second = model.recall(music, "alice")
+        assert first == second

@@ -1,0 +1,119 @@
+"""Tests for the dense weighted recall matrices (fast path == exact path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.recall_matrix import WeightedRecallMatrix
+from repro.errors import UnknownPeerError
+
+
+@pytest.fixture
+def matrix(tiny_network):
+    return WeightedRecallMatrix(tiny_network.recall_model(), tiny_network.workloads())
+
+
+class TestConstruction:
+    def test_peer_order_matches_network(self, matrix, tiny_network):
+        assert matrix.peer_order == tiny_network.peer_ids()
+        assert len(matrix) == 3
+
+    def test_duplicate_peer_order_rejected(self, tiny_network):
+        with pytest.raises(ValueError):
+            WeightedRecallMatrix(
+                tiny_network.recall_model(),
+                tiny_network.workloads(),
+                peer_order=["alice", "alice", "bob"],
+            )
+
+    def test_unknown_peer_raises(self, matrix):
+        with pytest.raises(UnknownPeerError):
+            matrix.index_of("mallory")
+
+
+class TestLocalMatrix:
+    def test_rows_match_exact_recall(self, matrix, tiny_network):
+        """W[i, j] equals the exact frequency-weighted recall of peer j for peer i's workload."""
+        model = tiny_network.recall_model()
+        workloads = tiny_network.workloads()
+        local = matrix.local_matrix()
+        for row, issuer in enumerate(matrix.peer_order):
+            workload = workloads[issuer]
+            for column, provider in enumerate(matrix.peer_order):
+                expected = sum(
+                    (count / workload.total()) * model.recall(query, provider)
+                    for query, count in workload.items()
+                )
+                assert local[row, column] == pytest.approx(expected)
+
+    def test_total_weight_is_row_sum(self, matrix):
+        local = matrix.local_matrix()
+        for row, peer_id in enumerate(matrix.peer_order):
+            assert matrix.total_weight(peer_id) == pytest.approx(local[row].sum())
+
+    def test_recall_loss_is_total_minus_covered(self, matrix):
+        covered = ["alice", "carol"]
+        for peer_id in matrix.peer_order:
+            loss = matrix.recall_loss(peer_id, covered)
+            assert loss == pytest.approx(
+                matrix.total_weight(peer_id) - matrix.covered_weight(peer_id, covered)
+            )
+            assert loss >= -1e-12
+
+    def test_covered_weight_with_unknown_peers_is_ignored(self, matrix):
+        assert matrix.covered_weight("alice", ["mallory"]) == 0.0
+
+
+class TestGlobalMatrix:
+    def test_global_rows_scale_with_workload_share(self, matrix, tiny_network):
+        """V row = W row * num(Q(p)) / num(Q)."""
+        workloads = tiny_network.workloads()
+        total = sum(workload.total() for workload in workloads.values())
+        local = matrix.local_matrix()
+        global_matrix = matrix.global_matrix()
+        for row, peer_id in enumerate(matrix.peer_order):
+            share = workloads[peer_id].total() / total
+            assert np.allclose(global_matrix[row], local[row] * share)
+
+
+class TestServiceMatrix:
+    def test_service_counts_match_definition(self, matrix, tiny_network):
+        """S[p, j] = sum over q in Q(p_j) of num(q, Q(p_j)) * result(q, p)."""
+        model = tiny_network.recall_model()
+        workloads = tiny_network.workloads()
+        service = matrix.service_matrix()
+        for provider_index, provider in enumerate(matrix.peer_order):
+            for issuer_index, issuer in enumerate(matrix.peer_order):
+                expected = sum(
+                    count * model.result(query, provider)
+                    for query, count in workloads[issuer].items()
+                )
+                assert service[provider_index, issuer_index] == pytest.approx(expected)
+
+    def test_contribution_matrix_rows_sum_to_one_or_zero(self, matrix, tiny_configuration):
+        membership, _clusters = tiny_configuration.membership_matrix(matrix.peer_order)
+        contributions = matrix.contribution_matrix(membership)
+        for row in range(contributions.shape[0]):
+            row_sum = contributions[row].sum()
+            assert row_sum == pytest.approx(1.0) or row_sum == pytest.approx(0.0)
+
+    def test_contribution_matrix_shape_validation(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.contribution_matrix(np.zeros((2, 2)))
+
+
+class TestLossMatrix:
+    def test_matches_per_cluster_recall_loss(self, matrix, tiny_configuration):
+        membership, clusters = tiny_configuration.membership_matrix(matrix.peer_order)
+        losses = matrix.loss_matrix_for_clusters(membership)
+        for row, peer_id in enumerate(matrix.peer_order):
+            for column, cluster_id in enumerate(clusters):
+                members = set(tiny_configuration.members(cluster_id))
+                members.add(peer_id)
+                expected = matrix.recall_loss(peer_id, sorted(members))
+                assert losses[row, column] == pytest.approx(expected)
+
+    def test_shape_validation(self, matrix):
+        with pytest.raises(ValueError):
+            matrix.loss_matrix_for_clusters(np.zeros((1, 1)))

@@ -1,0 +1,98 @@
+"""Tests for the cluster membership cost functions ``theta``."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.theta import (
+    ConstantTheta,
+    LinearTheta,
+    LogarithmicTheta,
+    PolynomialTheta,
+    theta_from_name,
+)
+
+ALL_THETAS = [LinearTheta(), LogarithmicTheta(), ConstantTheta(), PolynomialTheta(exponent=1.5)]
+
+
+class TestThetaValues:
+    def test_linear(self):
+        theta = LinearTheta(slope=2.0)
+        assert theta(5) == 10.0
+
+    def test_logarithmic(self):
+        theta = LogarithmicTheta()
+        assert theta(1) == pytest.approx(1.0)
+        assert theta(7) == pytest.approx(3.0)
+
+    def test_constant(self):
+        theta = ConstantTheta(value=4.0)
+        assert theta(1) == 4.0
+        assert theta(100) == 4.0
+
+    def test_polynomial(self):
+        theta = PolynomialTheta(exponent=2.0, scale=0.5)
+        assert theta(4) == pytest.approx(8.0)
+
+    def test_empty_cluster_costs_nothing(self):
+        for theta in ALL_THETAS:
+            assert theta(0) == 0.0
+
+    def test_negative_size_rejected(self):
+        for theta in ALL_THETAS:
+            with pytest.raises(ValueError):
+                theta(-1)
+
+
+class TestThetaValidation:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LinearTheta(slope=0)
+        with pytest.raises(ValueError):
+            LogarithmicTheta(scale=-1)
+        with pytest.raises(ValueError):
+            ConstantTheta(value=-0.1)
+        with pytest.raises(ValueError):
+            PolynomialTheta(exponent=-1)
+
+
+class TestThetaRegistry:
+    @pytest.mark.parametrize(
+        "name, expected",
+        [
+            ("linear", LinearTheta),
+            ("logarithmic", LogarithmicTheta),
+            ("log", LogarithmicTheta),
+            ("constant", ConstantTheta),
+            ("polynomial", PolynomialTheta),
+        ],
+    )
+    def test_lookup(self, name, expected):
+        assert isinstance(theta_from_name(name), expected)
+
+    def test_lookup_is_case_insensitive(self):
+        assert isinstance(theta_from_name("Linear"), LinearTheta)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            theta_from_name("exponential")
+
+    def test_kwargs_forwarded(self):
+        assert theta_from_name("linear", slope=3.0)(2) == 6.0
+
+
+class TestMonotonicityProperty:
+    @given(st.integers(min_value=0, max_value=500), st.integers(min_value=0, max_value=500))
+    def test_monotonically_non_decreasing(self, a, b):
+        small, large = min(a, b), max(a, b)
+        for theta in ALL_THETAS:
+            assert theta(small) <= theta(large) + 1e-12
+
+    @given(st.integers(min_value=1, max_value=500))
+    def test_positive_for_nonempty_clusters(self, size):
+        for theta in ALL_THETAS:
+            assert theta(size) > 0.0
+            assert math.isfinite(theta(size))

@@ -1,0 +1,101 @@
+"""Tests for the synthetic corpus generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.corpus import CorpusConfig, CorpusGenerator
+from repro.errors import DatasetError
+
+
+class TestCorpusConfig:
+    def test_category_names(self):
+        assert CorpusConfig(num_categories=3).category_names() == ["cat00", "cat01", "cat02"]
+
+    def test_validation_on_generator_construction(self):
+        with pytest.raises(DatasetError):
+            CorpusGenerator(CorpusConfig(num_categories=0))
+        with pytest.raises(DatasetError):
+            CorpusGenerator(CorpusConfig(terms_per_document=0))
+        with pytest.raises(DatasetError):
+            CorpusGenerator(
+                CorpusConfig(terms_per_document=10, category_vocabulary_size=5)
+            )
+
+
+class TestDocumentGeneration:
+    def test_document_terms_come_from_the_category(self):
+        generator = CorpusGenerator(CorpusConfig(num_categories=3), seed=1)
+        document = generator.generate_document("cat01")
+        assert document.category == "cat01"
+        for term in document.attributes:
+            assert generator.vocabularies.category_of_term(term) == "cat01"
+
+    def test_document_has_requested_term_count(self):
+        config = CorpusConfig(terms_per_document=7)
+        generator = CorpusGenerator(config, seed=2)
+        assert len(generator.generate_document("cat00")) == 7
+
+    def test_common_terms_are_mixed_in_when_configured(self):
+        config = CorpusConfig(
+            common_vocabulary_size=5, common_terms_per_document=2, terms_per_document=3
+        )
+        generator = CorpusGenerator(config, seed=3)
+        document = generator.generate_document("cat00")
+        common = [
+            term
+            for term in document.attributes
+            if generator.vocabularies.category_of_term(term) is None
+        ]
+        assert len(common) == 2
+
+    def test_generation_is_deterministic_for_a_seed(self):
+        first = CorpusGenerator(CorpusConfig(), seed=42).generate_documents("cat00", 5)
+        second = CorpusGenerator(CorpusConfig(), seed=42).generate_documents("cat00", 5)
+        assert [doc.attributes for doc in first] == [doc.attributes for doc in second]
+
+    def test_doc_ids_are_unique(self):
+        generator = CorpusGenerator(seed=4)
+        documents = generator.generate_documents("cat00", 10)
+        assert len({doc.doc_id for doc in documents}) == 10
+
+    def test_mixed_documents_span_categories(self):
+        generator = CorpusGenerator(CorpusConfig(num_categories=5), seed=5)
+        documents = generator.generate_mixed_documents(40)
+        assert len({doc.category for doc in documents}) > 1
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(DatasetError):
+            CorpusGenerator(seed=1).generate_documents("cat00", -1)
+
+
+class TestQueryGeneration:
+    def test_queries_are_single_terms_from_the_category(self):
+        generator = CorpusGenerator(CorpusConfig(num_categories=2), seed=6)
+        query = generator.generate_query("cat01")
+        assert len(query.attributes) == 1
+        term = next(iter(query.attributes))
+        assert generator.vocabularies.category_of_term(term) == "cat01"
+
+    def test_workload_volume(self):
+        generator = CorpusGenerator(seed=7)
+        workload = generator.generate_workload("cat00", 25)
+        assert workload.total() == 25
+
+    def test_mixed_workload_volume(self):
+        generator = CorpusGenerator(seed=8)
+        assert generator.generate_mixed_workload(12).total() == 12
+
+    def test_queries_find_category_documents(self):
+        """A category's queries should match that category's documents often."""
+        generator = CorpusGenerator(CorpusConfig(num_categories=2), seed=9)
+        documents = generator.generate_documents("cat00", 30)
+        hits = 0
+        for _ in range(30):
+            query = generator.generate_query("cat00")
+            hits += sum(1 for doc in documents if query.attributes.issubset(doc.attributes))
+        assert hits > 0
+
+    def test_negative_query_count_rejected(self):
+        with pytest.raises(DatasetError):
+            CorpusGenerator(seed=1).generate_workload("cat00", -5)

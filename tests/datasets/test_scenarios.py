@@ -1,0 +1,124 @@
+"""Tests for the paper's scenario builders and initial configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.scenarios import (
+    SCENARIO_DIFFERENT_CATEGORY,
+    SCENARIO_SAME_CATEGORY,
+    SCENARIO_UNIFORM,
+    ScenarioConfig,
+    build_scenario,
+    category_configuration,
+    initial_configuration,
+)
+from repro.errors import DatasetError
+
+SMALL = ScenarioConfig(
+    num_peers=20,
+    num_categories=4,
+    documents_per_peer=4,
+    terms_per_document=3,
+    category_vocabulary_size=15,
+    queries_per_peer=3,
+    seed=9,
+)
+
+
+class TestBuildScenario:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(DatasetError):
+            build_scenario("mystery", SMALL)
+
+    def test_same_category_scenario(self):
+        data = build_scenario(SCENARIO_SAME_CATEGORY, SMALL)
+        assert len(data.network) == 20
+        assert data.optimal_cluster_count == 4
+        for peer_id in data.peer_ids():
+            assert data.data_categories[peer_id] == data.query_categories[peer_id]
+            assert data.data_categories[peer_id] is not None
+
+    def test_different_category_scenario(self):
+        data = build_scenario(SCENARIO_DIFFERENT_CATEGORY, SMALL)
+        assert data.optimal_cluster_count == 4 * 3
+        for peer_id in data.peer_ids():
+            assert data.data_categories[peer_id] != data.query_categories[peer_id]
+
+    def test_uniform_scenario_has_no_labels(self):
+        data = build_scenario(SCENARIO_UNIFORM, SMALL)
+        assert all(category is None for category in data.data_categories.values())
+
+    def test_workload_volumes(self):
+        data = build_scenario(SCENARIO_SAME_CATEGORY, SMALL)
+        total = sum(peer.workload.total() for peer in data.network.peers())
+        assert total == SMALL.num_peers * SMALL.queries_per_peer
+
+    def test_uniform_workload_flag(self):
+        from dataclasses import replace
+
+        data = build_scenario(SCENARIO_SAME_CATEGORY, replace(SMALL, uniform_workload=True))
+        volumes = {peer.workload.total() for peer in data.network.peers()}
+        assert volumes == {SMALL.queries_per_peer}
+
+    def test_determinism(self):
+        first = build_scenario(SCENARIO_SAME_CATEGORY, SMALL)
+        second = build_scenario(SCENARIO_SAME_CATEGORY, SMALL)
+        for peer_id in first.peer_ids():
+            assert first.network.peer(peer_id).workload == second.network.peer(peer_id).workload
+
+    def test_same_category_peer_documents_match_their_category(self):
+        data = build_scenario(SCENARIO_SAME_CATEGORY, SMALL)
+        peer_id = data.peer_ids()[0]
+        category = data.data_categories[peer_id]
+        for document in data.network.peer(peer_id).documents:
+            assert document.category == category
+
+
+class TestInitialConfigurations:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return build_scenario(SCENARIO_SAME_CATEGORY, SMALL)
+
+    def test_singletons(self, data):
+        configuration = initial_configuration(data, "singletons")
+        assert configuration.num_nonempty_clusters() == 20
+
+    def test_random_uses_optimal_cluster_count(self, data):
+        configuration = initial_configuration(data, "random")
+        assert configuration.num_nonempty_clusters() <= 4
+        assert len(configuration.peer_ids()) == 20
+
+    def test_fewer_and_more(self, data):
+        fewer = initial_configuration(data, "fewer")
+        more = initial_configuration(data, "more")
+        assert fewer.num_nonempty_clusters() <= 2
+        assert more.num_nonempty_clusters() > 4
+
+    def test_explicit_cluster_count(self, data):
+        configuration = initial_configuration(data, "random", num_clusters=3)
+        assert configuration.num_nonempty_clusters() <= 3
+
+    def test_unknown_kind_rejected(self, data):
+        with pytest.raises(DatasetError):
+            initial_configuration(data, "chaotic")
+
+    def test_total_slot_count_is_cmax(self, data):
+        configuration = initial_configuration(data, "random")
+        assert len(configuration.cluster_ids()) == 20
+
+
+class TestCategoryConfiguration:
+    def test_one_cluster_per_category(self):
+        data = build_scenario(SCENARIO_SAME_CATEGORY, SMALL)
+        configuration = category_configuration(data)
+        assert configuration.num_nonempty_clusters() == SMALL.num_categories
+        for peer_id in data.peer_ids():
+            members = configuration.members(configuration.cluster_of(peer_id))
+            categories = {data.data_categories[member] for member in members}
+            assert categories == {data.data_categories[peer_id]}
+
+    def test_requires_labels(self):
+        data = build_scenario(SCENARIO_UNIFORM, SMALL)
+        with pytest.raises(DatasetError):
+            category_configuration(data)

@@ -1,0 +1,69 @@
+"""Tests for workload assignment across peers (Zipf and uniform)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.workload import uniform_query_volumes, zipf_query_volumes
+from repro.errors import DatasetError
+
+
+class TestZipfVolumes:
+    def test_total_is_preserved(self):
+        volumes = zipf_query_volumes(20, 200, rng=random.Random(1))
+        assert sum(volumes) == 200
+        assert len(volumes) == 20
+
+    def test_every_peer_gets_at_least_one_query(self):
+        volumes = zipf_query_volumes(50, 60, rng=random.Random(2))
+        assert min(volumes) >= 1
+
+    def test_skew_without_shuffle(self):
+        volumes = zipf_query_volumes(10, 1000, exponent=1.2, shuffle=False)
+        assert volumes[0] == max(volumes)
+        assert volumes[0] > volumes[-1]
+
+    def test_shuffle_changes_order_not_multiset(self):
+        plain = zipf_query_volumes(10, 100, shuffle=False)
+        shuffled = zipf_query_volumes(10, 100, rng=random.Random(3), shuffle=True)
+        assert sorted(plain) == sorted(shuffled)
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            zipf_query_volumes(0, 10)
+        with pytest.raises(DatasetError):
+            zipf_query_volumes(10, 5)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_peers=st.integers(min_value=1, max_value=60),
+        extra=st.integers(min_value=0, max_value=500),
+        exponent=st.floats(min_value=0.0, max_value=2.0),
+    )
+    def test_totals_property(self, num_peers, extra, exponent):
+        total = num_peers + extra
+        volumes = zipf_query_volumes(num_peers, total, exponent=exponent, shuffle=False)
+        assert sum(volumes) == total
+        assert min(volumes) >= 1
+
+
+class TestUniformVolumes:
+    def test_even_split(self):
+        assert uniform_query_volumes(4, 8) == [2, 2, 2, 2]
+
+    def test_remainder_goes_to_first_peers(self):
+        assert uniform_query_volumes(4, 10) == [3, 3, 2, 2]
+
+    def test_validation(self):
+        with pytest.raises(DatasetError):
+            uniform_query_volumes(0, 10)
+        with pytest.raises(DatasetError):
+            uniform_query_volumes(3, -1)
+
+    def test_max_difference_is_one(self):
+        volumes = uniform_query_volumes(7, 30)
+        assert max(volumes) - min(volumes) <= 1
+        assert sum(volumes) == 30

@@ -1,0 +1,80 @@
+"""Tests for peer churn (joins and departures)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dynamics.churn import add_peer, random_departures, remove_peers
+from repro.errors import DatasetError
+from repro.peers.peer import Peer
+from tests.conftest import make_small_scenario
+
+
+@pytest.fixture
+def scenario_with_configuration():
+    scenario = make_small_scenario()
+    from repro.datasets.scenarios import category_configuration
+
+    return scenario, category_configuration(scenario)
+
+
+class TestDepartures:
+    def test_remove_peers_updates_both_structures(self, scenario_with_configuration):
+        scenario, configuration = scenario_with_configuration
+        victims = scenario.peer_ids()[:3]
+        removed = remove_peers(scenario.network, configuration, victims)
+        assert [peer.peer_id for peer in removed] == victims
+        assert len(scenario.network) == scenario.config.num_peers - 3
+        for victim in victims:
+            assert victim not in configuration
+
+    def test_random_departures_count(self, scenario_with_configuration):
+        scenario, configuration = scenario_with_configuration
+        random_departures(scenario.network, configuration, 4, rng=random.Random(1))
+        assert len(scenario.network) == scenario.config.num_peers - 4
+
+    def test_random_departures_validation(self, scenario_with_configuration):
+        scenario, configuration = scenario_with_configuration
+        with pytest.raises(DatasetError):
+            random_departures(scenario.network, configuration, -1)
+        with pytest.raises(DatasetError):
+            random_departures(scenario.network, configuration, 10_000)
+
+
+class TestJoins:
+    def _newcomer(self, scenario, category):
+        return Peer(
+            "newcomer",
+            documents=scenario.generator.generate_documents(category, 4, rng=random.Random(2)),
+            workload=scenario.generator.generate_workload(category, 3, rng=random.Random(3)),
+        )
+
+    def test_explicit_cluster_placement(self, scenario_with_configuration):
+        scenario, configuration = scenario_with_configuration
+        target = configuration.nonempty_clusters()[0]
+        category = sorted({c for c in scenario.data_categories.values() if c})[0]
+        chosen = add_peer(
+            scenario.network,
+            configuration,
+            self._newcomer(scenario, category),
+            cluster_id=target,
+        )
+        assert chosen == target
+        assert configuration.cluster_of("newcomer") == target
+
+    def test_automatic_placement_prefers_the_matching_topic_cluster(
+        self, scenario_with_configuration
+    ):
+        scenario, configuration = scenario_with_configuration
+        categories = sorted({c for c in scenario.data_categories.values() if c})
+        category = categories[0]
+        chosen = add_peer(
+            scenario.network, configuration, self._newcomer(scenario, category)
+        )
+        members = configuration.members(chosen)
+        member_categories = {
+            scenario.data_categories[m] for m in members if m != "newcomer"
+        }
+        assert member_categories == {category}

@@ -1,0 +1,83 @@
+"""Tests for the periodic maintenance loop (periods of observe + maintain)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datasets.scenarios import category_configuration
+from repro.dynamics.periodic import PeriodicMaintenanceLoop
+from repro.dynamics.updates import update_workload_full
+from repro.strategies.selfish import SelfishStrategy
+from tests.conftest import make_small_scenario
+
+
+@pytest.fixture
+def scenario():
+    return make_small_scenario()
+
+
+def make_loop(scenario, strategy=None, **kwargs):
+    configuration = category_configuration(scenario)
+    return PeriodicMaintenanceLoop(
+        scenario.network,
+        configuration,
+        strategy if strategy is not None else SelfishStrategy(),
+        **kwargs,
+    )
+
+
+class TestRunPeriod:
+    def test_quiet_period_changes_nothing(self, scenario):
+        loop = make_loop(scenario)
+        record = loop.run_period()
+        assert record.moves == 0
+        assert record.social_cost_before == pytest.approx(record.social_cost_after)
+        assert record.converged
+
+    def test_period_with_drift_triggers_maintenance(self, scenario):
+        loop = make_loop(scenario)
+        categories = sorted({c for c in scenario.data_categories.values() if c})
+        rng = random.Random(5)
+
+        def drift(network, configuration):
+            cluster_id = configuration.nonempty_clusters()[0]
+            members = sorted(configuration.members(cluster_id), key=repr)
+            update_workload_full(network, members, categories[-1], scenario.generator, rng=rng)
+
+        baseline = loop.run_period()
+        drifted = loop.run_period(drift)
+        assert drifted.social_cost_before > baseline.social_cost_after
+        assert drifted.social_cost_after <= drifted.social_cost_before + 1e-9
+        assert drifted.period == 1
+
+    def test_observed_mode_runs_the_query_simulation(self, scenario):
+        loop = make_loop(scenario, strategy=SelfishStrategy(mode="observed"))
+        record = loop.run_period()
+        assert record.queries_routed > 0
+
+    def test_exact_mode_skips_the_query_simulation_by_default(self, scenario):
+        loop = make_loop(scenario)
+        record = loop.run_period()
+        assert record.queries_routed == 0
+
+
+class TestRun:
+    def test_run_produces_one_record_per_period(self, scenario):
+        loop = make_loop(scenario)
+        records = loop.run(3)
+        assert len(records) == 3
+        assert loop.social_cost_trace() == [record.social_cost_after for record in records]
+
+    def test_updates_list_is_validated(self, scenario):
+        loop = make_loop(scenario)
+        with pytest.raises(ValueError):
+            loop.run(3, updates=[None])
+        with pytest.raises(ValueError):
+            loop.run(-1)
+
+    def test_population_is_preserved_across_periods(self, scenario):
+        loop = make_loop(scenario)
+        loop.run(2)
+        assert sorted(loop.configuration.peer_ids()) == scenario.peer_ids()

@@ -1,0 +1,137 @@
+"""Tests for workload and content updates (the Section 4.2 change model)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.dynamics.updates import (
+    update_content_fraction,
+    update_content_full,
+    update_workload_fraction,
+    update_workload_full,
+)
+from repro.errors import DatasetError
+from tests.conftest import make_small_scenario
+
+
+@pytest.fixture
+def scenario():
+    return make_small_scenario()
+
+
+def _other_category(data, peer_id):
+    current = data.data_categories[peer_id]
+    return sorted(
+        category
+        for category in set(data.data_categories.values())
+        if category is not None and category != current
+    )[0]
+
+
+class TestWorkloadUpdates:
+    def test_full_update_redirects_every_query(self, scenario):
+        peer_id = scenario.peer_ids()[0]
+        new_category = _other_category(scenario, peer_id)
+        volume_before = scenario.network.peer(peer_id).workload.total()
+        report = update_workload_full(
+            scenario.network, [peer_id], new_category, scenario.generator, rng=random.Random(1)
+        )
+        workload = scenario.network.peer(peer_id).workload
+        assert workload.total() == volume_before
+        assert report.num_peers == 1
+        vocabularies = scenario.generator.vocabularies
+        for query in workload:
+            term = next(iter(query.attributes))
+            assert vocabularies.category_of_term(term) == new_category
+
+    def test_fraction_update_preserves_volume_and_mixes_categories(self, scenario):
+        peer_id = scenario.peer_ids()[1]
+        new_category = _other_category(scenario, peer_id)
+        volume_before = scenario.network.peer(peer_id).workload.total()
+        update_workload_fraction(
+            scenario.network,
+            [peer_id],
+            new_category,
+            scenario.generator,
+            0.5,
+            rng=random.Random(2),
+        )
+        workload = scenario.network.peer(peer_id).workload
+        assert workload.total() == volume_before
+        categories = {
+            scenario.generator.vocabularies.category_of_term(next(iter(query.attributes)))
+            for query in workload
+        }
+        assert new_category in categories
+
+    def test_zero_fraction_is_a_noop(self, scenario):
+        peer_id = scenario.peer_ids()[2]
+        before = scenario.network.peer(peer_id).workload.copy()
+        update_workload_fraction(
+            scenario.network,
+            [peer_id],
+            _other_category(scenario, peer_id),
+            scenario.generator,
+            0.0,
+        )
+        assert scenario.network.peer(peer_id).workload == before
+
+    def test_invalid_fraction_rejected(self, scenario):
+        with pytest.raises(DatasetError):
+            update_workload_fraction(
+                scenario.network,
+                [scenario.peer_ids()[0]],
+                "cat01",
+                scenario.generator,
+                1.5,
+            )
+
+    def test_unknown_peer_rejected(self, scenario):
+        with pytest.raises(DatasetError):
+            update_workload_full(scenario.network, ["ghost"], "cat01", scenario.generator)
+
+
+class TestContentUpdates:
+    def test_full_update_replaces_documents(self, scenario):
+        peer_id = scenario.peer_ids()[0]
+        new_category = _other_category(scenario, peer_id)
+        count_before = len(scenario.network.peer(peer_id).documents)
+        update_content_full(
+            scenario.network, [peer_id], new_category, scenario.generator, rng=random.Random(3)
+        )
+        documents = scenario.network.peer(peer_id).documents
+        assert len(documents) == count_before
+        assert {doc.category for doc in documents} == {new_category}
+
+    def test_fraction_update_keeps_document_count(self, scenario):
+        peer_id = scenario.peer_ids()[1]
+        new_category = _other_category(scenario, peer_id)
+        count_before = len(scenario.network.peer(peer_id).documents)
+        update_content_fraction(
+            scenario.network,
+            [peer_id],
+            new_category,
+            scenario.generator,
+            0.5,
+            rng=random.Random(4),
+        )
+        documents = scenario.network.peer(peer_id).documents
+        assert len(documents) == count_before
+        assert new_category in {doc.category for doc in documents}
+
+    def test_updates_invalidate_the_recall_model(self, scenario):
+        peer_id = scenario.peer_ids()[0]
+        new_category = _other_category(scenario, peer_id)
+        query = scenario.generator.generate_query(new_category, rng=random.Random(5))
+        before = scenario.network.recall_model().total_results(query)
+        update_content_full(
+            scenario.network,
+            [peer_id],
+            new_category,
+            scenario.generator,
+            rng=random.Random(6),
+        )
+        after = scenario.network.recall_model().total_results(query)
+        assert after >= before

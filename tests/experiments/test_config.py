@@ -1,0 +1,52 @@
+"""Tests for the experiment configuration presets and strategy factory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theta import LinearTheta
+from repro.experiments.config import ExperimentConfig, build_strategy
+from repro.strategies.altruistic import AltruisticStrategy
+from repro.strategies.hybrid import HybridStrategy
+from repro.strategies.selfish import SelfishStrategy
+
+
+class TestPresets:
+    def test_paper_preset_matches_the_paper(self):
+        config = ExperimentConfig.paper()
+        assert config.scenario.num_peers == 200
+        assert config.scenario.num_categories == 10
+        assert config.alpha == 1.0
+        assert isinstance(config.theta(), LinearTheta)
+        assert config.maintenance_gain_threshold == pytest.approx(0.001)
+
+    def test_quick_preset_is_smaller(self):
+        quick = ExperimentConfig.quick()
+        assert quick.scenario.num_peers < ExperimentConfig.paper().scenario.num_peers
+
+    def test_benchmark_preset_keeps_category_count(self):
+        bench = ExperimentConfig.benchmark()
+        assert bench.scenario.num_categories == 10
+
+    def test_with_scenario_override(self):
+        config = ExperimentConfig.quick().with_scenario(uniform_workload=True)
+        assert config.scenario.uniform_workload
+        # The original preset is unchanged (frozen dataclasses).
+        assert not ExperimentConfig.quick().scenario.uniform_workload
+
+
+class TestStrategyFactory:
+    def test_known_strategies(self):
+        assert isinstance(build_strategy("selfish"), SelfishStrategy)
+        assert isinstance(build_strategy("Altruistic"), AltruisticStrategy)
+        assert isinstance(build_strategy("hybrid", weight=0.3), HybridStrategy)
+
+    def test_hybrid_weight_forwarded(self):
+        assert build_strategy("hybrid", weight=0.3).weight == pytest.approx(0.3)
+
+    def test_mode_forwarded(self):
+        assert build_strategy("selfish", mode="observed").mode == "observed"
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            build_strategy("chaotic-neutral")

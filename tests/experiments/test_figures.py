@@ -1,0 +1,151 @@
+"""Tests for the Figure 1-4 experiment drivers (quick scale, shape assertions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figure1 import run_figure1
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.figure4 import run_figure4
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return ExperimentConfig.quick()
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self, quick_config):
+        return run_figure1(quick_config)
+
+    def test_has_both_strategies(self, result):
+        assert set(result.curves) == {"selfish", "altruistic"}
+
+    def test_selfish_social_cost_decreases_monotonically(self, result):
+        trace = result.curves["selfish"].social_cost
+        assert len(trace) >= 2
+        assert all(later <= earlier + 1e-9 for earlier, later in zip(trace, trace[1:]))
+        assert trace[-1] < trace[0]
+
+    def test_selfish_workload_cost_also_improves(self, result):
+        curve = result.curves["selfish"]
+        assert curve.workload_cost[-1] <= curve.workload_cost[0] + 1e-9
+
+    def test_altruistic_social_cost_improves(self, result):
+        curve = result.curves["altruistic"]
+        assert curve.social_cost[-1] < curve.social_cost[0]
+
+    def test_series_accessors(self, result):
+        curve = result.curves["selfish"]
+        assert curve.social_series()[0] == pytest.approx(curve.social_cost[0])
+        assert len(curve.workload_series()) == len(curve.workload_cost)
+
+    def test_to_text_mentions_both_panels(self, result):
+        text = result.to_text()
+        assert "social cost (selfish)" in text
+        assert "workload cost (altruistic)" in text
+
+
+class TestFigure2And3:
+    @pytest.fixture(scope="class")
+    def figure2(self, quick_config):
+        return run_figure2(quick_config, fractions=(0.0, 0.5, 1.0))
+
+    @pytest.fixture(scope="class")
+    def figure3(self, quick_config):
+        return run_figure3(quick_config, fractions=(0.0, 0.5, 1.0))
+
+    def test_curve_grid(self, figure2):
+        kinds = {curve.update_kind for curve in figure2.curves}
+        strategies = {curve.strategy for curve in figure2.curves}
+        assert kinds == {"updated-peers", "updated-degree"}
+        assert strategies == {"selfish", "altruistic"}
+        assert len(figure2.curves) == 4
+
+    def test_zero_update_keeps_the_ideal_cost(self, figure2, quick_config):
+        ideal = 1.0 / quick_config.scenario.num_categories
+        for curve in figure2.curves:
+            assert curve.series()[0.0] == pytest.approx(ideal, abs=0.05)
+
+    def test_updates_never_improve_on_the_ideal_cost(self, figure2):
+        for curve in figure2.curves:
+            baseline = curve.series()[0.0]
+            for fraction, cost in curve.series().items():
+                assert cost >= baseline - 1e-6
+
+    def test_selfish_recovers_cost_after_a_complete_workload_change(self, figure2):
+        """The paper's Figure 2 claim: the selfish strategy only pays off for large
+        (here: 100%) workload changes, where maintenance lowers the social cost."""
+        for curve in figure2.curves:
+            if curve.strategy != "selfish":
+                continue
+            full_change = [point for point in curve.points if point.fraction == 1.0][0]
+            assert full_change.moves > 0
+            assert full_change.social_cost < full_change.social_cost_before_maintenance
+
+    def test_maintenance_effect_is_bounded(self, figure2, figure3):
+        """Maintenance may shuffle peers but never blows the social cost up; any
+        transient degradation stays small (the gain threshold bounds each move)."""
+        for result in (figure2, figure3):
+            for curve in result.curves:
+                for point in curve.points:
+                    assert point.social_cost <= point.social_cost_before_maintenance + 0.15
+
+    def test_selfish_peers_react_to_workload_updates(self, figure2):
+        workload_moves = sum(
+            point.moves
+            for curve in figure2.curves
+            if curve.strategy == "selfish"
+            for point in curve.points
+        )
+        assert workload_moves > 0
+
+    def test_altruistic_moves_after_content_updates(self, figure3):
+        altruistic_moves = sum(
+            point.moves
+            for curve in figure3.curves
+            if curve.strategy == "altruistic"
+            for point in curve.points
+        )
+        assert altruistic_moves > 0
+
+    def test_curve_lookup(self, figure2):
+        assert figure2.curve("updated-peers", "selfish").strategy == "selfish"
+        with pytest.raises(KeyError):
+            figure2.curve("updated-peers", "static")
+
+    def test_to_text_lists_every_curve(self, figure2):
+        text = figure2.to_text()
+        assert text.count("figure2") == 4
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self, quick_config):
+        return run_figure4(quick_config, fractions=(0.0, 0.25, 0.5, 0.75, 1.0))
+
+    def test_one_curve_per_alpha(self, result):
+        assert [curve.alpha for curve in result.curves] == [0.0, 1.0, 2.0]
+
+    def test_cost_increases_with_alpha(self, result):
+        for fraction in (0.0, 0.5, 1.0):
+            costs = [curve.series()[fraction] for curve in result.curves]
+            assert costs[0] <= costs[1] <= costs[2]
+
+    def test_larger_alpha_needs_a_larger_change_to_relocate(self, result):
+        relocations = [curve.relocation_fraction for curve in result.curves]
+        observed = [fraction for fraction in relocations if fraction is not None]
+        assert observed == sorted(observed)
+        assert result.curve_for(0.0).relocation_fraction <= (
+            result.curve_for(2.0).relocation_fraction or 1.0
+        )
+
+    def test_curve_lookup_raises_for_unknown_alpha(self, result):
+        with pytest.raises(KeyError):
+            result.curve_for(3.5)
+
+    def test_to_text(self, result):
+        assert "alpha=1" in result.to_text()

@@ -1,0 +1,45 @@
+"""Tests for the experiment suite runner and report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import render_report, run_all
+
+
+@pytest.fixture(scope="module")
+def suite_result():
+    config = ExperimentConfig.quick()
+    return config, run_all(config)
+
+
+class TestRunAll:
+    def test_all_sections_present(self, suite_result):
+        _config, results = suite_result
+        assert results.table1.rows
+        assert results.figure1.curves
+        assert results.figure2.curves
+        assert results.figure3.curves
+        assert results.figure4.curves
+
+    def test_table1_covers_all_scenarios(self, suite_result):
+        _config, results = suite_result
+        scenarios = {row.scenario for row in results.table1.rows}
+        assert scenarios == {"same-category", "different-category", "uniform"}
+
+
+class TestRenderReport:
+    def test_report_contains_every_section(self, suite_result):
+        config, results = suite_result
+        report = render_report(results, config=config)
+        assert "## Table 1" in report
+        assert "## Figure 1" in report
+        assert "## Figure 2" in report
+        assert "## Figure 3" in report
+        assert "## Figure 4" in report
+
+    def test_report_mentions_the_configuration(self, suite_result):
+        config, results = suite_result
+        report = render_report(results, config=config)
+        assert f"{config.scenario.num_peers} peers" in report

@@ -1,0 +1,73 @@
+"""Tests for the Table 1 experiment driver (quick scale).
+
+The quantitative expectations mirror the paper's qualitative claims at small
+scale: the same-category scenario converges to the category clusters with a
+normalised social cost of ``1 / M`` (membership only), while the uniform
+scenario yields higher costs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, SCENARIO_UNIFORM
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table1 import run_table1
+
+
+@pytest.fixture(scope="module")
+def quick_config():
+    return ExperimentConfig.quick()
+
+
+@pytest.fixture(scope="module")
+def same_category_rows(quick_config):
+    result = run_table1(
+        quick_config,
+        scenarios=(SCENARIO_SAME_CATEGORY,),
+        initial_kinds=("singletons", "random"),
+        strategies=("selfish",),
+    )
+    return result
+
+
+class TestSameCategoryScenario:
+    def test_row_structure(self, same_category_rows):
+        assert len(same_category_rows.rows) == 2
+        for row in same_category_rows.rows:
+            assert row.scenario == SCENARIO_SAME_CATEGORY
+            assert row.strategy == "selfish"
+
+    def test_selfish_converges_to_category_clusters(self, same_category_rows, quick_config):
+        for row in same_category_rows.rows:
+            assert row.converged
+            assert row.rounds is not None and row.rounds > 0
+            assert row.clusters == quick_config.scenario.num_categories
+            assert row.social_cost == pytest.approx(
+                1.0 / quick_config.scenario.num_categories, abs=0.05
+            )
+            assert row.purity == pytest.approx(1.0)
+
+    def test_workload_cost_close_to_social_cost_when_recall_is_full(self, same_category_rows):
+        for row in same_category_rows.rows:
+            assert row.workload_cost == pytest.approx(row.social_cost, abs=0.05)
+
+    def test_to_text_contains_every_row(self, same_category_rows):
+        text = same_category_rows.to_text()
+        assert "singletons" in text and "random" in text
+
+    def test_rows_for_filters_by_scenario(self, same_category_rows):
+        assert len(same_category_rows.rows_for(SCENARIO_SAME_CATEGORY)) == 2
+        assert same_category_rows.rows_for("other") == []
+
+
+class TestUniformScenario:
+    def test_uniform_scenario_costs_more(self, quick_config):
+        result = run_table1(
+            quick_config,
+            scenarios=(SCENARIO_UNIFORM,),
+            initial_kinds=("random",),
+            strategies=("selfish",),
+        )
+        row = result.rows[0]
+        assert row.social_cost > 1.0 / quick_config.scenario.num_categories + 0.05

@@ -1,0 +1,58 @@
+"""Tests for uncoordinated best-response dynamics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.game.dynamics import run_best_response_dynamics
+from repro.game.model import ClusterGame
+from repro.peers.configuration import ClusterConfiguration
+
+
+class TestConvergence:
+    def test_tiny_network_converges(self, tiny_network, tiny_configuration):
+        game = ClusterGame(tiny_network.cost_model(use_matrix=False), tiny_configuration)
+        result = run_best_response_dynamics(game, max_steps=50)
+        assert result.converged
+        assert result.reached_equilibrium
+        assert game.is_nash_equilibrium()
+        assert result.num_steps >= 1
+
+    def test_social_cost_trace_has_one_entry_per_step_plus_initial(
+        self, tiny_network, tiny_configuration
+    ):
+        game = ClusterGame(tiny_network.cost_model(use_matrix=False), tiny_configuration)
+        result = run_best_response_dynamics(game, max_steps=50)
+        assert len(result.social_cost_trace) == result.num_steps + 1
+
+    def test_small_scenario_reaches_equilibrium(self, small_scenario):
+        configuration = small_scenario.network.singleton_configuration()
+        game = ClusterGame(small_scenario.network.cost_model(use_matrix=True), configuration)
+        result = run_best_response_dynamics(game, max_steps=400)
+        assert result.reached_equilibrium
+        # Best-response dynamics should discover (at most) the category structure.
+        assert configuration.num_nonempty_clusters() <= small_scenario.config.num_categories * 2
+
+
+class TestNonConvergence:
+    def test_counterexample_cycles_or_exhausts_budget(self, counterexample):
+        configuration = counterexample.configurations()["split"]
+        game = ClusterGame(counterexample.cost_model, configuration)
+        result = run_best_response_dynamics(game, max_steps=30)
+        assert not result.reached_equilibrium
+        assert result.cycle_detected or result.num_steps == 30
+
+    def test_step_budget_respected(self, counterexample):
+        configuration = counterexample.configurations()["split"]
+        game = ClusterGame(counterexample.cost_model, configuration)
+        result = run_best_response_dynamics(game, max_steps=3, detect_cycles=False)
+        assert result.num_steps <= 3
+
+
+class TestStepRecords:
+    def test_steps_record_actual_moves(self, tiny_network, tiny_configuration):
+        game = ClusterGame(tiny_network.cost_model(use_matrix=False), tiny_configuration)
+        result = run_best_response_dynamics(game, max_steps=50)
+        for step in result.steps:
+            assert step.gain > 0
+            assert step.from_cluster != step.to_cluster

@@ -1,0 +1,74 @@
+"""Tests for Property 1: proportionality of social and workload cost."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import Query
+from repro.game.properties import decompose_costs, property1_holds, workload_is_uniform
+from repro.peers.configuration import ClusterConfiguration
+from tests.conftest import make_tiny_network
+
+
+def uniform_tiny_network():
+    """The tiny network with every peer issuing exactly two queries."""
+    network = make_tiny_network()
+    network.peer("bob").issue_query(Query(["music"]))
+    network.peer("carol").issue_query(Query(["movies"]))
+    return network
+
+
+class TestUniformityCheck:
+    def test_tiny_network_is_skewed(self, tiny_network):
+        assert not workload_is_uniform(tiny_network)
+
+    def test_uniform_network(self):
+        assert workload_is_uniform(uniform_tiny_network())
+
+
+class TestDecomposition:
+    def test_components_add_up(self, tiny_network, tiny_configuration):
+        cost_model = tiny_network.cost_model(use_matrix=False)
+        decomposition = decompose_costs(cost_model, tiny_configuration)
+        assert decomposition.social_total == pytest.approx(
+            cost_model.social_cost(tiny_configuration)
+        )
+        assert decomposition.workload_total == pytest.approx(
+            cost_model.workload_cost(tiny_configuration)
+        )
+
+    def test_membership_terms_are_equal(self, tiny_network, tiny_configuration):
+        """The first terms of SCost and WCost are equal (shown in Section 2.2)."""
+        cost_model = tiny_network.cost_model(use_matrix=False)
+        decomposition = decompose_costs(cost_model, tiny_configuration)
+        assert decomposition.social_membership == pytest.approx(
+            decomposition.workload_membership
+        )
+
+
+class TestProperty1:
+    def _configuration(self):
+        return ClusterConfiguration(
+            ["c1", "c2", "c3"], {"alice": "c1", "carol": "c1", "bob": "c2"}
+        )
+
+    def test_holds_for_uniform_workload(self):
+        network = uniform_tiny_network()
+        cost_model = network.cost_model(use_matrix=False)
+        configuration = self._configuration()
+        assert property1_holds(cost_model, configuration, network)
+        decomposition = decompose_costs(cost_model, configuration)
+        assert decomposition.workload_recall == pytest.approx(
+            decomposition.social_recall / len(network)
+        )
+
+    def test_fails_premise_for_skewed_workload(self, tiny_network, tiny_configuration):
+        cost_model = tiny_network.cost_model(use_matrix=False)
+        assert not property1_holds(cost_model, tiny_configuration, tiny_network)
+
+    def test_skewed_workload_costs_are_not_proportional(self, tiny_network, tiny_configuration):
+        cost_model = tiny_network.cost_model(use_matrix=False)
+        decomposition = decompose_costs(cost_model, tiny_configuration)
+        assert decomposition.workload_recall != pytest.approx(
+            decomposition.social_recall / len(tiny_network)
+        )

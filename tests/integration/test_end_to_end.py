@@ -1,0 +1,94 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests exercise the complete flow the paper describes: build a
+categorised corpus, spread it over peers, cluster with the reformulation
+protocol, perturb the system, and maintain it again — checking global
+invariants at every step.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analysis.metrics import cluster_purity
+from repro.baselines.global_reclustering import GlobalReclustering
+from repro.datasets.scenarios import category_configuration
+from repro.dynamics.updates import update_workload_full
+from repro.game.model import ClusterGame
+from repro.protocol.reformulation import ReformulationProtocol
+from repro.strategies.selfish import SelfishStrategy
+from tests.conftest import make_small_scenario
+
+
+class TestDiscoveryThenMaintenance:
+    def test_full_lifecycle(self):
+        scenario = make_small_scenario()
+        network = scenario.network
+
+        # 1. Discovery: from singletons to category clusters.
+        configuration = network.singleton_configuration()
+        cost_model = network.cost_model()
+        protocol = ReformulationProtocol(cost_model, configuration, SelfishStrategy())
+        discovery = protocol.run(max_rounds=80)
+        assert discovery.converged
+        assert cluster_purity(configuration, scenario.data_categories) == pytest.approx(1.0)
+        ideal_cost = discovery.final_social_cost
+
+        # The result is a Nash equilibrium of the game.
+        game = ClusterGame(cost_model, configuration)
+        assert game.is_nash_equilibrium()
+
+        # 2. Perturbation: a third of one cluster's peers change interests.
+        first_cluster = configuration.nonempty_clusters()[0]
+        members = sorted(configuration.members(first_cluster), key=repr)
+        victims = members[: max(1, len(members) // 3)]
+        new_category = sorted(
+            category
+            for category in set(scenario.data_categories.values())
+            if category is not None and category != scenario.data_categories[victims[0]]
+        )[0]
+        update_workload_full(network, victims, new_category, scenario.generator, rng=random.Random(3))
+
+        perturbed_cost_model = network.cost_model()
+        cost_after_update = perturbed_cost_model.social_cost(configuration, normalized=True)
+        assert cost_after_update > ideal_cost - 1e-9
+
+        # 3. Maintenance: the protocol reacts without losing any peer.
+        maintenance = ReformulationProtocol(
+            perturbed_cost_model,
+            configuration,
+            SelfishStrategy(),
+            gain_threshold=0.001,
+            allow_cluster_creation=False,
+            restrict_to_nonempty=True,
+        ).run(max_rounds=40)
+        assert maintenance.converged
+        final_cost = perturbed_cost_model.social_cost(configuration, normalized=True)
+        assert final_cost <= cost_after_update + 1e-9
+        assert sorted(configuration.peer_ids()) == scenario.peer_ids()
+
+    def test_protocol_matches_global_reclustering_quality_on_clean_data(self):
+        """On well-separated data the local protocol reaches the same social cost
+        as the centralised baseline that requires global knowledge."""
+        scenario = make_small_scenario()
+        cost_model = scenario.network.cost_model()
+
+        configuration = scenario.network.singleton_configuration()
+        ReformulationProtocol(cost_model, configuration, SelfishStrategy()).run(max_rounds=80)
+        protocol_cost = cost_model.social_cost(configuration, normalized=True)
+
+        reclustered = GlobalReclustering(
+            num_clusters=scenario.config.num_categories, seed=3
+        ).recluster(scenario.network)
+        baseline_cost = cost_model.social_cost(reclustered.configuration, normalized=True)
+
+        assert protocol_cost == pytest.approx(baseline_cost, abs=0.05)
+
+    def test_category_configuration_is_an_equilibrium(self):
+        """The ground-truth clustering is stable: no peer wants to deviate."""
+        scenario = make_small_scenario()
+        configuration = category_configuration(scenario)
+        game = ClusterGame(scenario.network.cost_model(), configuration)
+        assert game.is_nash_equilibrium()

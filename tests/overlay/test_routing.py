@@ -1,0 +1,72 @@
+"""Tests for query routing and cid-annotated results."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import Query
+from repro.overlay.messages import MessageBus
+from repro.overlay.routing import BroadcastRouter, ProbeKRouter, QueryRouter
+
+
+class TestBroadcastRouter:
+    def test_reaches_all_nonempty_clusters(self, tiny_network, tiny_configuration):
+        router = BroadcastRouter(tiny_network)
+        assert router.target_clusters("alice", tiny_configuration) == ["c1", "c2"]
+
+    def test_results_are_annotated_with_cids(self, tiny_network, tiny_configuration):
+        router = BroadcastRouter(tiny_network)
+        results = router.route("alice", Query(["movies"]), tiny_configuration)
+        by_provider = {result.provider: result for result in results}
+        assert by_provider["bob"].cluster_id == "c2"
+        assert by_provider["carol"].cluster_id == "c1"
+        assert by_provider["bob"].result_count == 1
+
+    def test_zero_count_results_are_omitted(self, tiny_network, tiny_configuration):
+        router = BroadcastRouter(tiny_network)
+        results = router.route("bob", Query(["music"]), tiny_configuration)
+        providers = {result.provider for result in results}
+        assert "bob" not in providers
+        assert providers == {"alice", "carol"}
+
+    def test_cluster_recall_matches_global_recall_under_broadcast(
+        self, tiny_network, tiny_configuration
+    ):
+        router = BroadcastRouter(tiny_network)
+        query = Query(["music"])
+        results = router.route("bob", query, tiny_configuration)
+        model = tiny_network.recall_model()
+        expected_c1 = model.recall(query, "alice") + model.recall(query, "carol")
+        assert QueryRouter.cluster_recall(results, "c1") == pytest.approx(expected_c1)
+
+    def test_cluster_recall_of_empty_results_is_zero(self):
+        assert QueryRouter.cluster_recall([], "c1") == 0.0
+
+    def test_messages_are_accounted(self, tiny_network, tiny_configuration):
+        bus = MessageBus()
+        router = BroadcastRouter(tiny_network, bus)
+        router.route("alice", Query(["movies"]), tiny_configuration)
+        assert bus.count("QueryMessage") == 2  # one per non-empty cluster
+        assert bus.count("ResultMessage") == 2  # bob and carol both answered
+
+
+class TestProbeKRouter:
+    def test_k_must_be_positive(self, tiny_network):
+        with pytest.raises(ValueError):
+            ProbeKRouter(tiny_network, k=0)
+
+    def test_k1_only_reaches_own_cluster(self, tiny_network, tiny_configuration):
+        router = ProbeKRouter(tiny_network, k=1)
+        assert router.target_clusters("alice", tiny_configuration) == ["c1"]
+
+    def test_k2_adds_largest_other_cluster(self, tiny_network, tiny_configuration):
+        router = ProbeKRouter(tiny_network, k=2)
+        assert router.target_clusters("bob", tiny_configuration) == ["c2", "c1"]
+
+    def test_probe_results_are_subset_of_broadcast(self, tiny_network, tiny_configuration):
+        query = Query(["music"])
+        broadcast = BroadcastRouter(tiny_network).route("bob", query, tiny_configuration)
+        probed = ProbeKRouter(tiny_network, k=1).route("bob", query, tiny_configuration)
+        broadcast_pairs = {(result.provider, result.result_count) for result in broadcast}
+        probed_pairs = {(result.provider, result.result_count) for result in probed}
+        assert probed_pairs <= broadcast_pairs

@@ -1,0 +1,64 @@
+"""Tests for the observation-period simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import Query
+from repro.overlay.routing import ProbeKRouter
+from repro.overlay.simulator import OverlaySimulator
+
+
+class TestRunPeriod:
+    def test_routes_every_workload_occurrence(self, tiny_network, tiny_configuration):
+        simulator = OverlaySimulator(tiny_network, tiny_configuration)
+        report = simulator.run_period()
+        assert report.queries_routed == 4  # alice 2 + bob 1 + carol 1
+        assert report.messages.get("QueryMessage", 0) > 0
+
+    def test_recall_trackers_match_exact_model_under_broadcast(
+        self, tiny_network, tiny_configuration
+    ):
+        simulator = OverlaySimulator(tiny_network, tiny_configuration)
+        simulator.run_period()
+        model = tiny_network.recall_model()
+        movies = Query(["movies"])
+        alice_tracker = simulator.statistics["alice"].recall_tracker
+        # alice's "movies" results: carol (c1) and bob (c2) hold one each.
+        assert alice_tracker.cluster_recall(movies, "c1") == pytest.approx(
+            model.recall(movies, "carol")
+        )
+        assert alice_tracker.cluster_recall(movies, "c2") == pytest.approx(
+            model.recall(movies, "bob")
+        )
+
+    def test_contribution_trackers_record_issuer_clusters(
+        self, tiny_network, tiny_configuration
+    ):
+        simulator = OverlaySimulator(tiny_network, tiny_configuration)
+        simulator.run_period()
+        # alice serves bob's "music" query (bob sits in c2) and nothing else.
+        alice_contribution = simulator.statistics["alice"].contribution_tracker
+        assert alice_contribution.contribution("c2") == pytest.approx(1.0)
+        # carol serves alice's two "movies" queries (c1), her own (c1), and bob's music (c2).
+        carol_contribution = simulator.statistics["carol"].contribution_tracker
+        assert carol_contribution.contribution("c1") > carol_contribution.contribution("c2")
+
+    def test_reset_statistics(self, tiny_network, tiny_configuration):
+        simulator = OverlaySimulator(tiny_network, tiny_configuration)
+        simulator.run_period()
+        simulator.reset_statistics()
+        assert simulator.statistics["alice"].recall_tracker.total_results() == 0
+
+    def test_statistics_for_creates_on_demand(self, tiny_network, tiny_configuration):
+        simulator = OverlaySimulator(tiny_network, tiny_configuration)
+        stats = simulator.statistics_for("newcomer")
+        assert stats.recall_tracker.total_results() == 0
+
+    def test_custom_router_is_used(self, tiny_network, tiny_configuration):
+        simulator = OverlaySimulator(
+            tiny_network, tiny_configuration, router=ProbeKRouter(tiny_network, k=1)
+        )
+        report = simulator.run_period()
+        # With k=1 every query reaches exactly one cluster.
+        assert report.messages.get("QueryMessage", 0) == report.queries_routed

@@ -1,0 +1,48 @@
+"""Tests for intra-cluster topologies and their induced theta functions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theta import LinearTheta, LogarithmicTheta
+from repro.overlay.topology import FullMeshTopology, RingTopology, StructuredTopology
+
+ALL_TOPOLOGIES = [FullMeshTopology(), RingTopology(), StructuredTopology()]
+
+
+class TestThetaMapping:
+    def test_full_mesh_is_linear(self):
+        assert isinstance(FullMeshTopology().theta(), LinearTheta)
+
+    def test_structured_is_logarithmic(self):
+        assert isinstance(StructuredTopology().theta(), LogarithmicTheta)
+
+    def test_structured_cheaper_than_full_mesh_for_large_clusters(self):
+        full = FullMeshTopology().theta()
+        structured = StructuredTopology().theta()
+        assert structured(128) < full(128)
+
+
+class TestHopsAndMaintenance:
+    @pytest.mark.parametrize("topology", ALL_TOPOLOGIES, ids=lambda t: t.name)
+    def test_single_peer_cluster_needs_no_messages(self, topology):
+        assert topology.lookup_hops(1) == 0
+        assert topology.maintenance_messages(1) <= 1
+
+    @pytest.mark.parametrize("topology", ALL_TOPOLOGIES, ids=lambda t: t.name)
+    def test_hops_grow_with_size(self, topology):
+        assert topology.lookup_hops(64) >= topology.lookup_hops(4)
+
+    @pytest.mark.parametrize("topology", ALL_TOPOLOGIES, ids=lambda t: t.name)
+    def test_negative_size_rejected(self, topology):
+        with pytest.raises(ValueError):
+            topology.lookup_hops(-1)
+
+    def test_structured_lookup_is_logarithmic(self):
+        assert StructuredTopology().lookup_hops(16) == 4
+
+    def test_ring_join_touches_two_neighbours(self):
+        assert RingTopology().maintenance_messages(10) == 2
+
+    def test_full_mesh_join_touches_everyone(self):
+        assert FullMeshTopology().maintenance_messages(10) == 9

@@ -1,0 +1,65 @@
+"""Tests for the Cluster class (membership and representative election)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.peers.cluster import Cluster
+
+
+class TestMembership:
+    def test_add_and_remove(self):
+        cluster = Cluster("c1")
+        cluster.add("p1")
+        cluster.add("p2")
+        assert cluster.size == 2
+        assert "p1" in cluster
+        cluster.remove("p1")
+        assert cluster.size == 1
+        assert "p1" not in cluster
+
+    def test_remove_non_member_raises(self):
+        with pytest.raises(ConfigurationError):
+            Cluster("c1").remove("ghost")
+
+    def test_is_empty(self):
+        cluster = Cluster("c1")
+        assert cluster.is_empty
+        cluster.add("p1")
+        assert not cluster.is_empty
+
+    def test_members_view_is_immutable_snapshot(self):
+        cluster = Cluster("c1", ["p1"])
+        members = cluster.members
+        cluster.add("p2")
+        assert members == frozenset({"p1"})
+
+    def test_iteration_is_sorted(self):
+        cluster = Cluster("c1", ["p2", "p1", "p3"])
+        assert list(cluster) == ["p1", "p2", "p3"]
+
+
+class TestRepresentative:
+    def test_default_election_is_deterministic(self):
+        cluster = Cluster("c1", ["p2", "p1"])
+        assert cluster.elect_representative() == "p1"
+        assert cluster.representative == "p1"
+
+    def test_explicit_election(self):
+        cluster = Cluster("c1", ["p1", "p2"])
+        assert cluster.elect_representative("p2") == "p2"
+
+    def test_cannot_elect_non_member(self):
+        with pytest.raises(ConfigurationError):
+            Cluster("c1", ["p1"]).elect_representative("ghost")
+
+    def test_empty_cluster_has_no_representative(self):
+        cluster = Cluster("c1")
+        assert cluster.elect_representative() is None
+
+    def test_departing_representative_is_cleared(self):
+        cluster = Cluster("c1", ["p1", "p2"])
+        cluster.elect_representative("p1")
+        cluster.remove("p1")
+        assert cluster.representative is None

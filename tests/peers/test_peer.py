@@ -1,0 +1,82 @@
+"""Tests for the Peer class (content and workload management)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.documents import Document
+from repro.core.queries import Query, QueryWorkload
+from repro.peers.peer import Peer
+
+
+class TestContent:
+    def test_result_count_uses_index(self):
+        peer = Peer("p", documents=[Document(["music"]), Document(["music", "rock"])])
+        assert peer.result_count(Query(["music"])) == 2
+        assert peer.result_count(Query(["rock"])) == 1
+
+    def test_add_document_updates_index_and_version(self):
+        peer = Peer("p")
+        version = peer.version
+        peer.add_document(Document(["music"]))
+        assert peer.result_count(Query(["music"])) == 1
+        assert peer.version == version + 1
+
+    def test_replace_documents(self):
+        peer = Peer("p", documents=[Document(["music"])])
+        peer.replace_documents([Document(["movies"]), Document(["movies", "drama"])])
+        assert peer.result_count(Query(["music"])) == 0
+        assert peer.result_count(Query(["movies"])) == 2
+
+    def test_replace_document_fraction(self):
+        peer = Peer("p", documents=[Document(["music"]) for _ in range(4)])
+        peer.replace_document_fraction(0.5, [Document(["movies"]), Document(["movies"])])
+        assert peer.result_count(Query(["music"])) == 2
+        assert peer.result_count(Query(["movies"])) == 2
+
+    def test_dominant_category(self):
+        peer = Peer(
+            "p",
+            documents=[
+                Document(["a"], category="music"),
+                Document(["b"], category="music"),
+                Document(["c"], category="movies"),
+            ],
+        )
+        assert peer.dominant_category() == "music"
+        assert Peer("empty").dominant_category() is None
+
+
+class TestWorkload:
+    def test_issue_query(self):
+        peer = Peer("p")
+        peer.issue_query(Query(["music"]), 3)
+        assert peer.workload.count(Query(["music"])) == 3
+
+    def test_replace_workload_copies(self):
+        peer = Peer("p")
+        replacement = QueryWorkload([Query(["a"])])
+        peer.replace_workload(replacement)
+        replacement.add(Query(["b"]))
+        assert Query(["b"]) not in peer.workload
+
+    def test_replace_workload_fraction_preserves_volume(self):
+        peer = Peer("p")
+        peer.issue_query(Query(["old"]), 10)
+        peer.replace_workload_fraction(0.4, QueryWorkload([Query(["new"])]))
+        assert peer.workload.total() == 10
+        assert peer.workload.count(Query(["new"])) == 4
+        assert peer.workload.count(Query(["old"])) == 6
+
+    def test_workload_constructor_copies(self):
+        workload = QueryWorkload([Query(["a"])])
+        peer = Peer("p", workload=workload)
+        workload.add(Query(["b"]))
+        assert Query(["b"]) not in peer.workload
+
+
+class TestIdentity:
+    def test_equality_by_id(self):
+        assert Peer("x") == Peer("x")
+        assert Peer("x") != Peer("y")
+        assert hash(Peer("x")) == hash(Peer("x"))

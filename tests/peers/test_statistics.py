@@ -1,0 +1,88 @@
+"""Tests for the per-peer observation trackers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.queries import Query
+from repro.peers.statistics import ClusterRecallTracker, ContributionTracker, PeerStatistics
+
+
+class TestClusterRecallTracker:
+    def test_cluster_recall_per_query(self):
+        tracker = ClusterRecallTracker()
+        query = Query(["music"])
+        tracker.record(query, "c1", 3)
+        tracker.record(query, "c2", 1)
+        assert tracker.cluster_recall(query, "c1") == pytest.approx(0.75)
+        assert tracker.cluster_recall(query, "c2") == pytest.approx(0.25)
+        assert tracker.cluster_recall(Query(["other"]), "c1") == 0.0
+
+    def test_observed_recall_by_cluster(self):
+        tracker = ClusterRecallTracker()
+        tracker.record(Query(["a"]), "c1", 2)
+        tracker.record(Query(["b"]), "c2", 2)
+        shares = tracker.observed_recall_by_cluster()
+        assert shares == {"c1": 0.5, "c2": 0.5}
+
+    def test_empty_tracker(self):
+        tracker = ClusterRecallTracker()
+        assert tracker.observed_recall_by_cluster() == {}
+        assert tracker.total_results() == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterRecallTracker().record(Query(["a"]), "c1", -1)
+
+    def test_reset(self):
+        tracker = ClusterRecallTracker()
+        tracker.record(Query(["a"]), "c1", 1)
+        tracker.record_query()
+        tracker.reset()
+        assert tracker.total_results() == 0
+        assert tracker.queries_observed() == 0
+
+    def test_observed_clusters_sorted(self):
+        tracker = ClusterRecallTracker()
+        tracker.record(Query(["a"]), "c2", 1)
+        tracker.record(Query(["a"]), "c1", 1)
+        assert list(tracker.observed_clusters()) == ["c1", "c2"]
+
+
+class TestContributionTracker:
+    def test_contribution_shares(self):
+        tracker = ContributionTracker()
+        tracker.record_served("c1", 6)
+        tracker.record_served("c2", 2)
+        assert tracker.contribution("c1") == pytest.approx(0.75)
+        assert tracker.contribution("c2") == pytest.approx(0.25)
+        assert tracker.contribution("c3") == 0.0
+        assert sum(tracker.contributions().values()) == pytest.approx(1.0)
+
+    def test_best_cluster(self):
+        tracker = ContributionTracker()
+        assert tracker.best_cluster() is None
+        tracker.record_served("c1", 1)
+        tracker.record_served("c2", 5)
+        assert tracker.best_cluster() == "c2"
+
+    def test_empty_contribution_is_zero(self):
+        assert ContributionTracker().contribution("c1") == 0.0
+
+    def test_negative_rejected_and_reset(self):
+        tracker = ContributionTracker()
+        with pytest.raises(ValueError):
+            tracker.record_served("c1", -2)
+        tracker.record_served("c1", 2)
+        tracker.reset()
+        assert tracker.total_served() == 0
+
+
+class TestPeerStatistics:
+    def test_reset_clears_both(self):
+        statistics = PeerStatistics()
+        statistics.recall_tracker.record(Query(["a"]), "c1", 1)
+        statistics.contribution_tracker.record_served("c1", 1)
+        statistics.reset()
+        assert statistics.recall_tracker.total_results() == 0
+        assert statistics.contribution_tracker.total_served() == 0

@@ -1,0 +1,144 @@
+"""Tests for the full reformulation protocol driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.game.model import ClusterGame
+from repro.peers.configuration import ClusterConfiguration
+from repro.protocol.reformulation import ReformulationProtocol
+from repro.strategies.selfish import SelfishStrategy
+from repro.strategies.altruistic import AltruisticStrategy
+from repro.baselines.static import StaticStrategy
+from tests.conftest import make_small_scenario, make_tiny_network
+
+
+class TestTinyNetworkRuns:
+    def test_selfish_run_reaches_equilibrium(self):
+        network = make_tiny_network()
+        configuration = ClusterConfiguration(
+            ["c1", "c2", "c3"], {"alice": "c1", "carol": "c1", "bob": "c2"}
+        )
+        cost_model = network.cost_model(use_matrix=False)
+        protocol = ReformulationProtocol(cost_model, configuration, SelfishStrategy())
+        result = protocol.run(max_rounds=20)
+        assert result.converged
+        game = ClusterGame(cost_model, configuration, allow_new_clusters=True)
+        assert game.is_nash_equilibrium()
+
+    def test_cost_traces_have_initial_plus_per_round_entries(self):
+        network = make_tiny_network()
+        configuration = network.singleton_configuration()
+        protocol = ReformulationProtocol(
+            network.cost_model(use_matrix=False), configuration, SelfishStrategy()
+        )
+        result = protocol.run(max_rounds=20)
+        rounds_with_moves = sum(1 for r in result.rounds if r.num_granted > 0)
+        assert len(result.social_cost_trace) == rounds_with_moves + 1
+        assert len(result.workload_cost_trace) == len(result.social_cost_trace)
+        assert len(result.cluster_count_trace) == len(result.social_cost_trace)
+
+    def test_static_strategy_never_moves(self):
+        network = make_tiny_network()
+        configuration = network.singleton_configuration()
+        protocol = ReformulationProtocol(
+            network.cost_model(use_matrix=False), configuration, StaticStrategy()
+        )
+        result = protocol.run(max_rounds=5)
+        assert result.converged
+        assert result.total_moves == 0
+        assert result.num_rounds == 0
+
+    def test_message_accounting(self):
+        network = make_tiny_network()
+        configuration = network.singleton_configuration()
+        protocol = ReformulationProtocol(
+            network.cost_model(use_matrix=False), configuration, SelfishStrategy()
+        )
+        result = protocol.run(max_rounds=20)
+        if result.total_moves:
+            assert result.message_counts.get("GrantMessage", 0) == result.total_moves
+            assert result.message_counts.get("GainReportMessage", 0) > 0
+
+
+class TestScenarioRuns:
+    def test_selfish_discovers_categories_from_singletons(self):
+        scenario = make_small_scenario()
+        configuration = scenario.network.singleton_configuration()
+        cost_model = scenario.network.cost_model()
+        protocol = ReformulationProtocol(cost_model, configuration, SelfishStrategy())
+        result = protocol.run(max_rounds=60)
+        assert result.converged
+        assert configuration.num_nonempty_clusters() == scenario.config.num_categories
+        # Ideal clustering: membership cost only, 1 / M per peer.
+        assert result.final_social_cost == pytest.approx(
+            1.0 / scenario.config.num_categories, abs=0.05
+        )
+
+    def test_altruistic_discovers_categories_from_singletons(self):
+        scenario = make_small_scenario()
+        configuration = scenario.network.singleton_configuration()
+        cost_model = scenario.network.cost_model()
+        initial_cost = cost_model.social_cost(configuration, normalized=True)
+        protocol = ReformulationProtocol(cost_model, configuration, AltruisticStrategy())
+        result = protocol.run(max_rounds=60)
+        assert result.converged
+        # Altruistic relocation consolidates the singletons into far fewer
+        # clusters (it may stop short of the exact category partition).
+        assert configuration.num_nonempty_clusters() <= scenario.config.num_peers // 2
+        assert result.final_social_cost < initial_cost
+
+    def test_gain_threshold_stops_marginal_moves(self):
+        scenario = make_small_scenario()
+        configuration = scenario.network.singleton_configuration()
+        cost_model = scenario.network.cost_model()
+        strict = ReformulationProtocol(
+            cost_model, configuration, SelfishStrategy(), gain_threshold=10.0
+        )
+        result = strict.run(max_rounds=10)
+        assert result.converged
+        assert result.total_moves == 0
+
+    def test_restrict_to_nonempty_keeps_cluster_count_fixed(self):
+        scenario = make_small_scenario()
+        from repro.datasets.scenarios import category_configuration
+
+        configuration = category_configuration(scenario)
+        before = configuration.num_nonempty_clusters()
+        cost_model = scenario.network.cost_model()
+        protocol = ReformulationProtocol(
+            cost_model,
+            configuration,
+            SelfishStrategy(),
+            allow_cluster_creation=False,
+            restrict_to_nonempty=True,
+        )
+        protocol.run(max_rounds=30)
+        assert configuration.num_nonempty_clusters() <= before
+        assert len(configuration.peer_ids()) == scenario.config.num_peers
+
+    def test_creation_cost_increase_gate(self):
+        """With a huge creation threshold and no prior costs remembered, NEW_CLUSTER
+        proposals are still allowed on the first period; after remembering costs they
+        are filtered unless the peer's cost increased enough."""
+        scenario = make_small_scenario()
+        configuration = scenario.network.singleton_configuration()
+        cost_model = scenario.network.cost_model()
+        protocol = ReformulationProtocol(
+            cost_model,
+            configuration,
+            SelfishStrategy(),
+            creation_cost_increase=100.0,
+        )
+        protocol.remember_current_costs()
+        result = protocol.run(max_rounds=40)
+        assert result.converged
+        # No peer's cost increased by 100, so no new cluster was created by a
+        # NEW_CLUSTER proposal (moves into existing clusters are unaffected).
+        created = [
+            move
+            for round_result in result.rounds
+            for move in round_result.granted
+            if move.created_cluster
+        ]
+        assert created == []

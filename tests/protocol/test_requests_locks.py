@@ -1,0 +1,66 @@
+"""Tests for relocation requests and the cycle-avoiding lock rule."""
+
+from __future__ import annotations
+
+from repro.protocol.locks import LockTable
+from repro.protocol.requests import RelocationRequest
+from repro.strategies.base import RelocationProposal
+
+
+def request(source, target, peer, gain):
+    return RelocationRequest(source_cluster=source, target_cluster=target, peer_id=peer, gain=gain)
+
+
+class TestRelocationRequest:
+    def test_from_proposal(self):
+        proposal = RelocationProposal(
+            peer_id="p1", source_cluster="c1", target_cluster="c2", gain=0.4
+        )
+        built = RelocationRequest.from_proposal(proposal)
+        assert built == request("c1", "c2", "p1", 0.4)
+
+    def test_sort_key_orders_by_decreasing_gain(self):
+        requests = [request("c1", "c2", "p1", 0.1), request("c3", "c4", "p2", 0.9)]
+        ordered = sorted(requests, key=RelocationRequest.sort_key)
+        assert ordered[0].gain == 0.9
+
+    def test_sort_key_breaks_ties_deterministically(self):
+        left = request("a", "x", "p1", 0.5)
+        right = request("b", "y", "p2", 0.5)
+        assert sorted([right, left], key=RelocationRequest.sort_key) == [left, right]
+
+
+class TestLockTable:
+    def test_paper_rule(self):
+        """After p moves from ci to cj: nobody may join ci, nobody may leave cj."""
+        locks = LockTable()
+        locks.lock_for(request("ci", "cj", "p", 1.0))
+        assert locks.join_blocked("ci")
+        assert locks.leave_blocked("cj")
+        # Joining ci is now forbidden...
+        assert not locks.allows(request("ck", "ci", "q", 0.5))
+        # ...and so is leaving cj...
+        assert not locks.allows(request("cj", "ck", "r", 0.5))
+        # ...but unrelated moves are fine, including further joins to cj.
+        assert locks.allows(request("ck", "cj", "s", 0.5))
+        assert locks.allows(request("ck", "cm", "t", 0.5))
+
+    def test_leaving_the_source_again_is_allowed(self):
+        """The rule does not forbid a second peer leaving ci (only joining it)."""
+        locks = LockTable()
+        locks.lock_for(request("ci", "cj", "p", 1.0))
+        assert locks.allows(request("ci", "ck", "q", 0.5))
+
+    def test_reset(self):
+        locks = LockTable()
+        locks.lock_for(request("ci", "cj", "p", 1.0))
+        locks.reset()
+        assert locks.allows(request("ck", "ci", "q", 0.5))
+        assert not locks.join_blocked("ci")
+        assert not locks.leave_blocked("cj")
+
+    def test_cycle_is_prevented(self):
+        """A -> B granted means the reverse move B -> A is blocked within the round."""
+        locks = LockTable()
+        locks.lock_for(request("A", "B", "p", 1.0))
+        assert not locks.allows(request("B", "A", "q", 0.9))

@@ -1,0 +1,64 @@
+"""Tests for the hybrid strategy (Section 6 future-work extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.game.model import ClusterGame
+from repro.strategies.base import StrategyContext
+from repro.strategies.hybrid import HybridStrategy
+from repro.strategies.selfish import SelfishStrategy
+
+
+@pytest.fixture
+def context(tiny_network, tiny_configuration):
+    game = ClusterGame(tiny_network.cost_model(use_matrix=False), tiny_configuration)
+    return StrategyContext(game=game)
+
+
+class TestConstruction:
+    def test_weight_validation(self):
+        with pytest.raises(StrategyError):
+            HybridStrategy(weight=1.5)
+        with pytest.raises(StrategyError):
+            HybridStrategy(weight=-0.1)
+
+
+class TestBehaviour:
+    def test_pure_selfish_weight_matches_selfish_target(self, context):
+        hybrid = HybridStrategy(weight=1.0)
+        selfish = SelfishStrategy()
+        for peer_id in ("alice", "bob", "carol"):
+            hybrid_proposal = hybrid.propose(peer_id, context)
+            selfish_proposal = selfish.propose(peer_id, context)
+            if selfish_proposal.is_move and selfish_proposal.target_cluster != "__new_cluster__":
+                assert hybrid_proposal.target_cluster == selfish_proposal.target_cluster
+
+    def test_scores_exclude_current_cluster(self, context):
+        scores = HybridStrategy(weight=0.5).scores("bob", context)
+        assert "c2" not in scores
+        assert "c1" in scores
+
+    def test_bob_moves_for_selfish_leaning_weights(self, context):
+        """bob's selfish gain dominates once it is weighted above one half."""
+        for weight in (0.75, 1.0):
+            proposal = HybridStrategy(weight=weight).propose("bob", context)
+            assert proposal.is_move
+            assert proposal.target_cluster == "c1"
+
+    def test_pure_altruistic_weight_respects_maintenance_penalty(self, context):
+        """At weight 0 the blend reduces to the altruistic criterion: in a 3-peer
+        network the maintenance increase of growing c1 outweighs bob's contribution,
+        so bob stays — the same decision AltruisticStrategy makes."""
+        from repro.strategies.altruistic import AltruisticStrategy
+
+        hybrid_proposal = HybridStrategy(weight=0.0).propose("bob", context)
+        altruistic_proposal = AltruisticStrategy().propose("bob", context)
+        assert hybrid_proposal.is_move == altruistic_proposal.is_move
+
+    def test_stay_when_no_positive_score(self, context):
+        """alice has neither a selfish nor an altruistic reason to join bob's cluster."""
+        proposal = HybridStrategy(weight=1.0).propose("alice", context)
+        assert not proposal.is_move
+        assert proposal.gain == 0.0

@@ -1,0 +1,91 @@
+"""Tests for the selfish relocation strategy (Section 3.1.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StrategyError
+from repro.game.model import ClusterGame
+from repro.overlay.simulator import OverlaySimulator
+from repro.strategies.base import StrategyContext
+from repro.strategies.selfish import SelfishStrategy
+
+
+@pytest.fixture
+def exact_context(tiny_network, tiny_configuration):
+    game = ClusterGame(tiny_network.cost_model(use_matrix=False), tiny_configuration)
+    return StrategyContext(game=game)
+
+
+@pytest.fixture
+def observed_context(tiny_network, tiny_configuration):
+    simulator = OverlaySimulator(tiny_network, tiny_configuration)
+    simulator.run_period()
+    game = ClusterGame(tiny_network.cost_model(use_matrix=False), tiny_configuration)
+    return StrategyContext(game=game, statistics=simulator.statistics)
+
+
+class TestConstruction:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(StrategyError):
+            SelfishStrategy(mode="psychic")
+
+
+class TestExactMode:
+    def test_bob_moves_to_the_music_cluster(self, exact_context):
+        proposal = SelfishStrategy().propose("bob", exact_context)
+        assert proposal.is_move
+        assert proposal.target_cluster == "c1"
+        assert proposal.gain > 0
+        # pgain = pcost(current) - pcost(best)
+        game = exact_context.game
+        assert proposal.gain == pytest.approx(
+            game.current_cost("bob") - game.prospective_cost("bob", "c1")
+        )
+
+    def test_satisfied_peer_stays(self, exact_context):
+        """alice already reaches half the "movies" results via carol; no move improves on that."""
+        proposal = SelfishStrategy().propose("alice", exact_context)
+        assert not proposal.is_move
+        assert proposal.gain == 0.0
+
+    def test_carol_prefers_the_cluster_holding_the_missing_results(self, exact_context):
+        proposal = SelfishStrategy().propose("carol", exact_context)
+        assert proposal.is_move
+        assert proposal.target_cluster == "c2"
+
+    def test_propose_all_matches_individual_proposals(self, tiny_network, tiny_configuration):
+        strategy = SelfishStrategy()
+        fast_context = StrategyContext(
+            game=ClusterGame(tiny_network.cost_model(use_matrix=True), tiny_configuration)
+        )
+        slow_context = StrategyContext(
+            game=ClusterGame(tiny_network.cost_model(use_matrix=False), tiny_configuration)
+        )
+        batch = strategy.propose_all(tiny_configuration.peer_ids(), fast_context)
+        for peer_id in tiny_configuration.peer_ids():
+            single = strategy.propose(peer_id, slow_context)
+            assert batch[peer_id].target_cluster == single.target_cluster
+            assert batch[peer_id].gain == pytest.approx(single.gain)
+
+
+class TestObservedMode:
+    def test_requires_statistics(self, exact_context):
+        with pytest.raises(StrategyError):
+            SelfishStrategy(mode="observed").propose("bob", exact_context)
+
+    def test_observed_costs_cover_nonempty_clusters(self, observed_context):
+        costs = SelfishStrategy(mode="observed").observed_costs("bob", observed_context)
+        assert set(costs) == {"c1", "c2"}
+
+    def test_observed_agrees_with_exact_under_broadcast(self, observed_context, exact_context):
+        """With broadcast routing the observed decision matches the oracle for the mover."""
+        observed = SelfishStrategy(mode="observed").propose("bob", observed_context)
+        exact = SelfishStrategy(mode="exact").propose("bob", exact_context)
+        assert observed.target_cluster == exact.target_cluster
+        assert observed.is_move
+
+    def test_propose_all_falls_back_to_per_peer(self, observed_context):
+        strategy = SelfishStrategy(mode="observed")
+        batch = strategy.propose_all(["alice", "bob", "carol"], observed_context)
+        assert set(batch) == {"alice", "bob", "carol"}

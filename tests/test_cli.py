@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_discover_defaults(self):
+        arguments = build_parser().parse_args(["discover"])
+        assert arguments.scale == "quick"
+        assert arguments.strategy == "selfish"
+        assert arguments.initial == "singletons"
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["discover", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_discover_prints_metrics(self, capsys):
+        assert main(["discover", "--scale", "quick"]) == 0
+        output = capsys.readouterr().out
+        assert "social cost" in output
+        assert "clusters" in output
+
+    def test_discover_with_altruistic_strategy(self, capsys):
+        assert main(["discover", "--scale", "quick", "--strategy", "altruistic"]) == 0
+        assert "altruistic" in capsys.readouterr().out
+
+    def test_maintain_prints_period_table(self, capsys):
+        assert main(["maintain", "--scale", "quick", "--periods", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "SCost before" in output
+        assert output.count("\n") >= 4
+
+    def test_figure4_command(self, capsys):
+        assert main(["figure4", "--scale", "quick"]) == 0
+        assert "alpha=1" in capsys.readouterr().out
+
+    def test_report_written_to_file(self, tmp_path, capsys):
+        output_file = tmp_path / "report.md"
+        assert main(["report", "--scale", "quick", "--output", str(output_file)]) == 0
+        content = output_file.read_text(encoding="utf-8")
+        assert "## Table 1" in content
+        assert "## Figure 4" in content

@@ -1,0 +1,104 @@
+"""Tests for the library's public API surface.
+
+A downstream user should be able to rely on ``repro.__all__``: every exported
+name must resolve, be documented, and the central entry points must be
+importable directly from the package root.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists {name!r} but it is not importable"
+
+    def test_no_duplicate_exports(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_version_is_a_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") >= 1
+
+    @pytest.mark.parametrize(
+        "name",
+        [
+            "CostModel",
+            "RecallModel",
+            "Peer",
+            "ClusterConfiguration",
+            "PeerNetwork",
+            "ClusterGame",
+            "SelfishStrategy",
+            "AltruisticStrategy",
+            "HybridStrategy",
+            "ReformulationProtocol",
+            "build_scenario",
+            "ExperimentConfig",
+            "run_table1",
+            "run_figure4",
+        ],
+    )
+    def test_key_entry_points_are_exported(self, name):
+        assert name in repro.__all__
+
+    def test_public_classes_are_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if isinstance(obj, type) and not (obj.__doc__ or "").strip():
+                undocumented.append(name)
+        assert not undocumented, f"public classes without docstrings: {undocumented}"
+
+    def test_subpackages_are_documented(self):
+        import importlib
+
+        for module_name in (
+            "repro.core",
+            "repro.peers",
+            "repro.overlay",
+            "repro.game",
+            "repro.strategies",
+            "repro.protocol",
+            "repro.dynamics",
+            "repro.datasets",
+            "repro.baselines",
+            "repro.analysis",
+            "repro.experiments",
+        ):
+            module = importlib.import_module(module_name)
+            assert (module.__doc__ or "").strip(), f"{module_name} has no module docstring"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import (
+            ConfigurationError,
+            DatasetError,
+            ProtocolError,
+            ReproError,
+            StrategyError,
+            UnknownClusterError,
+            UnknownPeerError,
+        )
+
+        for error_type in (
+            ConfigurationError,
+            DatasetError,
+            ProtocolError,
+            StrategyError,
+            UnknownClusterError,
+            UnknownPeerError,
+        ):
+            assert issubclass(error_type, ReproError)
+
+    def test_unknown_peer_error_carries_the_id(self):
+        from repro import UnknownPeerError
+
+        error = UnknownPeerError("p42")
+        assert error.peer_id == "p42"
+        assert "p42" in str(error)
