@@ -26,19 +26,13 @@ from repro.experiments.config import ExperimentConfig
 
 RESULTS_FILE = Path(__file__).parent / "latest_results.txt"
 
-SCALE_PRESETS = {
-    "quick": ExperimentConfig.quick,
-    "benchmark": ExperimentConfig.benchmark,
-    "paper": ExperimentConfig.paper,
-}
-
 
 def bench_scale() -> str:
     """The benchmark scale selected through ``REPRO_BENCH_SCALE``."""
     scale = os.environ.get("REPRO_BENCH_SCALE", "benchmark").lower()
-    if scale not in SCALE_PRESETS:
+    if scale not in ExperimentConfig.scales():
         raise ValueError(
-            f"REPRO_BENCH_SCALE must be one of {sorted(SCALE_PRESETS)}, got {scale!r}"
+            f"REPRO_BENCH_SCALE must be one of {ExperimentConfig.scales()}, got {scale!r}"
         )
     return scale
 
@@ -46,7 +40,7 @@ def bench_scale() -> str:
 @pytest.fixture(scope="session")
 def experiment_config() -> ExperimentConfig:
     """The experiment configuration for the selected benchmark scale."""
-    return SCALE_PRESETS[bench_scale()]()
+    return ExperimentConfig.from_scale(bench_scale())
 
 
 def run_once(benchmark, function, *args, **kwargs):

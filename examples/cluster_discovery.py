@@ -24,9 +24,9 @@ from repro import (
     SCENARIO_SAME_CATEGORY,
     ExperimentConfig,
     GlobalReclustering,
-    ReformulationProtocol,
+    SessionConfig,
+    Simulation,
     build_scenario,
-    build_strategy,
     initial_configuration,
 )
 from repro.analysis import cluster_purity
@@ -47,21 +47,22 @@ def main() -> None:
     )
 
     for strategy_name in ("selfish", "altruistic"):
-        configuration = initial_configuration(data, "random", seed=3)
-        protocol = ReformulationProtocol(
-            cost_model, configuration, build_strategy(strategy_name)
+        simulation = Simulation.from_config(
+            SessionConfig.from_experiment_config(config, strategy=strategy_name),
+            data=data,
+            configuration=initial_configuration(data, "random", seed=3),
         )
-        result = protocol.run(max_rounds=config.max_rounds)
+        result = simulation.run()
         print(f"{strategy_name} strategy:")
         print(
-            f"  converged={result.converged} rounds={result.num_rounds}"
-            f" clusters={configuration.num_nonempty_clusters()}"
+            f"  converged={result.converged} rounds={result.rounds}"
+            f" clusters={result.cluster_count}"
         )
         print(
             "  social cost",
-            round(cost_model.social_cost(configuration, normalized=True), 3),
+            round(result.final_social_cost, 3),
             "| purity",
-            round(cluster_purity(configuration, data.data_categories), 3),
+            round(result.purity, 3),
         )
 
     reclustering = GlobalReclustering(num_clusters=config.scenario.num_categories, seed=5)

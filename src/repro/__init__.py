@@ -10,10 +10,32 @@ different cluster.  It provides:
 * the game-theoretic view of cluster formation (``repro.game``),
 * the selfish / altruistic / hybrid relocation strategies (``repro.strategies``),
 * the round-based reformulation protocol (``repro.protocol``),
+* the unified session API: ``Simulation`` / ``SimulationBuilder`` /
+  ``SessionConfig`` / ``RunResult`` (``repro.session``) over the component
+  registries (``repro.registry``) and event hooks (``repro.events``),
 * dataset generators, dynamics, baselines, analysis utilities and the
   experiment drivers that regenerate every table and figure of the paper.
 
 Quickstart::
+
+    from repro import Simulation, SessionConfig
+
+    result = Simulation.from_config(
+        SessionConfig(scenario="same_category", strategy="selfish", scale="quick")
+    ).run()
+    print(result.converged, result.final_social_cost)
+
+Every component is selected by registry name; plug in your own with the
+``repro.registry`` decorators (``@register_strategy``, ``@register_theta``,
+``@register_scenario``, ``@register_router``, ``@register_initializer``)
+and they become usable from ``SessionConfig``, the CLI and the experiment
+drivers.  Subscribe to protocol events instead of post-hoc traces::
+
+    simulation = Simulation.from_config(SessionConfig(scale="quick"))
+    simulation.on_round_end(lambda event: print(event.round_number, event.social_cost))
+    simulation.run()
+
+Low-level API (what the facade assembles for you)::
 
     from repro import (
         ExperimentConfig, build_scenario, initial_configuration,
@@ -62,11 +84,21 @@ from repro.datasets import (
 from repro.errors import (
     ConfigurationError,
     DatasetError,
+    DuplicateComponentError,
     ProtocolError,
+    RegistryError,
     ReproError,
     StrategyError,
     UnknownClusterError,
+    UnknownComponentError,
     UnknownPeerError,
+)
+from repro.events import (
+    CostTraceRecorder,
+    EventHooks,
+    PeriodEndEvent,
+    RelocationGrantedEvent,
+    RoundEndEvent,
 )
 from repro.experiments import (
     ExperimentConfig,
@@ -88,6 +120,15 @@ from repro.game import (
 from repro.overlay import BroadcastRouter, MessageBus, OverlaySimulator, ProbeKRouter
 from repro.peers import Cluster, ClusterConfiguration, Peer, PeerNetwork
 from repro.protocol import ProtocolResult, ReformulationProtocol
+from repro.registry import (
+    ComponentRegistry,
+    register_initializer,
+    register_router,
+    register_scenario,
+    register_strategy,
+    register_theta,
+)
+from repro.session import RunResult, SessionConfig, Simulation, SimulationBuilder
 from repro.strategies import (
     AltruisticStrategy,
     HybridStrategy,
@@ -100,6 +141,24 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # session API
+    "Simulation",
+    "SimulationBuilder",
+    "SessionConfig",
+    "RunResult",
+    # registries
+    "ComponentRegistry",
+    "register_strategy",
+    "register_theta",
+    "register_scenario",
+    "register_router",
+    "register_initializer",
+    # events
+    "EventHooks",
+    "RoundEndEvent",
+    "RelocationGrantedEvent",
+    "PeriodEndEvent",
+    "CostTraceRecorder",
     # core
     "AttributeSet",
     "Vocabulary",
@@ -173,4 +232,7 @@ __all__ = [
     "ProtocolError",
     "DatasetError",
     "StrategyError",
+    "RegistryError",
+    "UnknownComponentError",
+    "DuplicateComponentError",
 ]

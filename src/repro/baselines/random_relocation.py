@@ -14,6 +14,7 @@ from collections.abc import Hashable
 from typing import Optional
 
 from repro.errors import StrategyError
+from repro.registry import register_strategy
 from repro.strategies.base import RelocationProposal, RelocationStrategy, StrategyContext
 
 __all__ = ["RandomRelocationStrategy"]
@@ -21,6 +22,7 @@ __all__ = ["RandomRelocationStrategy"]
 PeerId = Hashable
 
 
+@register_strategy("random")
 class RandomRelocationStrategy(RelocationStrategy):
     """Propose a random move with probability ``move_probability`` per peer per period."""
 

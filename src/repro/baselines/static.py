@@ -14,12 +14,14 @@ from collections.abc import Hashable
 from typing import Optional
 
 from repro.strategies.base import RelocationProposal, RelocationStrategy, StrategyContext
+from repro.registry import register_strategy
 
 __all__ = ["StaticStrategy"]
 
 PeerId = Hashable
 
 
+@register_strategy("static")
 class StaticStrategy(RelocationStrategy):
     """Never relocate."""
 

@@ -10,6 +10,12 @@ Usage (after ``pip install -e .``)::
 
 Every subcommand prints a plain-text table/series; ``report`` runs the whole
 suite and renders the markdown that EXPERIMENTS.md is derived from.
+
+The ``discover`` and ``maintain`` commands drive the :class:`repro.Simulation`
+facade, and the ``--strategy``/``--initial``/``--scenario`` choices are read
+from the component registries — a strategy registered through
+:func:`repro.registry.register_strategy` before :func:`main` runs is
+selectable by name.
 """
 
 from __future__ import annotations
@@ -19,45 +25,38 @@ import random
 import sys
 from typing import List, Optional
 
-from repro.analysis.metrics import cluster_purity
 from repro.analysis.reporting import format_table
-from repro.datasets.scenarios import (
-    SCENARIO_SAME_CATEGORY,
-    build_scenario,
-    category_configuration,
-    initial_configuration,
-)
-from repro.dynamics.periodic import PeriodicMaintenanceLoop
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY
 from repro.dynamics.updates import update_workload_full
-from repro.experiments.config import ExperimentConfig, build_strategy
+from repro.experiments.config import ExperimentConfig
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.runner import render_report, run_all
+from repro.errors import ReproError
 from repro.experiments.table1 import run_table1
-from repro.protocol.reformulation import ReformulationProtocol
+from repro.registry import initializer_registry, scenario_registry, strategy_registry
+from repro.session import SessionConfig, Simulation
 
 __all__ = ["main", "build_parser"]
-
-_SCALES = ("quick", "benchmark", "paper")
-
-
-def _config_for(scale: str) -> ExperimentConfig:
-    return getattr(ExperimentConfig, scale)()
 
 
 def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
-        choices=_SCALES,
+        choices=ExperimentConfig.scales(),
         default="quick",
         help="experiment scale preset (default: quick)",
     )
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Build the CLI argument parser."""
+    """Build the CLI argument parser.
+
+    Choices for strategies, scenarios and initial configurations come from
+    the registries, so plugins registered before this call are selectable.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Recall-based cluster reformulation by selfish peers - reproduction CLI",
@@ -69,11 +68,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_scale_argument(discover)
     discover.add_argument(
-        "--strategy", choices=("selfish", "altruistic", "hybrid"), default="selfish"
+        "--strategy", choices=strategy_registry.names(), default="selfish"
+    )
+    discover.add_argument(
+        "--scenario",
+        choices=scenario_registry.names(),
+        default=SCENARIO_SAME_CATEGORY,
+        help="data/query scenario (default: same-category)",
     )
     discover.add_argument(
         "--initial",
-        choices=("singletons", "random", "fewer", "more"),
+        choices=initializer_registry.names(),
         default="singletons",
         help="initial configuration (paper's cases i-iv)",
     )
@@ -84,7 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_scale_argument(maintain)
     maintain.add_argument("--periods", type=int, default=3)
     maintain.add_argument(
-        "--strategy", choices=("selfish", "altruistic", "hybrid"), default="selfish"
+        "--strategy", choices=strategy_registry.names(), default="selfish"
     )
 
     for name in ("table1", "figure1", "figure2", "figure3", "figure4"):
@@ -99,40 +104,41 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _command_discover(arguments: argparse.Namespace) -> int:
-    config = _config_for(arguments.scale)
-    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
-    configuration = initial_configuration(data, arguments.initial, seed=config.seed + 13)
-    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
-    protocol = ReformulationProtocol(
-        cost_model, configuration, build_strategy(arguments.strategy)
+    simulation = Simulation.from_config(
+        SessionConfig(
+            scenario=arguments.scenario,
+            strategy=arguments.strategy,
+            scale=arguments.scale,
+            initial=arguments.initial,
+        )
     )
-    result = protocol.run(max_rounds=config.max_rounds)
+    result = simulation.run()
     rows = [
         ("strategy", arguments.strategy),
         ("initial configuration", arguments.initial),
-        ("converged", result.converged and not result.cycle_detected),
-        ("rounds", result.num_rounds),
-        ("clusters", configuration.num_nonempty_clusters()),
+        ("converged", result.converged),
+        ("rounds", result.rounds),
+        ("clusters", result.cluster_count),
         ("social cost", round(result.final_social_cost, 3)),
         ("workload cost", round(result.final_workload_cost, 3)),
-        ("purity", round(cluster_purity(configuration, data.data_categories), 3)),
     ]
+    if result.purity is not None:
+        rows.append(("purity", round(result.purity, 3)))
     print(format_table(("metric", "value"), rows))
     return 0
 
 
 def _command_maintain(arguments: argparse.Namespace) -> int:
-    config = _config_for(arguments.scale)
-    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
-    configuration = category_configuration(data)
-    loop = PeriodicMaintenanceLoop(
-        data.network,
-        configuration,
-        build_strategy(arguments.strategy),
-        alpha=config.alpha,
-        theta=config.theta(),
-        gain_threshold=config.maintenance_gain_threshold,
+    simulation = Simulation.from_config(
+        SessionConfig(
+            scenario=SCENARIO_SAME_CATEGORY,
+            strategy=arguments.strategy,
+            scale=arguments.scale,
+            initial="category",
+        )
     )
+    data = simulation.data
+    config = simulation.experiment_config
     categories = sorted({c for c in data.data_categories.values() if c})
     rng = random.Random(config.seed + 31)
 
@@ -142,8 +148,8 @@ def _command_maintain(arguments: argparse.Namespace) -> int:
         victims = members[: max(1, len(members) // 4)]
         update_workload_full(network, victims, categories[-1], data.generator, rng=rng)
 
-    for period in range(arguments.periods):
-        loop.run_period(drift if period > 0 else None)
+    updates = [None] + [drift] * max(0, arguments.periods - 1)
+    result = simulation.run_maintenance(arguments.periods, updates=updates)
     rows = [
         (
             record.period,
@@ -152,14 +158,14 @@ def _command_maintain(arguments: argparse.Namespace) -> int:
             record.moves,
             record.rounds,
         )
-        for record in loop.records
+        for record in result.periods
     ]
     print(format_table(("period", "SCost before", "SCost after", "moves", "rounds"), rows))
     return 0
 
 
 def _command_experiment(arguments: argparse.Namespace) -> int:
-    config = _config_for(arguments.scale)
+    config = ExperimentConfig.from_scale(arguments.scale)
     runners = {
         "table1": lambda: run_table1(config).to_text(),
         "figure1": lambda: run_figure1(config).to_text(),
@@ -172,7 +178,7 @@ def _command_experiment(arguments: argparse.Namespace) -> int:
 
 
 def _command_report(arguments: argparse.Namespace) -> int:
-    config = _config_for(arguments.scale)
+    config = ExperimentConfig.from_scale(arguments.scale)
     report = render_report(run_all(config), config=config)
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:
@@ -186,13 +192,20 @@ def _command_report(arguments: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     arguments = build_parser().parse_args(argv)
-    if arguments.command == "discover":
-        return _command_discover(arguments)
-    if arguments.command == "maintain":
-        return _command_maintain(arguments)
-    if arguments.command == "report":
-        return _command_report(arguments)
-    return _command_experiment(arguments)
+    commands = {
+        "discover": _command_discover,
+        "maintain": _command_maintain,
+        "report": _command_report,
+    }
+    command = commands.get(arguments.command, _command_experiment)
+    try:
+        return command(arguments)
+    except ReproError as error:
+        # e.g. an incompatible scenario/initial combination ("uniform" has no
+        # per-peer categories for the "category" initializer): report cleanly
+        # instead of dumping a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -17,7 +17,7 @@ queries repeatedly while the reformulation protocol runs.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List
 
 from repro.core.documents import DocumentCollection
 from repro.core.index import InvertedIndex

@@ -19,7 +19,8 @@ experiment reports can label which function was used.
 from __future__ import annotations
 
 import math
-from typing import Callable
+
+from repro.registry import register_theta, theta_registry
 
 __all__ = [
     "ThetaFunction",
@@ -57,6 +58,7 @@ class ThetaFunction:
         return f"{type(self).__name__}()"
 
 
+@register_theta("linear")
 class LinearTheta(ThetaFunction):
     """``theta(n) = slope * n``; the paper's fully-connected-cluster model (slope 1)."""
 
@@ -74,6 +76,7 @@ class LinearTheta(ThetaFunction):
         return f"LinearTheta(slope={self.slope})"
 
 
+@register_theta("logarithmic", aliases=("log",))
 class LogarithmicTheta(ThetaFunction):
     """``theta(n) = scale * log2(n + 1)``; models structured intra-cluster overlays."""
 
@@ -91,6 +94,7 @@ class LogarithmicTheta(ThetaFunction):
         return f"LogarithmicTheta(scale={self.scale})"
 
 
+@register_theta("constant")
 class ConstantTheta(ThetaFunction):
     """``theta(n) = value`` for every non-empty cluster."""
 
@@ -108,6 +112,7 @@ class ConstantTheta(ThetaFunction):
         return f"ConstantTheta(value={self.value})"
 
 
+@register_theta("polynomial")
 class PolynomialTheta(ThetaFunction):
     """``theta(n) = scale * n ** exponent`` with ``exponent >= 0``.
 
@@ -132,20 +137,11 @@ class PolynomialTheta(ThetaFunction):
         return f"PolynomialTheta(exponent={self.exponent}, scale={self.scale})"
 
 
-_FACTORIES: dict = {
-    "linear": LinearTheta,
-    "logarithmic": LogarithmicTheta,
-    "log": LogarithmicTheta,
-    "constant": ConstantTheta,
-    "polynomial": PolynomialTheta,
-}
-
-
 def theta_from_name(name: str, **kwargs: float) -> ThetaFunction:
-    """Build a theta function from its registry *name* (``linear``, ``logarithmic``, ...)."""
-    try:
-        factory: Callable[..., ThetaFunction] = _FACTORIES[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(set(_FACTORIES)))
-        raise ValueError(f"unknown theta function {name!r}; known: {known}") from None
-    return factory(**kwargs)
+    """Build a theta function from its registry *name* (``linear``, ``logarithmic``, ...).
+
+    Raises a ``ValueError`` subclass for unknown names whose message lists the
+    registered functions; new functions plug in via
+    :func:`repro.registry.register_theta`.
+    """
+    return theta_registry.create(name, **kwargs)

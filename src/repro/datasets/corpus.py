@@ -11,8 +11,8 @@ All randomness flows through an explicit seed so datasets are reproducible.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.documents import Document
 from repro.core.queries import Query, QueryWorkload

@@ -24,14 +24,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.datasets.corpus import CorpusConfig, CorpusGenerator
 from repro.datasets.workload import uniform_query_volumes, zipf_query_volumes
-from repro.errors import DatasetError
+from repro.errors import DatasetError, UnknownComponentError
 from repro.peers.configuration import ClusterConfiguration
 from repro.peers.network import PeerNetwork
 from repro.peers.peer import Peer
+from repro.registry import (
+    initializer_registry,
+    register_initializer,
+    register_scenario,
+    scenario_registry,
+)
 
 __all__ = [
     "SCENARIO_SAME_CATEGORY",
@@ -39,6 +45,7 @@ __all__ = [
     "SCENARIO_UNIFORM",
     "ScenarioConfig",
     "ScenarioData",
+    "ScenarioSpec",
     "build_scenario",
     "initial_configuration",
 ]
@@ -46,8 +53,6 @@ __all__ = [
 SCENARIO_SAME_CATEGORY = "same-category"
 SCENARIO_DIFFERENT_CATEGORY = "different-category"
 SCENARIO_UNIFORM = "uniform"
-
-_SCENARIOS = (SCENARIO_SAME_CATEGORY, SCENARIO_DIFFERENT_CATEGORY, SCENARIO_UNIFORM)
 
 
 @dataclass(frozen=True)
@@ -96,10 +101,106 @@ def _peer_name(index: int) -> str:
     return f"peer{index:03d}"
 
 
+#: Assigns peer *index* its (data category, query category) pair; ``None``
+#: means "mixed over all categories".
+CategoryAssigner = Callable[[int, Sequence[str]], Tuple[Optional[str], Optional[str]]]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative description of a data/query scenario.
+
+    Third parties register new scenarios by name::
+
+        @register_scenario("adversarial")
+        def _adversarial_spec() -> ScenarioSpec: ...
+
+    or directly with a spec instance via
+    ``scenario_registry.register(name, spec)``.  The registry may hold either
+    a spec or a zero-argument factory returning one.
+    """
+
+    name: str
+    assign_categories: CategoryAssigner
+    optimal_clusters: Callable[[ScenarioConfig], int]
+
+
+def _same_category_assign(index: int, categories: Sequence[str]) -> Tuple[str, str]:
+    category = categories[index % len(categories)]
+    return category, category
+
+
+def _different_category_assign(
+    index: int, categories: Sequence[str]
+) -> Tuple[str, str]:
+    # Cycle through all ordered (data, query) pairs with distinct
+    # categories so the pairs are spread as evenly as possible.
+    pair_index = index % (len(categories) * (len(categories) - 1))
+    data_index = pair_index // (len(categories) - 1)
+    offset = pair_index % (len(categories) - 1)
+    query_index = (data_index + 1 + offset) % len(categories)
+    return categories[data_index], categories[query_index]
+
+
+def _uniform_assign(index: int, categories: Sequence[str]) -> Tuple[None, None]:
+    return None, None
+
+
+scenario_registry.register(
+    SCENARIO_SAME_CATEGORY,
+    ScenarioSpec(
+        name=SCENARIO_SAME_CATEGORY,
+        assign_categories=_same_category_assign,
+        optimal_clusters=lambda config: config.num_categories,
+    ),
+    aliases=("scenario1",),
+)
+scenario_registry.register(
+    SCENARIO_DIFFERENT_CATEGORY,
+    ScenarioSpec(
+        name=SCENARIO_DIFFERENT_CATEGORY,
+        assign_categories=_different_category_assign,
+        optimal_clusters=lambda config: config.num_categories * (config.num_categories - 1),
+    ),
+    aliases=("scenario2",),
+)
+scenario_registry.register(
+    SCENARIO_UNIFORM,
+    ScenarioSpec(
+        name=SCENARIO_UNIFORM,
+        assign_categories=_uniform_assign,
+        optimal_clusters=lambda config: config.num_categories,
+    ),
+    aliases=("scenario3",),
+)
+
+
+def scenario_spec(scenario: str) -> ScenarioSpec:
+    """Resolve *scenario* to its registered :class:`ScenarioSpec`.
+
+    Unknown names raise :class:`~repro.errors.DatasetError` whose message
+    lists the registered scenarios.
+    """
+    try:
+        entry = scenario_registry.get(scenario)
+    except UnknownComponentError as error:
+        raise DatasetError(str(error)) from None
+    if isinstance(entry, ScenarioSpec):
+        return entry
+    spec = entry()
+    if not isinstance(spec, ScenarioSpec):
+        raise DatasetError(
+            f"scenario {scenario!r} resolved to {type(spec).__name__}, expected ScenarioSpec"
+        )
+    return spec
+
+
+__all__.append("scenario_spec")
+
+
 def build_scenario(scenario: str, config: Optional[ScenarioConfig] = None) -> ScenarioData:
-    """Build the network (peers, content, workloads) for one of the paper's scenarios."""
-    if scenario not in _SCENARIOS:
-        raise DatasetError(f"unknown scenario {scenario!r}; expected one of {_SCENARIOS}")
+    """Build the network (peers, content, workloads) for a registered scenario."""
+    spec = scenario_spec(scenario)
     config = config if config is not None else ScenarioConfig()
     generator = CorpusGenerator(config.corpus_config(), seed=config.seed)
     rng = random.Random(config.seed + 1)
@@ -114,7 +215,7 @@ def build_scenario(scenario: str, config: Optional[ScenarioConfig] = None) -> Sc
         )
 
     data = ScenarioData(
-        scenario=scenario,
+        scenario=spec.name,
         config=config,
         network=PeerNetwork(),
         generator=generator,
@@ -122,23 +223,7 @@ def build_scenario(scenario: str, config: Optional[ScenarioConfig] = None) -> Sc
 
     for index in range(config.num_peers):
         peer_id = _peer_name(index)
-        data_category: Optional[str]
-        query_category: Optional[str]
-        if scenario == SCENARIO_SAME_CATEGORY:
-            data_category = categories[index % len(categories)]
-            query_category = data_category
-        elif scenario == SCENARIO_DIFFERENT_CATEGORY:
-            # Cycle through all ordered (data, query) pairs with distinct
-            # categories so the pairs are spread as evenly as possible.
-            pair_index = index % (len(categories) * (len(categories) - 1))
-            data_index = pair_index // (len(categories) - 1)
-            offset = pair_index % (len(categories) - 1)
-            query_index = (data_index + 1 + offset) % len(categories)
-            data_category = categories[data_index]
-            query_category = categories[query_index]
-        else:
-            data_category = None
-            query_category = None
+        data_category, query_category = spec.assign_categories(index, categories)
 
         if data_category is None:
             documents = generator.generate_mixed_documents(config.documents_per_peer, rng=rng)
@@ -156,13 +241,61 @@ def build_scenario(scenario: str, config: Optional[ScenarioConfig] = None) -> Sc
         data.data_categories[peer_id] = data_category
         data.query_categories[peer_id] = query_category
 
-    if scenario == SCENARIO_SAME_CATEGORY:
-        data.optimal_cluster_count = config.num_categories
-    elif scenario == SCENARIO_DIFFERENT_CATEGORY:
-        data.optimal_cluster_count = config.num_categories * (config.num_categories - 1)
-    else:
-        data.optimal_cluster_count = config.num_categories
+    data.optimal_cluster_count = spec.optimal_clusters(config)
     return data
+
+
+def _random_spread(
+    data: ScenarioData, cluster_count: int, seed: int
+) -> ClusterConfiguration:
+    """Assign every peer to a uniformly random cluster out of *cluster_count* slots."""
+    peer_ids = data.peer_ids()
+    cluster_count = max(1, min(cluster_count, len(peer_ids)))
+    configuration = ClusterConfiguration.with_slots(len(peer_ids))
+    slots = configuration.cluster_ids()[:cluster_count]
+    rng = random.Random(seed)
+    for peer_id in peer_ids:
+        configuration.assign(peer_id, rng.choice(slots))
+    return configuration
+
+
+@register_initializer("singletons", aliases=("i",))
+def _initial_singletons(
+    data: ScenarioData, *, num_clusters: Optional[int] = None, seed: int = 11
+) -> ClusterConfiguration:
+    """Case i — every peer alone in its own cluster."""
+    return ClusterConfiguration.singletons(data.peer_ids())
+
+
+@register_initializer("random", aliases=("ii",))
+def _initial_random(
+    data: ScenarioData, *, num_clusters: Optional[int] = None, seed: int = 11
+) -> ClusterConfiguration:
+    """Case ii — peers spread randomly over ``m = M`` clusters."""
+    optimal = max(data.optimal_cluster_count, 1)
+    return _random_spread(data, num_clusters if num_clusters is not None else optimal, seed)
+
+
+@register_initializer("fewer", aliases=("iii",))
+def _initial_fewer(
+    data: ScenarioData, *, num_clusters: Optional[int] = None, seed: int = 11
+) -> ClusterConfiguration:
+    """Case iii — peers spread randomly over ``m < M`` clusters."""
+    optimal = max(data.optimal_cluster_count, 1)
+    cluster_count = num_clusters if num_clusters is not None else max(2, optimal // 2)
+    return _random_spread(data, cluster_count, seed)
+
+
+@register_initializer("more", aliases=("iv",))
+def _initial_more(
+    data: ScenarioData, *, num_clusters: Optional[int] = None, seed: int = 11
+) -> ClusterConfiguration:
+    """Case iv — peers spread randomly over ``m > M`` clusters."""
+    optimal = max(data.optimal_cluster_count, 1)
+    cluster_count = (
+        num_clusters if num_clusters is not None else min(len(data.peer_ids()), optimal * 2)
+    )
+    return _random_spread(data, cluster_count, seed)
 
 
 def initial_configuration(
@@ -172,43 +305,24 @@ def initial_configuration(
     num_clusters: Optional[int] = None,
     seed: int = 11,
 ) -> ClusterConfiguration:
-    """Build one of the paper's four initial configurations.
+    """Build a registered initial configuration.
 
     Parameters
     ----------
     kind:
         ``"singletons"`` (i — every peer its own cluster), ``"random"``
         (ii — peers random over ``m = M`` clusters), ``"fewer"`` (iii —
-        ``m < M``) or ``"more"`` (iv — ``m > M``).
+        ``m < M``), ``"more"`` (iv — ``m > M``), ``"category"`` (the
+        ground-truth clustering) or any name registered through
+        :func:`repro.registry.register_initializer`.
     num_clusters:
         Explicit ``m`` overriding the kind's default.
     """
-    peer_ids = data.peer_ids()
-    if kind == "singletons":
-        return ClusterConfiguration.singletons(peer_ids)
-
-    optimal = max(data.optimal_cluster_count, 1)
-    if kind == "random":
-        cluster_count = num_clusters if num_clusters is not None else optimal
-    elif kind == "fewer":
-        cluster_count = num_clusters if num_clusters is not None else max(2, optimal // 2)
-    elif kind == "more":
-        cluster_count = (
-            num_clusters if num_clusters is not None else min(len(peer_ids), optimal * 2)
-        )
-    else:
-        raise DatasetError(
-            f"unknown initial configuration kind {kind!r}; "
-            "expected 'singletons', 'random', 'fewer' or 'more'"
-        )
-    cluster_count = max(1, min(cluster_count, len(peer_ids)))
-
-    configuration = ClusterConfiguration.with_slots(len(peer_ids))
-    slots = configuration.cluster_ids()[:cluster_count]
-    rng = random.Random(seed)
-    for peer_id in peer_ids:
-        configuration.assign(peer_id, rng.choice(slots))
-    return configuration
+    try:
+        builder = initializer_registry.get(kind)
+    except UnknownComponentError as error:
+        raise DatasetError(str(error)) from None
+    return builder(data, num_clusters=num_clusters, seed=seed)
 
 
 def category_configuration(data: ScenarioData) -> ClusterConfiguration:
@@ -230,6 +344,14 @@ def category_configuration(data: ScenarioData) -> ClusterConfiguration:
             raise DatasetError(f"peer {peer_id!r} has no data category")
         configuration.assign(peer_id, slot_of_category[category])
     return configuration
+
+
+@register_initializer("category", aliases=("ground-truth",))
+def _initial_category(
+    data: ScenarioData, *, num_clusters: Optional[int] = None, seed: int = 11
+) -> ClusterConfiguration:
+    """The ground-truth clustering (one cluster per data category)."""
+    return category_configuration(data)
 
 
 __all__.append("category_configuration")

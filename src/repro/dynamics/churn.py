@@ -15,7 +15,6 @@ from typing import List, Optional
 
 from repro.core.costs import CostModel
 from repro.errors import ConfigurationError, DatasetError
-from repro.game.model import ClusterGame
 from repro.peers.configuration import ClusterConfiguration
 from repro.peers.network import PeerNetwork
 from repro.peers.peer import Peer

@@ -20,10 +20,11 @@ skipped to save time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.theta import ThetaFunction
+from repro.events import PERIOD_END, EventHooks, PeriodEndEvent
 from repro.overlay.messages import MessageBus
 from repro.overlay.routing import QueryRouter
 from repro.overlay.simulator import OverlaySimulator
@@ -75,6 +76,7 @@ class PeriodicMaintenanceLoop:
         max_rounds_per_period: int = 100,
         simulate_queries: Optional[bool] = None,
         router_factory: Optional[Callable[[PeerNetwork], QueryRouter]] = None,
+        hooks: Optional[EventHooks] = None,
     ) -> None:
         self.network = network
         self.configuration = configuration
@@ -91,6 +93,10 @@ class PeriodicMaintenanceLoop:
             simulate_queries = getattr(strategy, "mode", "exact") == "observed"
         self.simulate_queries = simulate_queries
         self.router_factory = router_factory
+        #: Event hub shared with the per-period protocol runs, so round and
+        #: relocation events flow from maintenance too; ``period_end`` fires
+        #: here after every period.
+        self.hooks = hooks if hooks is not None else EventHooks()
         self.records: List[PeriodRecord] = []
         self.bus = MessageBus()
 
@@ -127,6 +133,7 @@ class PeriodicMaintenanceLoop:
             allow_cluster_creation=self.allow_cluster_creation,
             restrict_to_nonempty=self.restrict_to_nonempty,
             bus=self.bus,
+            hooks=self.hooks,
         )
         statistics = simulator.statistics if simulator is not None else None
         result: ProtocolResult = protocol.run(
@@ -147,6 +154,7 @@ class PeriodicMaintenanceLoop:
             ),
         )
         self.records.append(record)
+        self.hooks.emit(PERIOD_END, PeriodEndEvent(record=record, protocol_result=result))
         return record
 
     def run(

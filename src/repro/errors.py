@@ -51,3 +51,35 @@ class DatasetError(ReproError):
 
 class StrategyError(ReproError):
     """Raised when a relocation strategy is misconfigured or misused."""
+
+
+class RegistryError(ReproError, ValueError):
+    """Base class for component-registry failures.
+
+    Derives from :class:`ValueError` as well so that the pre-registry factory
+    entry points (``theta_from_name``, ``build_strategy``) keep raising a
+    ``ValueError`` subclass for unknown names, as their callers expect.
+    """
+
+
+class UnknownComponentError(RegistryError):
+    """Raised when a name is not registered; the message lists what is."""
+
+    def __init__(self, kind: str, name: object, known: "list[str]") -> None:
+        listing = ", ".join(sorted(known)) if known else "(none registered)"
+        super().__init__(f"unknown {kind} {name!r}; known: {listing}")
+        self.kind = kind
+        self.name = name
+        self.known = sorted(known)
+
+
+class DuplicateComponentError(RegistryError):
+    """Raised when a name (or alias) is registered twice without ``replace=True``."""
+
+    def __init__(self, kind: str, name: str) -> None:
+        super().__init__(
+            f"{kind} {name!r} is already registered; "
+            "pass replace=True to override it deliberately"
+        )
+        self.kind = kind
+        self.name = name

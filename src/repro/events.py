@@ -1,0 +1,161 @@
+"""Observer/event hooks for protocol rounds and maintenance periods.
+
+The reformulation protocol and the periodic maintenance loop publish three
+events while they run:
+
+* :data:`ROUND_END` — after every executed protocol round, with the round's
+  :class:`~repro.protocol.rounds.RoundResult` and the costs of the resulting
+  configuration;
+* :data:`RELOCATION_GRANTED` — for every granted (and applied) relocation;
+* :data:`PERIOD_END` — after every maintenance period, with its
+  :class:`~repro.dynamics.periodic.PeriodRecord`.
+
+Instrumentation (cost traces, convergence analysis, benchmark probes)
+subscribes to these events instead of picking apart the post-hoc trace lists,
+so it sees the run as it happens and works identically for discovery runs
+and maintenance periods::
+
+    hooks = EventHooks()
+    hooks.on_round_end(lambda event: print(event.round_number, event.social_cost))
+    protocol = ReformulationProtocol(cost_model, configuration, strategy, hooks=hooks)
+    protocol.run()
+
+Subscriber exceptions are not swallowed: observers are part of the caller's
+code and a broken observer should fail loudly rather than silently corrupt
+an experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List
+
+if TYPE_CHECKING:  # imported for annotations only; avoids runtime cycles
+    from repro.dynamics.periodic import PeriodRecord
+    from repro.protocol.reformulation import ProtocolResult
+    from repro.protocol.rounds import GrantedMove, RoundResult
+
+__all__ = [
+    "ROUND_END",
+    "RELOCATION_GRANTED",
+    "PERIOD_END",
+    "RoundEndEvent",
+    "RelocationGrantedEvent",
+    "PeriodEndEvent",
+    "EventHooks",
+    "CostTraceRecorder",
+]
+
+ROUND_END = "round_end"
+RELOCATION_GRANTED = "relocation_granted"
+PERIOD_END = "period_end"
+
+#: An event callback; receives the event dataclass as its only argument.
+EventCallback = Callable[[Any], None]
+
+
+@dataclass(frozen=True)
+class RoundEndEvent:
+    """Published after every executed protocol round."""
+
+    round_number: int
+    result: "RoundResult"
+    social_cost: float
+    workload_cost: float
+    cluster_count: int
+
+
+@dataclass(frozen=True)
+class RelocationGrantedEvent:
+    """Published for every relocation granted (and applied) during a round."""
+
+    round_number: int
+    move: "GrantedMove"
+
+
+@dataclass(frozen=True)
+class PeriodEndEvent:
+    """Published after every maintenance period."""
+
+    record: "PeriodRecord"
+    protocol_result: "ProtocolResult"
+
+
+class EventHooks:
+    """A minimal synchronous publish/subscribe hub for simulation events."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[EventCallback]] = {}
+
+    def subscribe(self, event: str, callback: EventCallback) -> Callable[[], None]:
+        """Register *callback* for *event*; returns an unsubscribe function."""
+        callbacks = self._subscribers.setdefault(event, [])
+        callbacks.append(callback)
+
+        def unsubscribe() -> None:
+            try:
+                callbacks.remove(callback)
+            except ValueError:
+                pass  # already unsubscribed
+
+        return unsubscribe
+
+    # Convenience registrars for the three built-in events.
+
+    def on_round_end(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`ROUND_END` (receives a :class:`RoundEndEvent`)."""
+        return self.subscribe(ROUND_END, callback)
+
+    def on_relocation_granted(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`RELOCATION_GRANTED` (receives a :class:`RelocationGrantedEvent`)."""
+        return self.subscribe(RELOCATION_GRANTED, callback)
+
+    def on_period_end(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`PERIOD_END` (receives a :class:`PeriodEndEvent`)."""
+        return self.subscribe(PERIOD_END, callback)
+
+    def emit(self, event: str, payload: Any) -> None:
+        """Deliver *payload* to every subscriber of *event*, in subscription order."""
+        for callback in tuple(self._subscribers.get(event, ())):
+            callback(payload)
+
+    def subscriber_count(self, event: str) -> int:
+        """Number of live subscriptions for *event*."""
+        return len(self._subscribers.get(event, ()))
+
+    def __repr__(self) -> str:
+        counts = {event: len(callbacks) for event, callbacks in self._subscribers.items() if callbacks}
+        return f"EventHooks(subscribers={counts})"
+
+
+@dataclass
+class CostTraceRecorder:
+    """An observer that accumulates per-round cost traces from events.
+
+    Equivalent to reading ``ProtocolResult``'s trace lists after the fact,
+    but usable live (progress displays, convergence monitors) and across
+    maintenance periods, where a fresh protocol result is produced per
+    period::
+
+        recorder = CostTraceRecorder()
+        recorder.attach(hooks)
+    """
+
+    social_cost: List[float] = field(default_factory=list)
+    workload_cost: List[float] = field(default_factory=list)
+    cluster_count: List[int] = field(default_factory=list)
+    moves: List["GrantedMove"] = field(default_factory=list)
+
+    def attach(self, hooks: EventHooks) -> "CostTraceRecorder":
+        """Subscribe this recorder to *hooks* and return it."""
+        hooks.on_round_end(self._record_round)
+        hooks.on_relocation_granted(self._record_move)
+        return self
+
+    def _record_round(self, event: RoundEndEvent) -> None:
+        self.social_cost.append(event.social_cost)
+        self.workload_cost.append(event.workload_cost)
+        self.cluster_count.append(event.cluster_count)
+
+    def _record_move(self, event: RelocationGrantedEvent) -> None:
+        self.moves.append(event.move)

@@ -12,14 +12,11 @@ the scale changes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
 
 from repro.core.theta import ThetaFunction, theta_from_name
 from repro.datasets.scenarios import ScenarioConfig
-from repro.strategies.altruistic import AltruisticStrategy
-from repro.strategies.base import RelocationStrategy
-from repro.strategies.hybrid import HybridStrategy
-from repro.strategies.selfish import SelfishStrategy
+from repro.errors import ConfigurationError
+from repro.strategies import build_strategy
 
 __all__ = ["ExperimentConfig", "build_strategy"]
 
@@ -41,6 +38,32 @@ class ExperimentConfig:
         return theta_from_name(self.theta_name)
 
     # -- presets ------------------------------------------------------------------
+
+    @classmethod
+    def _scale_presets(cls) -> "dict[str, object]":
+        """The single source of truth mapping scale names to preset builders."""
+        return {"benchmark": cls.benchmark, "paper": cls.paper, "quick": cls.quick}
+
+    @classmethod
+    def scales(cls) -> "tuple[str, ...]":
+        """The known scale preset names, alphabetically."""
+        return tuple(sorted(cls._scale_presets()))
+
+    @classmethod
+    def from_scale(cls, name: str) -> "ExperimentConfig":
+        """Build the preset configuration for scale *name*.
+
+        Replaces the fragile ``getattr(ExperimentConfig, name)()`` dispatch:
+        unknown names raise a :class:`~repro.errors.ConfigurationError` that
+        lists the known presets instead of an ``AttributeError`` (or, worse,
+        calling an unrelated attribute).
+        """
+        normalized = str(name).strip().lower()
+        presets = cls._scale_presets()
+        if normalized not in presets:
+            known = ", ".join(cls.scales())
+            raise ConfigurationError(f"unknown scale preset {name!r}; known presets: {known}")
+        return presets[normalized]()
 
     @classmethod
     def paper(cls) -> "ExperimentConfig":
@@ -79,16 +102,3 @@ class ExperimentConfig:
     def with_scenario(self, **overrides: object) -> "ExperimentConfig":
         """A copy of this config with some scenario fields replaced."""
         return replace(self, scenario=replace(self.scenario, **overrides))
-
-
-def build_strategy(name: str, *, mode: str = "exact", **kwargs: object) -> RelocationStrategy:
-    """Construct a relocation strategy by name (``selfish``, ``altruistic``, ``hybrid``)."""
-    normalized = name.lower()
-    if normalized == "selfish":
-        return SelfishStrategy(mode=mode)
-    if normalized == "altruistic":
-        return AltruisticStrategy(mode=mode)
-    if normalized == "hybrid":
-        weight = float(kwargs.get("weight", 0.5))
-        return HybridStrategy(weight=weight, mode=mode)
-    raise ValueError(f"unknown strategy {name!r}; expected selfish, altruistic or hybrid")

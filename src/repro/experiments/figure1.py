@@ -14,9 +14,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_series
-from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, build_scenario, initial_configuration
-from repro.experiments.config import ExperimentConfig, build_strategy
-from repro.protocol.reformulation import ReformulationProtocol
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, build_scenario
+from repro.experiments.config import ExperimentConfig
+from repro.session import SessionConfig, Simulation
 
 __all__ = ["Figure1Curve", "Figure1Result", "run_figure1"]
 
@@ -66,20 +66,21 @@ def run_figure1(
     data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
     result = Figure1Result()
     for strategy_name in strategies:
-        configuration = initial_configuration(data, initial_kind, seed=config.seed + 13)
-        cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
-        protocol = ReformulationProtocol(
-            cost_model,
-            configuration,
-            build_strategy(strategy_name),
-            gain_threshold=config.gain_threshold,
+        simulation = Simulation.from_config(
+            SessionConfig.from_experiment_config(
+                config,
+                scenario=SCENARIO_SAME_CATEGORY,
+                strategy=strategy_name,
+                initial=initial_kind,
+            ),
+            data=data,
         )
-        run = protocol.run(max_rounds=config.max_rounds)
+        run = simulation.run()
         result.curves[strategy_name] = Figure1Curve(
             strategy=strategy_name,
             social_cost=list(run.social_cost_trace),
             workload_cost=list(run.workload_cost_trace),
-            converged=run.converged and not run.cycle_detected,
-            rounds=run.num_rounds,
+            converged=run.converged,
+            rounds=run.rounds,
         )
     return result

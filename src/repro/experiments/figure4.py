@@ -14,19 +14,16 @@ the cost curve for large ``alpha`` stays high for longer before dropping.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_series
-from repro.datasets.scenarios import (
-    SCENARIO_SAME_CATEGORY,
-    build_scenario,
-    category_configuration,
-)
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY
 from repro.dynamics.updates import update_workload_fraction
 from repro.experiments.config import ExperimentConfig
 from repro.game.model import ClusterGame
 from repro.experiments.maintenance import DEFAULT_FRACTIONS
+from repro.session import SessionConfig, Simulation
 
 __all__ = ["Figure4Curve", "Figure4Result", "run_figure4"]
 
@@ -79,10 +76,17 @@ def run_figure4(
     for alpha in alphas:
         curve = Figure4Curve(alpha=alpha)
         for fraction in fractions:
-            data = build_scenario(
-                SCENARIO_SAME_CATEGORY, replace(config.scenario, uniform_workload=True)
+            simulation = Simulation.from_config(
+                SessionConfig.from_experiment_config(
+                    config,
+                    scenario=SCENARIO_SAME_CATEGORY,
+                    initial="category",
+                    scenario_overrides={"uniform_workload": True},
+                    alpha=alpha,
+                )
             )
-            configuration = category_configuration(data)
+            data = simulation.data
+            configuration = simulation.configuration
             observed_peer = sorted(data.peer_ids())[0]
             current_category = data.data_categories[observed_peer]
             other_categories = sorted(
@@ -117,8 +121,7 @@ def run_figure4(
                     fraction,
                     rng=random.Random(config.seed + 211),
                 )
-            cost_model = data.network.cost_model(theta=config.theta(), alpha=alpha)
-            game = ClusterGame(cost_model, configuration, allow_new_clusters=False)
+            game = ClusterGame(simulation.cost_model, configuration, allow_new_clusters=False)
             response = game.best_response(observed_peer)
             curve.points[fraction] = response.best_cost
             if response.wants_to_move and curve.relocation_fraction is None:

@@ -19,26 +19,21 @@ the normalised social cost of the resulting configuration is recorded.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_series
 from repro.datasets.corpus import CorpusGenerator
-from repro.datasets.scenarios import (
-    SCENARIO_SAME_CATEGORY,
-    ScenarioData,
-    build_scenario,
-    category_configuration,
-)
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, ScenarioData
 from repro.dynamics.updates import (
     update_content_fraction,
     update_content_full,
     update_workload_fraction,
     update_workload_full,
 )
-from repro.experiments.config import ExperimentConfig, build_strategy
+from repro.experiments.config import ExperimentConfig
 from repro.peers.configuration import ClusterConfiguration
-from repro.protocol.reformulation import ReformulationProtocol
+from repro.session import SessionConfig, Simulation
 
 __all__ = [
     "DEFAULT_FRACTIONS",
@@ -173,7 +168,6 @@ def run_maintenance_experiment(
     if update_target not in {"workload", "content"}:
         raise ValueError(f"update_target must be 'workload' or 'content', got {update_target!r}")
     config = config if config is not None else ExperimentConfig.paper()
-    scenario_config = config.scenario
     figure_name = "figure2" if update_target == "workload" else "figure3"
     result = MaintenanceResult(figure=figure_name)
 
@@ -182,12 +176,23 @@ def run_maintenance_experiment(
             curve = MaintenanceCurve(strategy=strategy_name, update_kind=update_kind)
             for fraction in fractions:
                 # Rebuild the scenario from the same seed for every point so
-                # each measurement perturbs an identical starting state.
-                data = build_scenario(
-                    SCENARIO_SAME_CATEGORY,
-                    replace(scenario_config, uniform_workload=True),
+                # each measurement perturbs an identical starting state.  The
+                # facade builds the scenario (and the cost model) lazily, so
+                # the perturbation below happens before any cost is computed.
+                simulation = Simulation.from_config(
+                    SessionConfig.from_experiment_config(
+                        config,
+                        scenario=SCENARIO_SAME_CATEGORY,
+                        strategy=strategy_name,
+                        initial="category",
+                        scenario_overrides={"uniform_workload": True},
+                        gain_threshold=config.maintenance_gain_threshold,
+                        allow_cluster_creation=False,
+                        restrict_to_nonempty=True,
+                    )
                 )
-                configuration = category_configuration(data)
+                data = simulation.data
+                configuration = simulation.configuration
                 choice = _choose_clusters(data, configuration)
                 rng = random.Random(config.seed + 101)
                 generator = data.generator
@@ -201,25 +206,15 @@ def run_maintenance_experiment(
                     generator,
                     rng,
                 )
-                cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
-                before = cost_model.social_cost(configuration, normalized=True)
-                protocol = ReformulationProtocol(
-                    cost_model,
-                    configuration,
-                    build_strategy(strategy_name),
-                    gain_threshold=config.maintenance_gain_threshold,
-                    allow_cluster_creation=False,
-                    restrict_to_nonempty=True,
-                )
-                run = protocol.run(max_rounds=config.max_rounds)
-                after = cost_model.social_cost(configuration, normalized=True)
+                before = simulation.cost_model.social_cost(configuration, normalized=True)
+                run = simulation.run()
                 curve.points.append(
                     MaintenancePoint(
                         fraction=fraction,
-                        social_cost=after,
+                        social_cost=run.final_social_cost,
                         social_cost_before_maintenance=before,
-                        moves=run.total_moves,
-                        rounds=run.num_rounds,
+                        moves=run.moves,
+                        rounds=run.rounds,
                     )
                 )
             result.curves.append(curve)

@@ -118,13 +118,13 @@ def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(description="Run the full experiment suite")
     parser.add_argument(
         "--scale",
-        choices=("quick", "benchmark", "paper"),
+        choices=ExperimentConfig.scales(),
         default="benchmark",
         help="experiment scale preset",
     )
     parser.add_argument("--output", default=None, help="write the markdown report to this file")
     arguments = parser.parse_args(argv)
-    config = getattr(ExperimentConfig, arguments.scale)()
+    config = ExperimentConfig.from_scale(arguments.scale)
     results = run_all(config)
     report = render_report(results, config=config)
     if arguments.output:

@@ -16,9 +16,8 @@ converge, which is reported as a missing round count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from repro.analysis.metrics import cluster_purity
 from repro.analysis.reporting import format_table
 from repro.datasets.scenarios import (
     SCENARIO_DIFFERENT_CATEGORY,
@@ -26,10 +25,9 @@ from repro.datasets.scenarios import (
     SCENARIO_UNIFORM,
     ScenarioData,
     build_scenario,
-    initial_configuration,
 )
-from repro.experiments.config import ExperimentConfig, build_strategy
-from repro.protocol.reformulation import ProtocolResult, ReformulationProtocol
+from repro.experiments.config import ExperimentConfig
+from repro.session import SessionConfig, Simulation
 
 __all__ = ["Table1Row", "Table1Result", "run_table1", "DEFAULT_SCENARIOS", "DEFAULT_INITIAL_KINDS"]
 
@@ -99,31 +97,26 @@ def _run_single(
     initial_kind: str,
     strategy_name: str,
     config: ExperimentConfig,
-) -> Tuple[Table1Row, ProtocolResult]:
-    configuration = initial_configuration(data, initial_kind, seed=config.seed + 13)
-    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
-    strategy = build_strategy(strategy_name)
-    protocol = ReformulationProtocol(
-        cost_model,
-        configuration,
-        strategy,
-        gain_threshold=config.gain_threshold,
-        allow_cluster_creation=True,
+) -> Tuple[Table1Row, "Simulation"]:
+    simulation = Simulation.from_config(
+        SessionConfig.from_experiment_config(
+            config, scenario=data.scenario, strategy=strategy_name, initial=initial_kind
+        ),
+        data=data,
     )
-    result = protocol.run(max_rounds=config.max_rounds)
-    converged = result.converged and not result.cycle_detected
+    result = simulation.run()
     row = Table1Row(
         scenario=data.scenario,
         initial_kind=initial_kind,
         strategy=strategy_name,
-        converged=converged,
-        rounds=result.num_rounds if converged else None,
-        clusters=configuration.num_nonempty_clusters(),
-        social_cost=cost_model.social_cost(configuration, normalized=True),
-        workload_cost=cost_model.workload_cost(configuration, normalized=True),
-        purity=cluster_purity(configuration, data.data_categories),
+        converged=result.converged,
+        rounds=result.rounds if result.converged else None,
+        clusters=result.cluster_count,
+        social_cost=result.final_social_cost,
+        workload_cost=result.final_workload_cost,
+        purity=result.purity if result.purity is not None else 0.0,
     )
-    return row, result
+    return row, simulation
 
 
 def run_table1(

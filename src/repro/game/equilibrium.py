@@ -20,12 +20,12 @@ from __future__ import annotations
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
 from itertools import product
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.core.costs import CostModel
 from repro.core.documents import Document
-from repro.core.queries import Query, QueryWorkload
-from repro.core.theta import LinearTheta, ThetaFunction
+from repro.core.queries import Query
+from repro.core.theta import LinearTheta
 from repro.game.model import ClusterGame
 from repro.peers.configuration import ClusterConfiguration
 from repro.peers.network import PeerNetwork

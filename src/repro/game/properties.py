@@ -14,7 +14,6 @@ case).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.core.costs import CostModel
 from repro.peers.configuration import ClusterConfiguration

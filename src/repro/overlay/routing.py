@@ -31,8 +31,15 @@ from repro.core.queries import Query
 from repro.overlay.messages import MessageBus, QueryMessage, ResultMessage
 from repro.peers.configuration import ClusterConfiguration
 from repro.peers.network import PeerNetwork
+from repro.registry import register_router, router_registry
 
-__all__ = ["AnnotatedResult", "QueryRouter", "BroadcastRouter", "ProbeKRouter"]
+__all__ = [
+    "AnnotatedResult",
+    "QueryRouter",
+    "BroadcastRouter",
+    "ProbeKRouter",
+    "build_router",
+]
 
 PeerId = Hashable
 ClusterId = Hashable
@@ -115,6 +122,7 @@ class QueryRouter:
         return from_cluster / total
 
 
+@register_router("broadcast")
 class BroadcastRouter(QueryRouter):
     """Route every query to every non-empty cluster (exact cluster recall)."""
 
@@ -124,6 +132,7 @@ class BroadcastRouter(QueryRouter):
         return configuration.nonempty_clusters()
 
 
+@register_router("probe-k", aliases=("probe",))
 class ProbeKRouter(QueryRouter):
     """Route a query to the issuer's cluster plus the ``k - 1`` largest other clusters."""
 
@@ -146,3 +155,18 @@ class ProbeKRouter(QueryRouter):
         ]
         others.sort(key=lambda cluster_id: (-configuration.size(cluster_id), repr(cluster_id)))
         return [own_cluster] + others[: self.k - 1]
+
+
+def build_router(
+    name: str,
+    network: PeerNetwork,
+    *,
+    bus: Optional[MessageBus] = None,
+    **kwargs: object,
+) -> QueryRouter:
+    """Construct a query router by its registered *name*.
+
+    Built-ins: ``broadcast`` and ``probe-k`` (the latter takes ``k``); new
+    routers plug in through :func:`repro.registry.register_router`.
+    """
+    return router_registry.create(name, network, bus=bus, **kwargs)

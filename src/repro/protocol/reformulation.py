@@ -24,6 +24,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.costs import NEW_CLUSTER, CostModel
+from repro.events import (
+    RELOCATION_GRANTED,
+    ROUND_END,
+    EventHooks,
+    RelocationGrantedEvent,
+    RoundEndEvent,
+)
 from repro.game.model import ClusterGame
 from repro.overlay.messages import MessageBus
 from repro.peers.configuration import ClusterConfiguration
@@ -74,6 +81,32 @@ class ProtocolResult:
         """Number of non-empty clusters after the last round."""
         return self.cluster_count_trace[-1] if self.cluster_count_trace else 0
 
+    def traces_consistent(self) -> bool:
+        """Whether the three per-round traces have equal lengths."""
+        return (
+            len(self.social_cost_trace)
+            == len(self.workload_cost_trace)
+            == len(self.cluster_count_trace)
+        )
+
+    def equalize_traces(self) -> None:
+        """Truncate the cost/cluster traces to a common length.
+
+        The protocol appends to all three traces together, so they are equal
+        for every exit path (quiescence, all-blocked, cycle, round budget);
+        this guard keeps that invariant even if a subscriber or subclass
+        appends to one trace mid-run, so the ``final_*`` properties always
+        describe one single configuration.
+        """
+        length = min(
+            len(self.social_cost_trace),
+            len(self.workload_cost_trace),
+            len(self.cluster_count_trace),
+        )
+        del self.social_cost_trace[length:]
+        del self.workload_cost_trace[length:]
+        del self.cluster_count_trace[length:]
+
 
 class ReformulationProtocol:
     """Round-based, representative-coordinated cluster maintenance."""
@@ -90,6 +123,7 @@ class ReformulationProtocol:
         restrict_to_nonempty: bool = False,
         enforce_locks: bool = True,
         bus: Optional[MessageBus] = None,
+        hooks: Optional[EventHooks] = None,
     ) -> None:
         self.cost_model = cost_model
         self.configuration = configuration
@@ -100,6 +134,10 @@ class ReformulationProtocol:
         self.restrict_to_nonempty = restrict_to_nonempty
         self.enforce_locks = enforce_locks
         self.bus = bus if bus is not None else MessageBus()
+        #: Event hub publishing ``round_end`` / ``relocation_granted`` events;
+        #: subscribe via ``protocol.hooks.on_round_end(...)`` or pass a shared
+        #: :class:`~repro.events.EventHooks` in.
+        self.hooks = hooks if hooks is not None else EventHooks()
         self._previous_costs: Optional[Dict[PeerId, float]] = None
 
     # -- helpers -----------------------------------------------------------------
@@ -151,6 +189,24 @@ class ReformulationProtocol:
         )
         result.cluster_count_trace.append(self.configuration.num_nonempty_clusters())
 
+    def _publish_round(self, round_result: RoundResult, result: ProtocolResult) -> None:
+        """Publish the round's relocation and round-end events."""
+        for move in round_result.granted:
+            self.hooks.emit(
+                RELOCATION_GRANTED,
+                RelocationGrantedEvent(round_number=round_result.round_number, move=move),
+            )
+        self.hooks.emit(
+            ROUND_END,
+            RoundEndEvent(
+                round_number=round_result.round_number,
+                result=round_result,
+                social_cost=result.final_social_cost,
+                workload_cost=result.final_workload_cost,
+                cluster_count=result.final_cluster_count,
+            ),
+        )
+
     # -- main drivers -------------------------------------------------------------
 
     def run_round(
@@ -194,8 +250,10 @@ class ReformulationProtocol:
             result.rounds.append(round_result)
             if round_result.quiescent:
                 result.converged = True
+                self._publish_round(round_result, result)
                 break
             self._record_costs(result)
+            self._publish_round(round_result, result)
             if round_result.num_granted == 0:
                 # Requests were issued but none could be served (all blocked);
                 # the configuration cannot change any further this way.
@@ -213,6 +271,7 @@ class ReformulationProtocol:
             peer_id: game.current_cost(peer_id) for peer_id in self.configuration.peer_ids()
         }
         result.message_counts = self.bus.snapshot()
+        result.equalize_traces()
         return result
 
     def remember_current_costs(self) -> None:

@@ -1,0 +1,176 @@
+"""Declarative configuration for a simulation session.
+
+:class:`SessionConfig` is the single source of truth from which
+:class:`~repro.session.simulation.Simulation` assembles every ingredient of a
+run: scenario data, initial configuration, cost model (theta + alpha),
+relocation strategy, query router and the reformulation protocol.  All
+pluggable parts are referenced *by registry name*, so a config is a plain
+bag of strings/numbers that round-trips through JSON (``from_dict`` /
+``to_dict``) and can come from a CLI, a config file or code::
+
+    SessionConfig(scenario="same_category", strategy="selfish", scale="quick")
+
+Scale presets: ``scale`` names an :class:`~repro.experiments.config.ExperimentConfig`
+preset (``quick``, ``benchmark``, ``paper``).  Fields such as ``alpha``,
+``theta`` or ``max_rounds`` default to ``None`` meaning "whatever the preset
+says"; setting them overrides the preset.  An existing ``ExperimentConfig``
+can be wrapped directly with :meth:`SessionConfig.from_experiment_config`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field, fields, replace
+from typing import Any, Dict, Mapping, Optional
+
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, ScenarioConfig
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+
+__all__ = ["SessionConfig"]
+
+
+@dataclass(frozen=True)
+class SessionConfig:
+    """Everything needed to assemble and run one simulation session."""
+
+    #: Registered scenario name (``same-category``/``same_category``, ...).
+    scenario: str = SCENARIO_SAME_CATEGORY
+    #: Registered relocation strategy name.
+    strategy: str = "selfish"
+    #: Scale preset name (``quick``/``benchmark``/``paper``); ``None`` = paper scale.
+    scale: Optional[str] = None
+    #: Registered initial-configuration kind (``singletons``, ``random``, ...).
+    initial: str = "singletons"
+    #: Explicit cluster count for the random initial configurations.
+    num_clusters: Optional[int] = None
+    #: Theta function name; ``None`` = the preset's (``linear`` by default).
+    theta: Optional[str] = None
+    theta_options: Dict[str, Any] = field(default_factory=dict)
+    #: Membership-cost weight; ``None`` = the preset's.
+    alpha: Optional[float] = None
+    #: Discovery-run gain threshold ε; ``None`` = the preset's.
+    gain_threshold: Optional[float] = None
+    #: Maintenance gain threshold ε; ``None`` = the preset's (0.001).
+    maintenance_gain_threshold: Optional[float] = None
+    #: Protocol round budget; ``None`` = the preset's.
+    max_rounds: Optional[int] = None
+    #: Master seed; ``None`` = the preset's.
+    seed: Optional[int] = None
+    #: Strategy evaluation mode (``exact`` or ``observed``).
+    strategy_mode: str = "exact"
+    strategy_options: Dict[str, Any] = field(default_factory=dict)
+    #: Registered query router name; ``None`` = broadcast when a router is needed.
+    router: Optional[str] = None
+    router_options: Dict[str, Any] = field(default_factory=dict)
+    #: Field overrides applied to the preset's :class:`ScenarioConfig`.
+    scenario_overrides: Dict[str, Any] = field(default_factory=dict)
+    #: Discovery-run protocol knobs (the paper's Section 4.1 defaults).
+    allow_cluster_creation: bool = True
+    creation_cost_increase: float = 0.0
+    restrict_to_nonempty: bool = False
+    enforce_locks: bool = True
+    #: Base experiment config taking the role of the scale preset when set.
+    base: Optional[ExperimentConfig] = None
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_experiment_config(
+        cls, config: ExperimentConfig, **overrides: Any
+    ) -> "SessionConfig":
+        """Wrap an existing :class:`ExperimentConfig` (plus session-level *overrides*)."""
+        if not isinstance(config, ExperimentConfig):
+            raise ConfigurationError(
+                f"expected an ExperimentConfig, got {type(config).__name__}"
+            )
+        return cls(base=config, **overrides)
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "SessionConfig":
+        """Build a config from a plain mapping (JSON/CLI use).
+
+        Unknown keys raise :class:`~repro.errors.ConfigurationError` listing
+        the valid field names.  A nested ``base`` mapping is materialised as
+        an :class:`ExperimentConfig` (with its nested ``scenario``).
+        """
+        known = {spec.name for spec in fields(cls)}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown session config keys {unknown}; valid keys: {sorted(known)}"
+            )
+        values = dict(mapping)
+        base = values.get("base")
+        if isinstance(base, Mapping):
+            base_values = dict(base)
+            scenario = base_values.get("scenario")
+            if isinstance(scenario, Mapping):
+                base_values["scenario"] = ScenarioConfig(**scenario)
+            values["base"] = ExperimentConfig(**base_values)
+        return cls(**values)
+
+    @classmethod
+    def from_any(cls, value: Any = None, **overrides: Any) -> "SessionConfig":
+        """Coerce *value* (SessionConfig, mapping, ExperimentConfig or None) to a config."""
+        if value is None:
+            config = cls()
+        elif isinstance(value, cls):
+            config = value
+        elif isinstance(value, ExperimentConfig):
+            config = cls.from_experiment_config(value)
+        elif isinstance(value, Mapping):
+            config = cls.from_dict(value)
+        else:
+            raise ConfigurationError(
+                "expected a SessionConfig, ExperimentConfig, mapping or None, "
+                f"got {type(value).__name__}"
+            )
+        if overrides:
+            config = config.with_options(**overrides)
+        return config
+
+    # -- derived views -----------------------------------------------------------
+
+    def with_options(self, **overrides: Any) -> "SessionConfig":
+        """A copy of this config with some fields replaced."""
+        known = {spec.name for spec in fields(type(self))}
+        unknown = sorted(set(overrides) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown session config keys {unknown}; valid keys: {sorted(known)}"
+            )
+        return replace(self, **overrides)
+
+    def experiment_config(self) -> ExperimentConfig:
+        """The resolved :class:`ExperimentConfig` (preset + explicit overrides)."""
+        if self.base is not None:
+            config = self.base
+        elif self.scale is not None:
+            config = ExperimentConfig.from_scale(self.scale)
+        else:
+            config = ExperimentConfig.paper()
+        overrides: Dict[str, Any] = {}
+        if self.alpha is not None:
+            overrides["alpha"] = self.alpha
+        if self.theta is not None:
+            overrides["theta_name"] = self.theta
+        if self.gain_threshold is not None:
+            overrides["gain_threshold"] = self.gain_threshold
+        if self.maintenance_gain_threshold is not None:
+            overrides["maintenance_gain_threshold"] = self.maintenance_gain_threshold
+        if self.max_rounds is not None:
+            overrides["max_rounds"] = self.max_rounds
+        if self.seed is not None:
+            overrides["seed"] = self.seed
+        if overrides:
+            config = replace(config, **overrides)
+        if self.scenario_overrides:
+            config = config.with_scenario(**self.scenario_overrides)
+        return config
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable mapping that round-trips through :meth:`from_dict`."""
+        values = asdict(self)
+        if self.base is None:
+            values.pop("base")
+        return values

@@ -1,0 +1,101 @@
+"""Unified result object for simulation sessions.
+
+:class:`RunResult` normalises the outcome of a discovery run (one
+reformulation protocol execution), a maintenance run (several periods of the
+periodic loop) or any mix, into one structure with a JSON-safe
+:meth:`RunResult.to_dict` — the shape the CLI, experiment reports and
+external tooling consume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.dynamics.periodic import PeriodRecord
+from repro.protocol.reformulation import ProtocolResult
+
+__all__ = ["RunResult"]
+
+#: ``RunResult.kind`` values.
+KIND_DISCOVERY = "discovery"
+KIND_MAINTENANCE = "maintenance"
+
+
+@dataclass
+class RunResult:
+    """What a session run produced, independent of how it was driven.
+
+    For discovery runs the traces are per protocol round; for maintenance
+    runs they are per period (the cost after each period's maintenance pass).
+    ``protocol_result`` keeps the raw low-level result for callers that need
+    round-by-round detail; it is deliberately excluded from :meth:`to_dict`.
+    """
+
+    kind: str
+    converged: bool
+    cycle_detected: bool = False
+    rounds: int = 0
+    moves: int = 0
+    final_social_cost: float = float("nan")
+    final_workload_cost: float = float("nan")
+    cluster_count: int = 0
+    social_cost_trace: List[float] = field(default_factory=list)
+    workload_cost_trace: List[float] = field(default_factory=list)
+    cluster_count_trace: List[int] = field(default_factory=list)
+    message_counts: Dict[str, int] = field(default_factory=dict)
+    #: Ground-truth cluster purity, when the scenario has data categories.
+    purity: Optional[float] = None
+    #: Per-period records for maintenance runs (empty for discovery runs).
+    periods: List[PeriodRecord] = field(default_factory=list)
+    #: Queries routed over the overlay during observation periods.
+    queries_routed: int = 0
+    #: The session config the run was assembled from, as a plain dict.
+    config: Dict[str, Any] = field(default_factory=dict)
+    #: Raw protocol result of the (last) protocol run; not serialised.
+    protocol_result: Optional[ProtocolResult] = None
+
+    @property
+    def num_periods(self) -> int:
+        """Number of completed maintenance periods."""
+        return len(self.periods)
+
+    @property
+    def improvement(self) -> float:
+        """Drop of the normalised social cost from the first to the last trace entry."""
+        if len(self.social_cost_trace) < 2:
+            return 0.0
+        return self.social_cost_trace[0] - self.social_cost_trace[-1]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable summary of the run."""
+        return {
+            "kind": self.kind,
+            "converged": self.converged,
+            "cycle_detected": self.cycle_detected,
+            "rounds": self.rounds,
+            "moves": self.moves,
+            "final_social_cost": self.final_social_cost,
+            "final_workload_cost": self.final_workload_cost,
+            "cluster_count": self.cluster_count,
+            "social_cost_trace": list(self.social_cost_trace),
+            "workload_cost_trace": list(self.workload_cost_trace),
+            "cluster_count_trace": list(self.cluster_count_trace),
+            "message_counts": dict(self.message_counts),
+            "purity": self.purity,
+            "periods": [asdict(record) for record in self.periods],
+            "queries_routed": self.queries_routed,
+            "config": dict(self.config),
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        """The :meth:`to_dict` summary rendered as JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self) -> str:
+        return (
+            f"RunResult(kind={self.kind!r}, converged={self.converged}, "
+            f"rounds={self.rounds}, moves={self.moves}, "
+            f"social_cost={self.final_social_cost:.3f}, clusters={self.cluster_count})"
+        )

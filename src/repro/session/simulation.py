@@ -1,0 +1,504 @@
+"""The :class:`Simulation` facade and its fluent :class:`SimulationBuilder`.
+
+One composable entry point over the library's six moving parts (scenario,
+initial configuration, cost model, strategy, router, protocol)::
+
+    from repro import Simulation, SessionConfig
+
+    result = Simulation.from_config(
+        SessionConfig(scenario="same_category", strategy="selfish", scale="quick")
+    ).run()
+    print(result.converged, result.final_social_cost)
+
+or, fluently::
+
+    result = (
+        Simulation.builder()
+        .scenario("same-category")
+        .strategy("selfish")
+        .scale("quick")
+        .build()
+        .run()
+    )
+
+The facade assembles exactly what the hand-wired quickstart assembles — the
+same builders, the same seeds — so a facade run reproduces the hand-wired
+run result for result.  Components are materialised lazily (and can be
+injected), so callers may perturb ``simulation.data.network`` before the
+cost model is built, exactly like the maintenance experiments do.
+
+Events: every simulation owns an :class:`~repro.events.EventHooks` that the
+protocol and maintenance loop publish to; subscribe with
+:meth:`Simulation.on_round_end`, :meth:`Simulation.on_relocation_granted`
+and :meth:`Simulation.on_period_end`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.analysis.metrics import cluster_purity
+from repro.core.costs import CostModel
+from repro.core.theta import ThetaFunction, theta_from_name
+from repro.datasets.scenarios import ScenarioData, build_scenario, initial_configuration
+from repro.dynamics.periodic import PeriodicMaintenanceLoop, UpdateCallback
+from repro.errors import ConfigurationError
+from repro.events import EventHooks
+from repro.overlay.routing import QueryRouter, build_router
+from repro.overlay.simulator import OverlaySimulator
+from repro.peers.configuration import ClusterConfiguration
+from repro.peers.network import PeerNetwork
+from repro.protocol.reformulation import ProtocolResult, ReformulationProtocol
+from repro.session.config import SessionConfig
+from repro.session.result import KIND_DISCOVERY, KIND_MAINTENANCE, RunResult
+from repro.strategies import build_strategy
+from repro.strategies.base import RelocationStrategy
+
+__all__ = ["Simulation", "SimulationBuilder"]
+
+
+class Simulation:
+    """Facade assembling and driving one simulation session.
+
+    Parameters
+    ----------
+    config:
+        The declarative :class:`SessionConfig` (or anything
+        :meth:`SessionConfig.from_any` accepts).
+    data, configuration, strategy, hooks:
+        Optional pre-built components; anything not injected is built lazily
+        from *config*.  Injecting ``data`` lets several sessions share one
+        (expensive) scenario build, as the experiment drivers do.
+    """
+
+    def __init__(
+        self,
+        config: Any = None,
+        *,
+        data: Optional[ScenarioData] = None,
+        configuration: Optional[ClusterConfiguration] = None,
+        strategy: Optional[RelocationStrategy] = None,
+        hooks: Optional[EventHooks] = None,
+        **overrides: Any,
+    ) -> None:
+        self.config = SessionConfig.from_any(config, **overrides)
+        self.experiment_config = self.config.experiment_config()
+        self.hooks = hooks if hooks is not None else EventHooks()
+        self._data = data
+        self._configuration = configuration
+        self._strategy = strategy
+        self._theta: Optional[ThetaFunction] = None
+        self._cost_model: Optional[CostModel] = None
+        #: The protocol instance of the most recent :meth:`run` call.
+        self.last_protocol: Optional[ReformulationProtocol] = None
+        #: The maintenance loop of the most recent :meth:`run_maintenance` call.
+        self.last_loop: Optional[PeriodicMaintenanceLoop] = None
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, config: Any = None, **overrides: Any) -> "Simulation":
+        """Build a simulation from a :class:`SessionConfig`, mapping, ``ExperimentConfig`` or kwargs."""
+        return cls(config, **overrides)
+
+    @classmethod
+    def builder(cls) -> "SimulationBuilder":
+        """A fluent builder producing a :class:`Simulation`."""
+        return SimulationBuilder()
+
+    # -- assembled components ----------------------------------------------------
+
+    @property
+    def data(self) -> ScenarioData:
+        """The scenario data (network + ground truth); built on first access."""
+        if self._data is None:
+            self._data = build_scenario(self.config.scenario, self.experiment_config.scenario)
+        return self._data
+
+    @property
+    def network(self) -> PeerNetwork:
+        """The scenario's peer network."""
+        return self.data.network
+
+    @property
+    def configuration(self) -> ClusterConfiguration:
+        """The (mutable) cluster configuration the protocol operates on."""
+        if self._configuration is None:
+            self._configuration = initial_configuration(
+                self.data,
+                self.config.initial,
+                num_clusters=self.config.num_clusters,
+                seed=self.experiment_config.seed + 13,
+            )
+        return self._configuration
+
+    @property
+    def theta(self) -> ThetaFunction:
+        """The cluster membership cost function."""
+        if self._theta is None:
+            if self.config.theta_options:
+                name = self.config.theta or self.experiment_config.theta_name
+                self._theta = theta_from_name(name, **self.config.theta_options)
+            else:
+                self._theta = self.experiment_config.theta()
+        return self._theta
+
+    @property
+    def strategy(self) -> RelocationStrategy:
+        """The relocation strategy instance."""
+        if self._strategy is None:
+            self._strategy = build_strategy(
+                self.config.strategy,
+                mode=self.config.strategy_mode,
+                **self.config.strategy_options,
+            )
+        return self._strategy
+
+    @property
+    def cost_model(self) -> CostModel:
+        """The cost model over the network's current state (cached; see :meth:`invalidate`)."""
+        if self._cost_model is None:
+            self._cost_model = self.network.cost_model(
+                theta=self.theta, alpha=self.experiment_config.alpha
+            )
+        return self._cost_model
+
+    def router_factory(self) -> Optional[Callable[[PeerNetwork], QueryRouter]]:
+        """Factory for the configured query router, or ``None`` for the default broadcast."""
+        if self.config.router is None:
+            return None
+        name, options = self.config.router, dict(self.config.router_options)
+        return lambda network: build_router(name, network, **options)
+
+    def invalidate(self) -> None:
+        """Drop the cached cost model after mutating the network (updates, churn)."""
+        self._cost_model = None
+
+    # -- event subscriptions -----------------------------------------------------
+
+    def on_round_end(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Subscribe to round-end events; returns an unsubscribe function."""
+        return self.hooks.on_round_end(callback)
+
+    def on_relocation_granted(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Subscribe to granted-relocation events; returns an unsubscribe function."""
+        return self.hooks.on_relocation_granted(callback)
+
+    def on_period_end(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Subscribe to maintenance period-end events; returns an unsubscribe function."""
+        return self.hooks.on_period_end(callback)
+
+    # -- running -----------------------------------------------------------------
+
+    def _purity(self) -> Optional[float]:
+        categories = self.data.data_categories
+        if not any(category is not None for category in categories.values()):
+            return None
+        return cluster_purity(self.configuration, categories)
+
+    def _observe(self) -> Optional[OverlaySimulator]:
+        """Run one observation period when the strategy needs observed statistics."""
+        if getattr(self.strategy, "mode", "exact") != "observed":
+            return None
+        factory = self.router_factory()
+        router = factory(self.network) if factory is not None else None
+        simulator = OverlaySimulator(self.network, self.configuration, router=router)
+        simulator.run_period()
+        return simulator
+
+    def run(self, *, max_rounds: Optional[int] = None) -> RunResult:
+        """Run the reformulation protocol to quiescence (a discovery run).
+
+        Continues from the session's current configuration, so consecutive
+        calls model consecutive maintenance passes; use :meth:`run_maintenance`
+        for the full periodic loop with observation and exogenous updates.
+        """
+        config = self.experiment_config
+        simulator = self._observe()
+        protocol = ReformulationProtocol(
+            self.cost_model,
+            self.configuration,
+            self.strategy,
+            gain_threshold=config.gain_threshold,
+            allow_cluster_creation=self.config.allow_cluster_creation,
+            creation_cost_increase=self.config.creation_cost_increase,
+            restrict_to_nonempty=self.config.restrict_to_nonempty,
+            enforce_locks=self.config.enforce_locks,
+            hooks=self.hooks,
+        )
+        self.last_protocol = protocol
+        statistics = simulator.statistics if simulator is not None else None
+        result: ProtocolResult = protocol.run(
+            max_rounds=max_rounds if max_rounds is not None else config.max_rounds,
+            statistics=statistics,
+        )
+        queries_routed = 0
+        if simulator is not None:
+            queries_routed = sum(
+                stats.recall_tracker.queries_observed()
+                for stats in simulator.statistics.values()
+            )
+        return RunResult(
+            kind=KIND_DISCOVERY,
+            converged=result.converged and not result.cycle_detected,
+            cycle_detected=result.cycle_detected,
+            rounds=result.num_rounds,
+            moves=result.total_moves,
+            final_social_cost=result.final_social_cost,
+            final_workload_cost=result.final_workload_cost,
+            cluster_count=self.configuration.num_nonempty_clusters(),
+            social_cost_trace=list(result.social_cost_trace),
+            workload_cost_trace=list(result.workload_cost_trace),
+            cluster_count_trace=list(result.cluster_count_trace),
+            message_counts=dict(result.message_counts),
+            purity=self._purity(),
+            queries_routed=queries_routed,
+            config=self.config.to_dict(),
+            protocol_result=result,
+        )
+
+    def run_maintenance(
+        self,
+        periods: int,
+        *,
+        updates: Optional[List[Optional[UpdateCallback]]] = None,
+        max_rounds_per_period: Optional[int] = None,
+    ) -> RunResult:
+        """Run *periods* of the periodic maintenance loop (Section 4.2 setting).
+
+        Uses the paper's maintenance defaults — fixed cluster count
+        (no creation, candidates restricted to non-empty clusters) and the
+        maintenance gain threshold — independent of the discovery knobs.
+        ``updates[i]``, when given, applies period *i*'s exogenous changes.
+        """
+        if periods < 0:
+            raise ConfigurationError(f"periods must be non-negative, got {periods}")
+        config = self.experiment_config
+        loop_kwargs: Dict[str, Any] = {}
+        if max_rounds_per_period is not None:
+            loop_kwargs["max_rounds_per_period"] = max_rounds_per_period
+        loop = PeriodicMaintenanceLoop(
+            self.network,
+            self.configuration,
+            self.strategy,
+            alpha=config.alpha,
+            theta=self.theta,
+            gain_threshold=config.maintenance_gain_threshold,
+            router_factory=self.router_factory(),
+            hooks=self.hooks,
+            **loop_kwargs,
+        )
+        self.last_loop = loop
+        cluster_counts: List[int] = []
+        unsubscribe = self.hooks.on_period_end(
+            lambda _event: cluster_counts.append(self.configuration.num_nonempty_clusters())
+        )
+        try:
+            records = loop.run(periods, updates=updates)
+        finally:
+            unsubscribe()
+        self.invalidate()  # the loop's updates may have mutated the network
+        final_social = records[-1].social_cost_after if records else float("nan")
+        final_workload = records[-1].workload_cost_after if records else float("nan")
+        return RunResult(
+            kind=KIND_MAINTENANCE,
+            converged=all(record.converged for record in records) if records else True,
+            rounds=sum(record.rounds for record in records),
+            moves=sum(record.moves for record in records),
+            final_social_cost=final_social,
+            final_workload_cost=final_workload,
+            cluster_count=self.configuration.num_nonempty_clusters(),
+            social_cost_trace=[record.social_cost_after for record in records],
+            workload_cost_trace=[record.workload_cost_after for record in records],
+            cluster_count_trace=cluster_counts,
+            message_counts=loop.bus.snapshot(),
+            purity=self._purity(),
+            periods=records,
+            queries_routed=sum(record.queries_routed for record in records),
+            config=self.config.to_dict(),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Simulation(scenario={self.config.scenario!r}, "
+            f"strategy={self.config.strategy!r}, initial={self.config.initial!r})"
+        )
+
+
+class SimulationBuilder:
+    """Fluent construction of a :class:`Simulation`.
+
+    Every setter returns the builder; :meth:`build` materialises the
+    simulation, :meth:`config` just the :class:`SessionConfig`.
+    """
+
+    def __init__(self) -> None:
+        self._values: Dict[str, Any] = {}
+        self._data: Optional[ScenarioData] = None
+        self._configuration: Optional[ClusterConfiguration] = None
+        self._strategy_instance: Optional[RelocationStrategy] = None
+        self._hooks: Optional[EventHooks] = None
+        self._subscriptions: List[Any] = []  # (event-registrar name, callback)
+
+    # -- component selection -----------------------------------------------------
+
+    def scenario(self, name: str, **overrides: Any) -> "SimulationBuilder":
+        """Select the scenario by registered name (plus ``ScenarioConfig`` overrides)."""
+        self._values["scenario"] = name
+        if overrides:
+            merged = dict(self._values.get("scenario_overrides", {}))
+            merged.update(overrides)
+            self._values["scenario_overrides"] = merged
+        return self
+
+    def strategy(self, strategy: Any, **options: Any) -> "SimulationBuilder":
+        """Select the relocation strategy by registered name or pass an instance.
+
+        A later call replaces the earlier selection entirely; constructor
+        *options* only make sense with a name (an instance is already built).
+        """
+        if isinstance(strategy, RelocationStrategy):
+            if options:
+                raise ConfigurationError(
+                    "strategy options cannot be combined with a strategy instance; "
+                    "configure the instance directly or pass the strategy by name"
+                )
+            self._strategy_instance = strategy
+            self._values["strategy"] = getattr(strategy, "name", type(strategy).__name__)
+            self._values.pop("strategy_options", None)
+        else:
+            self._strategy_instance = None
+            self._values["strategy"] = strategy
+            if options:
+                self._values["strategy_options"] = dict(options)
+            else:
+                self._values.pop("strategy_options", None)
+        return self
+
+    def scale(self, name: str) -> "SimulationBuilder":
+        """Select the experiment scale preset (``quick``/``benchmark``/``paper``)."""
+        self._values["scale"] = name
+        return self
+
+    def initial(self, kind: str, *, num_clusters: Optional[int] = None) -> "SimulationBuilder":
+        """Select the initial configuration kind (and an explicit cluster count)."""
+        self._values["initial"] = kind
+        if num_clusters is not None:
+            self._values["num_clusters"] = num_clusters
+        return self
+
+    def theta(self, name: str, **options: Any) -> "SimulationBuilder":
+        """Select the theta (membership cost) function by registered name."""
+        self._values["theta"] = name
+        if options:
+            self._values["theta_options"] = dict(options)
+        return self
+
+    def router(self, name: str, **options: Any) -> "SimulationBuilder":
+        """Select the query router by registered name (e.g. ``probe-k`` with ``k=3``)."""
+        self._values["router"] = name
+        if options:
+            self._values["router_options"] = dict(options)
+        return self
+
+    # -- scalar knobs ------------------------------------------------------------
+
+    def alpha(self, value: float) -> "SimulationBuilder":
+        """Set the membership-cost weight ``alpha``."""
+        self._values["alpha"] = value
+        return self
+
+    def gain_threshold(self, value: float) -> "SimulationBuilder":
+        """Set the discovery-run gain threshold ε."""
+        self._values["gain_threshold"] = value
+        return self
+
+    def maintenance_gain_threshold(self, value: float) -> "SimulationBuilder":
+        """Set the maintenance gain threshold ε."""
+        self._values["maintenance_gain_threshold"] = value
+        return self
+
+    def max_rounds(self, value: int) -> "SimulationBuilder":
+        """Set the protocol round budget."""
+        self._values["max_rounds"] = value
+        return self
+
+    def seed(self, value: int) -> "SimulationBuilder":
+        """Set the master seed."""
+        self._values["seed"] = value
+        return self
+
+    def strategy_mode(self, mode: str) -> "SimulationBuilder":
+        """Set the strategy evaluation mode (``exact`` or ``observed``)."""
+        self._values["strategy_mode"] = mode
+        return self
+
+    def protocol_options(
+        self,
+        *,
+        allow_cluster_creation: Optional[bool] = None,
+        creation_cost_increase: Optional[float] = None,
+        restrict_to_nonempty: Optional[bool] = None,
+        enforce_locks: Optional[bool] = None,
+    ) -> "SimulationBuilder":
+        """Set the discovery-run protocol knobs."""
+        for key, value in (
+            ("allow_cluster_creation", allow_cluster_creation),
+            ("creation_cost_increase", creation_cost_increase),
+            ("restrict_to_nonempty", restrict_to_nonempty),
+            ("enforce_locks", enforce_locks),
+        ):
+            if value is not None:
+                self._values[key] = value
+        return self
+
+    # -- injection and observers -------------------------------------------------
+
+    def with_data(self, data: ScenarioData) -> "SimulationBuilder":
+        """Inject pre-built scenario data (shared across sessions)."""
+        self._data = data
+        return self
+
+    def with_configuration(self, configuration: ClusterConfiguration) -> "SimulationBuilder":
+        """Inject a pre-built initial cluster configuration."""
+        self._configuration = configuration
+        return self
+
+    def hooks(self, hooks: EventHooks) -> "SimulationBuilder":
+        """Use an existing event hub instead of a fresh one."""
+        self._hooks = hooks
+        return self
+
+    def on_round_end(self, callback: Callable[[Any], None]) -> "SimulationBuilder":
+        """Subscribe *callback* to round-end events of the built simulation."""
+        self._subscriptions.append(("on_round_end", callback))
+        return self
+
+    def on_relocation_granted(self, callback: Callable[[Any], None]) -> "SimulationBuilder":
+        """Subscribe *callback* to granted-relocation events of the built simulation."""
+        self._subscriptions.append(("on_relocation_granted", callback))
+        return self
+
+    def on_period_end(self, callback: Callable[[Any], None]) -> "SimulationBuilder":
+        """Subscribe *callback* to period-end events of the built simulation."""
+        self._subscriptions.append(("on_period_end", callback))
+        return self
+
+    # -- materialisation ---------------------------------------------------------
+
+    def config(self) -> SessionConfig:
+        """The :class:`SessionConfig` the builder currently describes."""
+        return SessionConfig(**self._values)
+
+    def build(self) -> Simulation:
+        """Assemble the :class:`Simulation`."""
+        simulation = Simulation(
+            self.config(),
+            data=self._data,
+            configuration=self._configuration,
+            strategy=self._strategy_instance,
+            hooks=self._hooks,
+        )
+        for registrar, callback in self._subscriptions:
+            getattr(simulation, registrar)(callback)
+        return simulation

@@ -51,6 +51,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.errors import StrategyError
+from repro.registry import register_strategy
 from repro.strategies.base import RelocationProposal, RelocationStrategy, StrategyContext
 
 __all__ = ["AltruisticStrategy", "exact_contributions"]
@@ -92,6 +93,7 @@ def exact_contributions(peer_id: PeerId, context: StrategyContext) -> Dict[Clust
     }
 
 
+@register_strategy("altruistic")
 class AltruisticStrategy(RelocationStrategy):
     """Move to the cluster to which the peer contributes the most results."""
 

@@ -19,6 +19,7 @@ from collections.abc import Hashable
 from typing import Dict, Optional
 
 from repro.errors import StrategyError
+from repro.registry import register_strategy
 from repro.strategies.altruistic import AltruisticStrategy
 from repro.strategies.base import RelocationProposal, RelocationStrategy, StrategyContext
 
@@ -28,6 +29,7 @@ PeerId = Hashable
 ClusterId = Hashable
 
 
+@register_strategy("hybrid")
 class HybridStrategy(RelocationStrategy):
     """Blend of the selfish and altruistic criteria with a configurable weight."""
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections.abc import Hashable
 from typing import Dict, Optional
 
-from repro.core.costs import NEW_CLUSTER
+from repro.registry import register_strategy
 from repro.strategies.base import RelocationProposal, RelocationStrategy, StrategyContext
 from repro.errors import StrategyError
 
@@ -29,6 +29,7 @@ PeerId = Hashable
 ClusterId = Hashable
 
 
+@register_strategy("selfish")
 class SelfishStrategy(RelocationStrategy):
     """Move to the cluster minimising the peer's own individual cost."""
 

@@ -50,3 +50,30 @@ class TestStrategyFactory:
     def test_unknown_strategy(self):
         with pytest.raises(ValueError):
             build_strategy("chaotic-neutral")
+
+
+class TestFromScale:
+    def test_resolves_every_known_preset(self):
+        assert ExperimentConfig.from_scale("quick") == ExperimentConfig.quick()
+        assert ExperimentConfig.from_scale("benchmark") == ExperimentConfig.benchmark()
+        assert ExperimentConfig.from_scale("paper") == ExperimentConfig.paper()
+
+    def test_is_case_insensitive(self):
+        assert ExperimentConfig.from_scale("Quick") == ExperimentConfig.quick()
+
+    def test_unknown_scale_lists_the_presets(self):
+        from repro.errors import ConfigurationError, ReproError
+
+        with pytest.raises(ConfigurationError) as excinfo:
+            ExperimentConfig.from_scale("galactic")
+        message = str(excinfo.value)
+        for preset in ExperimentConfig.scales():
+            assert preset in message
+        assert isinstance(excinfo.value, ReproError)
+
+    def test_does_not_dispatch_to_arbitrary_attributes(self):
+        # The old getattr()-based dispatch would happily call any classmethod.
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            ExperimentConfig.from_scale("with_scenario")

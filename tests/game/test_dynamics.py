@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.game.dynamics import run_best_response_dynamics
 from repro.game.model import ClusterGame

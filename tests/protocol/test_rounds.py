@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.costs import NEW_CLUSTER
 from repro.overlay.messages import MessageBus

@@ -1,0 +1,126 @@
+"""Regression tests: ProtocolResult's traces stay equal-length on every exit path."""
+
+from __future__ import annotations
+
+from repro.core.costs import NEW_CLUSTER
+from repro.peers.configuration import ClusterConfiguration
+from repro.protocol.reformulation import ProtocolResult, ReformulationProtocol
+from repro.strategies.base import RelocationProposal, RelocationStrategy
+
+from tests.conftest import make_tiny_network
+
+
+class NewClusterStrategy(RelocationStrategy):
+    """Always asks for a fresh cluster; with no empty slots every request blocks."""
+
+    name = "new-cluster"
+
+    def propose(self, peer_id, context):
+        current = context.game.configuration.cluster_of(peer_id)
+        return RelocationProposal(
+            peer_id=peer_id, source_cluster=current, target_cluster=NEW_CLUSTER, gain=1.0
+        )
+
+
+class PingPongStrategy(RelocationStrategy):
+    """Always moves to the other of two clusters, forcing a configuration cycle."""
+
+    name = "ping-pong"
+
+    def __init__(self, cluster_a, cluster_b) -> None:
+        self.cluster_a = cluster_a
+        self.cluster_b = cluster_b
+
+    def propose(self, peer_id, context):
+        current = context.game.configuration.cluster_of(peer_id)
+        target = self.cluster_b if current == self.cluster_a else self.cluster_a
+        return RelocationProposal(
+            peer_id=peer_id, source_cluster=current, target_cluster=target, gain=1.0
+        )
+
+
+def _trace_lengths(result: ProtocolResult):
+    return (
+        len(result.social_cost_trace),
+        len(result.workload_cost_trace),
+        len(result.cluster_count_trace),
+    )
+
+
+def _protocol(strategy, configuration, **kwargs):
+    network = make_tiny_network()
+    return ReformulationProtocol(network.cost_model(), configuration, strategy, **kwargs)
+
+
+class TestTraceLengthsPerExitPath:
+    def test_quiescent_exit(self):
+        from repro.baselines.static import StaticStrategy
+
+        configuration = ClusterConfiguration.singletons(["alice", "bob", "carol"])
+        result = _protocol(StaticStrategy(), configuration).run()
+        assert result.converged and not result.cycle_detected
+        assert result.traces_consistent()
+        assert _trace_lengths(result) == (1, 1, 1)  # only the initial record
+
+    def test_blocked_exit(self):
+        # Singletons fill every slot, so each NEW_CLUSTER request is discarded:
+        # requests are advertised but none can be granted.
+        configuration = ClusterConfiguration.singletons(["alice", "bob", "carol"])
+        result = _protocol(NewClusterStrategy(), configuration).run()
+        assert result.converged
+        assert result.rounds[-1].num_requests > 0
+        assert result.rounds[-1].num_granted == 0
+        assert result.traces_consistent()
+        assert _trace_lengths(result) == (2, 2, 2)
+
+    def test_cycle_exit(self):
+        configuration = ClusterConfiguration(["c0", "c1"])
+        configuration.assign("alice", "c0")
+        configuration.assign("bob", "c0")
+        configuration.assign("carol", "c0")
+        result = _protocol(PingPongStrategy("c0", "c1"), configuration).run()
+        assert result.cycle_detected
+        assert not result.converged
+        assert result.traces_consistent()
+        lengths = _trace_lengths(result)
+        assert lengths[0] == lengths[1] == lengths[2] >= 2
+
+    def test_round_budget_exit(self):
+        configuration = ClusterConfiguration(["c0", "c1"])
+        configuration.assign("alice", "c0")
+        configuration.assign("bob", "c0")
+        configuration.assign("carol", "c0")
+        result = _protocol(PingPongStrategy("c0", "c1"), configuration).run(
+            max_rounds=1, detect_cycles=False
+        )
+        assert not result.converged and not result.cycle_detected
+        assert result.traces_consistent()
+        assert _trace_lengths(result) == (2, 2, 2)
+
+
+class TestEqualizeTraces:
+    def test_equalize_truncates_to_the_shortest(self):
+        result = ProtocolResult(converged=True, cycle_detected=False)
+        result.social_cost_trace.extend([1.0, 0.5, 0.25])
+        result.workload_cost_trace.extend([1.0, 0.5])
+        result.cluster_count_trace.extend([3, 2, 1])
+        assert not result.traces_consistent()
+        result.equalize_traces()
+        assert result.traces_consistent()
+        assert result.social_cost_trace == [1.0, 0.5]
+        assert result.final_social_cost == 0.5
+        assert result.final_cluster_count == 2
+
+    def test_run_repairs_externally_skewed_traces(self):
+        # A buggy observer appending to one trace mid-run must not leave the
+        # final_* properties describing different configurations.
+        configuration = ClusterConfiguration.singletons(["alice", "bob", "carol"])
+        protocol = _protocol(NewClusterStrategy(), configuration)
+        protocol.hooks.on_round_end(
+            lambda event: event.result and None  # no-op observer; sanity that hooks work
+        )
+        result = protocol.run()
+        result.social_cost_trace.append(123.0)
+        result.equalize_traces()
+        assert result.traces_consistent()
+        assert result.final_social_cost != 123.0

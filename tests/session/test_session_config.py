@@ -1,0 +1,89 @@
+"""Tests for :class:`repro.session.config.SessionConfig`."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.session import SessionConfig
+
+
+class TestDefaultsAndPresets:
+    def test_defaults_resolve_to_paper_scale(self):
+        config = SessionConfig()
+        assert config.experiment_config() == ExperimentConfig.paper()
+
+    def test_scale_preset_is_resolved(self):
+        config = SessionConfig(scale="quick")
+        assert config.experiment_config() == ExperimentConfig.quick()
+
+    def test_unknown_scale_lists_presets(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            SessionConfig(scale="galactic").experiment_config()
+        message = str(excinfo.value)
+        assert "quick" in message and "benchmark" in message and "paper" in message
+
+    def test_explicit_fields_override_the_preset(self):
+        config = SessionConfig(scale="quick", alpha=2.0, max_rounds=17, theta="constant")
+        resolved = config.experiment_config()
+        assert resolved.alpha == 2.0
+        assert resolved.max_rounds == 17
+        assert resolved.theta_name == "constant"
+        # unset fields keep the preset's values
+        assert resolved.scenario == ExperimentConfig.quick().scenario
+
+    def test_scenario_overrides_are_applied(self):
+        config = SessionConfig(scale="quick", scenario_overrides={"uniform_workload": True})
+        assert config.experiment_config().scenario.uniform_workload is True
+
+
+class TestConstructors:
+    def test_from_experiment_config_wraps_the_base(self):
+        base = ExperimentConfig.quick()
+        config = SessionConfig.from_experiment_config(base, strategy="altruistic")
+        assert config.strategy == "altruistic"
+        assert config.experiment_config() == base
+
+    def test_from_experiment_config_rejects_other_types(self):
+        with pytest.raises(ConfigurationError):
+            SessionConfig.from_experiment_config({"alpha": 1.0})
+
+    def test_from_dict_round_trip(self):
+        config = SessionConfig(scenario="same_category", strategy="selfish", scale="quick")
+        restored = SessionConfig.from_dict(config.to_dict())
+        assert restored == config
+
+    def test_from_dict_round_trip_with_base(self):
+        config = SessionConfig.from_experiment_config(ExperimentConfig.quick())
+        payload = json.loads(json.dumps(config.to_dict()))  # via real JSON
+        restored = SessionConfig.from_dict(payload)
+        assert restored.experiment_config() == ExperimentConfig.quick()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            SessionConfig.from_dict({"strategy": "selfish", "velocity": 3})
+        assert "velocity" in str(excinfo.value)
+
+    def test_from_any_accepts_mapping_and_none(self):
+        assert SessionConfig.from_any(None) == SessionConfig()
+        assert SessionConfig.from_any({"strategy": "hybrid"}).strategy == "hybrid"
+
+    def test_from_any_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            SessionConfig.from_any(42)
+
+    def test_with_options_replaces_fields(self):
+        config = SessionConfig().with_options(strategy="static", scale="quick")
+        assert config.strategy == "static"
+        assert config.scale == "quick"
+
+    def test_with_options_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError):
+            SessionConfig().with_options(velocity=3)
+
+    def test_to_dict_is_json_serialisable(self):
+        config = SessionConfig(scale="quick", theta_options={"slope": 2.0})
+        json.dumps(config.to_dict())

@@ -50,3 +50,22 @@ class TestCommands:
         content = output_file.read_text(encoding="utf-8")
         assert "## Table 1" in content
         assert "## Figure 4" in content
+
+
+class TestRegistryDrivenChoices:
+    def test_discover_accepts_registered_scenario_spellings(self, capsys):
+        assert main(["discover", "--scale", "quick", "--scenario", "uniform"]) == 0
+        assert "social cost" in capsys.readouterr().out
+
+    def test_discover_strategy_choices_come_from_the_registry(self):
+        from repro.registry import strategy_registry
+
+        parser = build_parser()
+        for name in strategy_registry.names():
+            arguments = parser.parse_args(["discover", "--strategy", name])
+            assert arguments.strategy == name
+
+    def test_baseline_strategy_usable_from_the_cli(self, capsys):
+        assert main(["discover", "--scale", "quick", "--strategy", "static"]) == 0
+        output = capsys.readouterr().out
+        assert "static" in output
