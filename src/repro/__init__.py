@@ -13,6 +13,9 @@ different cluster.  It provides:
 * the unified session API: ``Simulation`` / ``SimulationBuilder`` /
   ``SessionConfig`` / ``RunResult`` (``repro.session``) over the component
   registries (``repro.registry``) and event hooks (``repro.events``),
+* the parallel sweep engine: ``SweepSpec`` / ``run_sweep`` / ``SweepResult``
+  (``repro.sweep``) fanning replicated experiments out over a process pool
+  with deterministic per-task seed streams,
 * dataset generators, dynamics, baselines, analysis utilities and the
   experiment drivers that regenerate every table and figure of the paper.
 
@@ -99,6 +102,9 @@ from repro.events import (
     PeriodEndEvent,
     RelocationGrantedEvent,
     RoundEndEvent,
+    SweepEndEvent,
+    TaskFinishedEvent,
+    TaskStartedEvent,
 )
 from repro.experiments import (
     ExperimentConfig,
@@ -124,11 +130,13 @@ from repro.registry import (
     ComponentRegistry,
     register_initializer,
     register_router,
+    register_runner,
     register_scenario,
     register_strategy,
     register_theta,
 )
 from repro.session import RunResult, SessionConfig, Simulation, SimulationBuilder
+from repro.sweep import SweepResult, SweepSpec, SweepTask, run_sweep
 from repro.strategies import (
     AltruisticStrategy,
     HybridStrategy,
@@ -137,7 +145,8 @@ from repro.strategies import (
     StrategyContext,
 )
 
-__version__ = "1.0.0"
+#: Kept in sync with ``pyproject.toml``.
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -146,6 +155,11 @@ __all__ = [
     "SimulationBuilder",
     "SessionConfig",
     "RunResult",
+    # sweep engine
+    "SweepSpec",
+    "SweepTask",
+    "SweepResult",
+    "run_sweep",
     # registries
     "ComponentRegistry",
     "register_strategy",
@@ -153,11 +167,15 @@ __all__ = [
     "register_scenario",
     "register_router",
     "register_initializer",
+    "register_runner",
     # events
     "EventHooks",
     "RoundEndEvent",
     "RelocationGrantedEvent",
     "PeriodEndEvent",
+    "TaskStartedEvent",
+    "TaskFinishedEvent",
+    "SweepEndEvent",
     "CostTraceRecorder",
     # core
     "AttributeSet",

@@ -7,7 +7,13 @@ from repro.analysis.metrics import (
     cluster_size_distribution,
     rand_index,
 )
-from repro.analysis.reporting import format_markdown_table, format_series, format_table
+from repro.analysis.reporting import (
+    SummaryStats,
+    format_markdown_table,
+    format_series,
+    format_table,
+    summary_statistics,
+)
 
 __all__ = [
     "ConvergenceTracker",
@@ -19,4 +25,6 @@ __all__ = [
     "format_table",
     "format_markdown_table",
     "format_series",
+    "SummaryStats",
+    "summary_statistics",
 ]

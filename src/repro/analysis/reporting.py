@@ -8,10 +8,18 @@ two-column series so the output is readable both on a terminal and in
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
 from typing import List
 
-__all__ = ["format_table", "format_series", "format_markdown_table"]
+__all__ = [
+    "format_table",
+    "format_series",
+    "format_markdown_table",
+    "SummaryStats",
+    "summary_statistics",
+]
 
 
 def _stringify(value: object) -> str:
@@ -54,3 +62,56 @@ def format_series(name: str, series: Mapping[object, object]) -> str:
     """Render an x/y series (one figure curve) as two aligned columns."""
     rows = [(x, y) for x, y in series.items()]
     return f"{name}\n" + format_table(["x", "y"], rows)
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Mean / spread summary of one metric over sweep replications."""
+
+    count: int
+    mean: float
+    stddev: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def ci_half_width(self) -> float:
+        """Half-width of the confidence interval around the mean."""
+        return (self.ci_high - self.ci_low) / 2.0
+
+    def as_sequence(self) -> Sequence[object]:
+        """``(n, mean, stddev, ci_low, ci_high)`` for tabular rendering."""
+        return (self.count, self.mean, self.stddev, self.ci_low, self.ci_high)
+
+
+#: z quantile for a two-sided 95% normal confidence interval.
+_Z_95 = 1.959963984540054
+
+
+def summary_statistics(values: Iterable[float], *, confidence: float = 0.95) -> SummaryStats:
+    """Mean, sample stddev and a normal-approximation confidence interval.
+
+    The CI is ``mean ± z * stddev / sqrt(n)`` with the normal quantile (the
+    sweeps this summarises run tens of replications, where the difference to
+    the t-distribution is negligible and no SciPy dependency is needed).
+    Only ``confidence=0.95`` is supported.
+    """
+    data = [float(value) for value in values]
+    if not data:
+        raise ValueError("summary_statistics requires at least one value")
+    if confidence != 0.95:
+        raise ValueError(f"only confidence=0.95 is supported, got {confidence}")
+    count = len(data)
+    mean = math.fsum(data) / count
+    if count == 1:
+        return SummaryStats(count=1, mean=mean, stddev=0.0, ci_low=mean, ci_high=mean)
+    variance = math.fsum((value - mean) ** 2 for value in data) / (count - 1)
+    stddev = math.sqrt(variance)
+    half_width = _Z_95 * stddev / math.sqrt(count)
+    return SummaryStats(
+        count=count,
+        mean=mean,
+        stddev=stddev,
+        ci_low=mean - half_width,
+        ci_high=mean + half_width,
+    )

@@ -1,15 +1,21 @@
 """Command-line interface for the reproduction.
 
-Usage (after ``pip install -e .``)::
+Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent)::
 
-    python -m repro.cli discover   --scale quick --strategy selfish
-    python -m repro.cli maintain   --scale quick --periods 3
-    python -m repro.cli table1     --scale benchmark
-    python -m repro.cli figure2    --scale quick
-    python -m repro.cli report     --scale benchmark --output report.md
+    repro discover   --scale quick --strategy selfish
+    repro maintain   --scale quick --periods 3
+    repro table1     --scale benchmark --workers 4
+    repro figure2    --scale quick
+    repro report     --scale benchmark --output report.md
+    repro sweep      --scale quick --strategy selfish --strategy altruistic \
+                     --replications 8 --workers 4 --output sweep.jsonl
+    repro sweep      --spec sweep.json --workers 8
 
 Every subcommand prints a plain-text table/series; ``report`` runs the whole
-suite and renders the markdown that EXPERIMENTS.md is derived from.
+suite and renders the markdown that EXPERIMENTS.md is derived from, and
+``sweep`` fans a :class:`repro.sweep.SweepSpec` (from a JSON file or flags)
+out over a process pool, streaming per-task progress and printing
+mean/stddev/CI summaries over the replications.
 
 The ``discover`` and ``maintain`` commands drive the :class:`repro.Simulation`
 facade, and the ``--strategy``/``--initial``/``--scenario`` choices are read
@@ -21,6 +27,7 @@ selectable by name.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
@@ -28,16 +35,23 @@ from typing import List, Optional
 from repro.analysis.reporting import format_table
 from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY
 from repro.dynamics.updates import update_workload_full
+from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figure1 import run_figure1
 from repro.experiments.figure2 import run_figure2
 from repro.experiments.figure3 import run_figure3
 from repro.experiments.figure4 import run_figure4
 from repro.experiments.runner import render_report, run_all
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError
 from repro.experiments.table1 import run_table1
-from repro.registry import initializer_registry, scenario_registry, strategy_registry
+from repro.registry import (
+    initializer_registry,
+    scenario_registry,
+    strategy_registry,
+    theta_registry,
+)
 from repro.session import SessionConfig, Simulation
+from repro.sweep import SweepSpec, run_sweep
 
 __all__ = ["main", "build_parser"]
 
@@ -48,6 +62,15 @@ def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
         choices=ExperimentConfig.scales(),
         default="quick",
         help="experiment scale preset (default: quick)",
+    )
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process count for the sweep engine (default: 1, results identical)",
     )
 
 
@@ -95,10 +118,80 @@ def build_parser() -> argparse.ArgumentParser:
     for name in ("table1", "figure1", "figure2", "figure3", "figure4"):
         sub = subparsers.add_parser(name, help=f"regenerate {name} of the paper")
         _add_scale_argument(sub)
+        _add_workers_argument(sub)
 
     report = subparsers.add_parser("report", help="run the whole suite and render a report")
     _add_scale_argument(report)
+    _add_workers_argument(report)
     report.add_argument("--output", default=None, help="write the markdown report to this file")
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="fan a sweep (scenarios x initials x strategies x thetas x seeds) "
+        "out over a process pool",
+    )
+    sweep.add_argument(
+        "--spec",
+        default=None,
+        help="path to a SweepSpec JSON file; replaces the axis/seed/scale/runner "
+        "flags (--workers, --output and --no-progress still apply)",
+    )
+    _add_scale_argument(sweep)
+    _add_workers_argument(sweep)
+    sweep.add_argument(
+        "--scenario",
+        action="append",
+        choices=scenario_registry.names(),
+        default=None,
+        help="scenario axis; repeat the flag for several values",
+    )
+    sweep.add_argument(
+        "--initial",
+        action="append",
+        choices=initializer_registry.names(),
+        default=None,
+        help="initial-configuration axis; repeatable",
+    )
+    sweep.add_argument(
+        "--strategy",
+        action="append",
+        choices=strategy_registry.names(),
+        default=None,
+        help="strategy axis; repeatable",
+    )
+    sweep.add_argument(
+        "--theta",
+        action="append",
+        choices=theta_registry.names(),
+        default=None,
+        help="theta function axis; repeatable",
+    )
+    sweep.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated explicit seeds (e.g. 7,11,13); "
+        "mutually exclusive with --replications",
+    )
+    sweep.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        help="number of seeds to derive from --base-seed via SeedSequence.spawn",
+    )
+    sweep.add_argument(
+        "--base-seed", type=int, default=7, help="master entropy for derived seed streams"
+    )
+    sweep.add_argument(
+        "--runner",
+        default="discover",
+        help="registered sweep runner applied to every task (default: discover)",
+    )
+    sweep.add_argument(
+        "--output", default=None, help="persist the sweep as JSONL to this file"
+    )
+    sweep.add_argument(
+        "--no-progress", action="store_true", help="do not stream per-task progress lines"
+    )
 
     return parser
 
@@ -166,12 +259,13 @@ def _command_maintain(arguments: argparse.Namespace) -> int:
 
 def _command_experiment(arguments: argparse.Namespace) -> int:
     config = ExperimentConfig.from_scale(arguments.scale)
+    workers = arguments.workers
     runners = {
-        "table1": lambda: run_table1(config).to_text(),
-        "figure1": lambda: run_figure1(config).to_text(),
-        "figure2": lambda: run_figure2(config).to_text(),
-        "figure3": lambda: run_figure3(config).to_text(),
-        "figure4": lambda: run_figure4(config).to_text(),
+        "table1": lambda: run_table1(config, workers=workers).to_text(),
+        "figure1": lambda: run_figure1(config, workers=workers).to_text(),
+        "figure2": lambda: run_figure2(config, workers=workers).to_text(),
+        "figure3": lambda: run_figure3(config, workers=workers).to_text(),
+        "figure4": lambda: run_figure4(config, workers=workers).to_text(),
     }
     print(runners[arguments.command]())
     return 0
@@ -179,13 +273,66 @@ def _command_experiment(arguments: argparse.Namespace) -> int:
 
 def _command_report(arguments: argparse.Namespace) -> int:
     config = ExperimentConfig.from_scale(arguments.scale)
-    report = render_report(run_all(config), config=config)
+    report = render_report(run_all(config, workers=arguments.workers), config=config)
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:
             handle.write(report)
         print(f"report written to {arguments.output}")
     else:
         print(report)
+    return 0
+
+
+def _sweep_spec_from_arguments(arguments: argparse.Namespace) -> SweepSpec:
+    """A :class:`SweepSpec` from ``--spec file.json`` or from the axis flags."""
+    if arguments.spec is not None:
+        with open(arguments.spec, "r", encoding="utf-8") as handle:
+            return SweepSpec.from_dict(json.load(handle))
+    seeds = None
+    if arguments.seeds:
+        try:
+            seeds = tuple(int(part) for part in arguments.seeds.split(",") if part.strip())
+        except ValueError:
+            raise ConfigurationError(
+                f"--seeds must be comma-separated integers, got {arguments.seeds!r}"
+            ) from None
+    return SweepSpec(
+        scenarios=tuple(arguments.scenario or ()),
+        initials=tuple(arguments.initial or ()),
+        strategies=tuple(arguments.strategy or ()),
+        thetas=tuple(arguments.theta or ()),
+        scale=arguments.scale,
+        seeds=seeds,
+        replications=arguments.replications if arguments.replications is not None else 1,
+        base_seed=arguments.base_seed,
+        runner=arguments.runner,
+    )
+
+
+def _command_sweep(arguments: argparse.Namespace) -> int:
+    spec = _sweep_spec_from_arguments(arguments)
+    hooks = EventHooks()
+    if not arguments.no_progress:
+        hooks.on_task_finished(
+            lambda event: print(
+                f"[{event.completed}/{event.total}] {event.task.label()}: "
+                f"SCost={event.result.final_social_cost:.3f} "
+                f"rounds={event.result.rounds} ({event.duration:.2f}s)"
+            )
+        )
+        hooks.on_sweep_end(
+            lambda event: print(
+                f"sweep finished: {event.total} tasks in {event.duration:.2f}s "
+                f"({event.workers} worker{'s' if event.workers != 1 else ''})"
+            )
+        )
+    result = run_sweep(
+        spec, workers=arguments.workers, hooks=hooks, jsonl_path=arguments.output
+    )
+    print()
+    print(result.summary_table())
+    if arguments.output:
+        print(f"\nsweep persisted to {arguments.output}")
     return 0
 
 
@@ -196,6 +343,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "discover": _command_discover,
         "maintain": _command_maintain,
         "report": _command_report,
+        "sweep": _command_sweep,
     }
     command = commands.get(arguments.command, _command_experiment)
     try:

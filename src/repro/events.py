@@ -10,6 +10,16 @@ events while they run:
 * :data:`PERIOD_END` — after every maintenance period, with its
   :class:`~repro.dynamics.periodic.PeriodRecord`.
 
+The sweep engine (:mod:`repro.sweep`) publishes three more events from the
+coordinating process while a sweep runs:
+
+* :data:`TASK_STARTED` — when a task is submitted for execution (under
+  ``workers > 1`` every task is submitted to the pool up front, so these
+  arrive in a burst; it is not a worker-pickup signal);
+* :data:`TASK_FINISHED` — when a task's result arrives (in completion order,
+  which under ``workers > 1`` need not be task order);
+* :data:`SWEEP_END` — once, after every task completed.
+
 Instrumentation (cost traces, convergence analysis, benchmark probes)
 subscribes to these events instead of picking apart the post-hoc trace lists,
 so it sees the run as it happens and works identically for discovery runs
@@ -39,9 +49,15 @@ __all__ = [
     "ROUND_END",
     "RELOCATION_GRANTED",
     "PERIOD_END",
+    "TASK_STARTED",
+    "TASK_FINISHED",
+    "SWEEP_END",
     "RoundEndEvent",
     "RelocationGrantedEvent",
     "PeriodEndEvent",
+    "TaskStartedEvent",
+    "TaskFinishedEvent",
+    "SweepEndEvent",
     "EventHooks",
     "CostTraceRecorder",
 ]
@@ -49,6 +65,9 @@ __all__ = [
 ROUND_END = "round_end"
 RELOCATION_GRANTED = "relocation_granted"
 PERIOD_END = "period_end"
+TASK_STARTED = "task_started"
+TASK_FINISHED = "task_finished"
+SWEEP_END = "sweep_end"
 
 #: An event callback; receives the event dataclass as its only argument.
 EventCallback = Callable[[Any], None]
@@ -79,6 +98,41 @@ class PeriodEndEvent:
 
     record: "PeriodRecord"
     protocol_result: "ProtocolResult"
+
+
+@dataclass(frozen=True)
+class TaskStartedEvent:
+    """Published when the sweep engine submits a task for execution.
+
+    With ``workers > 1`` all tasks are submitted to the pool up front, so
+    these events arrive in one burst before the first ``task_finished`` —
+    they signal enqueueing, not a worker picking the task up.
+    """
+
+    index: int
+    task: Any  # a repro.sweep.spec.SweepTask (Any avoids a runtime cycle)
+    total: int
+
+
+@dataclass(frozen=True)
+class TaskFinishedEvent:
+    """Published when a sweep task's result arrives at the coordinator."""
+
+    index: int
+    task: Any
+    result: Any  # the task's RunResult
+    total: int
+    completed: int
+    duration: float  # worker-side wall-clock seconds for this task
+
+
+@dataclass(frozen=True)
+class SweepEndEvent:
+    """Published once after the last task of a sweep completed."""
+
+    total: int
+    duration: float  # coordinator wall-clock seconds for the whole sweep
+    workers: int
 
 
 class EventHooks:
@@ -113,6 +167,18 @@ class EventHooks:
     def on_period_end(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`PERIOD_END` (receives a :class:`PeriodEndEvent`)."""
         return self.subscribe(PERIOD_END, callback)
+
+    def on_task_started(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`TASK_STARTED` (receives a :class:`TaskStartedEvent`)."""
+        return self.subscribe(TASK_STARTED, callback)
+
+    def on_task_finished(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`TASK_FINISHED` (receives a :class:`TaskFinishedEvent`)."""
+        return self.subscribe(TASK_FINISHED, callback)
+
+    def on_sweep_end(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`SWEEP_END` (receives a :class:`SweepEndEvent`)."""
+        return self.subscribe(SWEEP_END, callback)
 
     def emit(self, event: str, payload: Any) -> None:
         """Deliver *payload* to every subscriber of *event*, in subscription order."""

@@ -14,9 +14,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_series
-from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, build_scenario
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY
+from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
-from repro.session import SessionConfig, Simulation
+from repro.session import SessionConfig
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import SweepSpec
 
 __all__ = ["Figure1Curve", "Figure1Result", "run_figure1"]
 
@@ -60,22 +63,27 @@ def run_figure1(
     *,
     strategies: Sequence[str] = ("selfish", "altruistic"),
     initial_kind: str = "random",
+    workers: int = 1,
+    hooks: Optional[EventHooks] = None,
 ) -> Figure1Result:
-    """Regenerate Figure 1 (scenario 1, cost per protocol round)."""
+    """Regenerate Figure 1 (scenario 1, cost per protocol round).
+
+    One sweep-engine task per strategy; ``workers`` fans them out with
+    results identical to the serial run.
+    """
     config = config if config is not None else ExperimentConfig.paper()
-    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
-    result = Figure1Result()
+    tasks = []
     for strategy_name in strategies:
-        simulation = Simulation.from_config(
-            SessionConfig.from_experiment_config(
-                config,
-                scenario=SCENARIO_SAME_CATEGORY,
-                strategy=strategy_name,
-                initial=initial_kind,
-            ),
-            data=data,
+        session = SessionConfig.from_experiment_config(
+            config,
+            scenario=SCENARIO_SAME_CATEGORY,
+            strategy=strategy_name,
+            initial=initial_kind,
         )
-        run = simulation.run()
+        tasks.append({"config": session.to_dict()})
+    sweep = run_sweep(SweepSpec(tasks=tuple(tasks)), workers=workers, hooks=hooks)
+    result = Figure1Result()
+    for strategy_name, run in zip(strategies, sweep.results):
         result.curves[strategy_name] = Figure1Curve(
             strategy=strategy_name,
             social_cost=list(run.social_cost_trace),

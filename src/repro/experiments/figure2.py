@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.maintenance import (
     DEFAULT_FRACTIONS,
@@ -31,8 +32,15 @@ def run_figure2(
     *,
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     strategies: Sequence[str] = ("selfish", "altruistic"),
+    workers: int = 1,
+    hooks: Optional[EventHooks] = None,
 ) -> MaintenanceResult:
     """Regenerate Figure 2 (workload updates)."""
     return run_maintenance_experiment(
-        "workload", config, fractions=fractions, strategies=strategies
+        "workload",
+        config,
+        fractions=fractions,
+        strategies=strategies,
+        workers=workers,
+        hooks=hooks,
     )

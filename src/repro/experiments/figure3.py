@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.maintenance import (
     DEFAULT_FRACTIONS,
@@ -29,8 +30,15 @@ def run_figure3(
     *,
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     strategies: Sequence[str] = ("selfish", "altruistic"),
+    workers: int = 1,
+    hooks: Optional[EventHooks] = None,
 ) -> MaintenanceResult:
     """Regenerate Figure 3 (content updates)."""
     return run_maintenance_experiment(
-        "content", config, fractions=fractions, strategies=strategies
+        "content",
+        config,
+        fractions=fractions,
+        strategies=strategies,
+        workers=workers,
+        hooks=hooks,
     )

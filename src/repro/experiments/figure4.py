@@ -20,12 +20,16 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.reporting import format_series
 from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY
 from repro.dynamics.updates import update_workload_fraction
+from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
 from repro.game.model import ClusterGame
 from repro.experiments.maintenance import DEFAULT_FRACTIONS
-from repro.session import SessionConfig, Simulation
+from repro.registry import register_runner
+from repro.session import RunResult, SessionConfig, Simulation
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import SweepSpec
 
-__all__ = ["Figure4Curve", "Figure4Result", "run_figure4"]
+__all__ = ["Figure4Curve", "Figure4Result", "run_figure4", "run_figure4_point"]
 
 DEFAULT_ALPHAS: Sequence[float] = (0.0, 1.0, 2.0)
 
@@ -64,67 +68,116 @@ class Figure4Result:
         )
 
 
+@register_runner("figure4-point")
+def run_figure4_point(simulation: Simulation, options: Dict[str, object]) -> RunResult:
+    """Sweep runner measuring one Figure 4 point.
+
+    Perturbs the observed peer's workload by ``options["fraction"]`` towards
+    a different category, computes that peer's best response and stashes the
+    individual cost (the figure's y value) in ``RunResult.extras``.  No
+    protocol run happens — the result's ``kind`` is ``"analysis"``.
+    """
+    fraction = float(options["fraction"])  # type: ignore[arg-type]
+    data = simulation.data
+    configuration = simulation.configuration
+    observed_peer = sorted(data.peer_ids())[0]
+    current_category = data.data_categories[observed_peer]
+    other_categories = sorted(
+        category
+        for category in set(data.data_categories.values())
+        if category is not None and category != current_category
+    )
+    new_category = other_categories[0]
+    # The paper studies the trade-off of "joining a cluster with more
+    # members": make the cluster hosting the new category noticeably
+    # larger by merging a third category's peers into it, so the
+    # membership-cost increase of the move actually scales with alpha.
+    if len(other_categories) >= 2:
+        target_cluster = None
+        donor_category = other_categories[1]
+        for peer_id in data.peer_ids():
+            if data.data_categories[peer_id] == new_category:
+                target_cluster = configuration.cluster_of(peer_id)
+                break
+        if target_cluster is not None:
+            for peer_id in data.peer_ids():
+                if data.data_categories[peer_id] == donor_category:
+                    configuration.move(
+                        peer_id, configuration.cluster_of(peer_id), target_cluster
+                    )
+    if fraction > 0.0:
+        update_workload_fraction(
+            data.network,
+            [observed_peer],
+            new_category,
+            data.generator,
+            fraction,
+            rng=random.Random(simulation.experiment_config.seed + 211),
+        )
+    game = ClusterGame(simulation.cost_model, configuration, allow_new_clusters=False)
+    response = game.best_response(observed_peer)
+    result = RunResult(
+        kind="analysis",
+        converged=True,
+        cluster_count=configuration.num_nonempty_clusters(),
+        config=simulation.config.to_dict(),
+    )
+    result.extras.update(
+        {
+            "alpha": simulation.experiment_config.alpha,
+            "fraction": fraction,
+            "individual_cost": response.best_cost,
+            "wants_to_move": response.wants_to_move,
+        }
+    )
+    return result
+
+
 def run_figure4(
     config: Optional[ExperimentConfig] = None,
     *,
     alphas: Sequence[float] = DEFAULT_ALPHAS,
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
+    workers: int = 1,
+    hooks: Optional[EventHooks] = None,
 ) -> Figure4Result:
-    """Regenerate Figure 4 (individual cost of a single selfish peer vs workload change)."""
+    """Regenerate Figure 4 (individual cost of a single selfish peer vs workload change).
+
+    Every (alpha, fraction) point is one ``figure4-point`` task of the
+    sweep engine; ``workers > 1`` fans them out with results identical to
+    the serial run.
+    """
     config = config if config is not None else ExperimentConfig.paper()
-    result = Figure4Result()
+    tasks = []
+    keys = []
     for alpha in alphas:
-        curve = Figure4Curve(alpha=alpha)
+        session = SessionConfig.from_experiment_config(
+            config,
+            scenario=SCENARIO_SAME_CATEGORY,
+            initial="category",
+            scenario_overrides={"uniform_workload": True},
+            alpha=alpha,
+        )
         for fraction in fractions:
-            simulation = Simulation.from_config(
-                SessionConfig.from_experiment_config(
-                    config,
-                    scenario=SCENARIO_SAME_CATEGORY,
-                    initial="category",
-                    scenario_overrides={"uniform_workload": True},
-                    alpha=alpha,
-                )
+            tasks.append(
+                {
+                    "config": session.to_dict(),
+                    "runner": "figure4-point",
+                    "options": {"fraction": fraction},
+                }
             )
-            data = simulation.data
-            configuration = simulation.configuration
-            observed_peer = sorted(data.peer_ids())[0]
-            current_category = data.data_categories[observed_peer]
-            other_categories = sorted(
-                category
-                for category in set(data.data_categories.values())
-                if category is not None and category != current_category
-            )
-            new_category = other_categories[0]
-            # The paper studies the trade-off of "joining a cluster with more
-            # members": make the cluster hosting the new category noticeably
-            # larger by merging a third category's peers into it, so the
-            # membership-cost increase of the move actually scales with alpha.
-            if len(other_categories) >= 2:
-                target_cluster = None
-                donor_category = other_categories[1]
-                for peer_id in data.peer_ids():
-                    if data.data_categories[peer_id] == new_category:
-                        target_cluster = configuration.cluster_of(peer_id)
-                        break
-                if target_cluster is not None:
-                    for peer_id in data.peer_ids():
-                        if data.data_categories[peer_id] == donor_category:
-                            configuration.move(
-                                peer_id, configuration.cluster_of(peer_id), target_cluster
-                            )
-            if fraction > 0.0:
-                update_workload_fraction(
-                    data.network,
-                    [observed_peer],
-                    new_category,
-                    data.generator,
-                    fraction,
-                    rng=random.Random(config.seed + 211),
-                )
-            game = ClusterGame(simulation.cost_model, configuration, allow_new_clusters=False)
-            response = game.best_response(observed_peer)
-            curve.points[fraction] = response.best_cost
-            if response.wants_to_move and curve.relocation_fraction is None:
-                curve.relocation_fraction = fraction
-        result.curves.append(curve)
+            keys.append(alpha)
+    sweep = run_sweep(SweepSpec(tasks=tuple(tasks)), workers=workers, hooks=hooks)
+
+    result = Figure4Result()
+    curves: Dict[float, Figure4Curve] = {}
+    for alpha, run in zip(keys, sweep.results):
+        if alpha not in curves:
+            curves[alpha] = Figure4Curve(alpha=alpha)
+            result.curves.append(curves[alpha])
+        curve = curves[alpha]
+        fraction = float(run.extras["fraction"])
+        curve.points[fraction] = float(run.extras["individual_cost"])
+        if run.extras["wants_to_move"] and curve.relocation_fraction is None:
+            curve.relocation_fraction = fraction
     return result

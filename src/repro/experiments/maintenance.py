@@ -31,9 +31,13 @@ from repro.dynamics.updates import (
     update_workload_fraction,
     update_workload_full,
 )
+from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
 from repro.peers.configuration import ClusterConfiguration
-from repro.session import SessionConfig, Simulation
+from repro.registry import register_runner
+from repro.session import RunResult, SessionConfig, Simulation
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import SweepSpec
 
 __all__ = [
     "DEFAULT_FRACTIONS",
@@ -41,6 +45,7 @@ __all__ = [
     "MaintenanceCurve",
     "MaintenanceResult",
     "run_maintenance_experiment",
+    "run_maintenance_point",
 ]
 
 DEFAULT_FRACTIONS: Sequence[float] = (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
@@ -156,6 +161,49 @@ def _apply_update(
         raise ValueError(f"unknown update kind {update_kind!r}")
 
 
+@register_runner("maintenance-point")
+def run_maintenance_point(simulation: Simulation, options: Dict[str, object]) -> RunResult:
+    """Sweep runner measuring one maintenance point (Figures 2 and 3).
+
+    Perturbs the freshly built scenario (``update_target`` ×
+    ``update_kind`` × ``fraction`` from *options*), records the social cost
+    before maintenance, runs the reformulation protocol and stashes the
+    point's measurements in ``RunResult.extras``.  The facade builds the
+    scenario (and the cost model) lazily, so the perturbation happens
+    before any cost is computed.
+    """
+    update_target = str(options["update_target"])
+    update_kind = str(options["update_kind"])
+    fraction = float(options["fraction"])  # type: ignore[arg-type]
+    if update_target not in {"workload", "content"}:
+        raise ValueError(f"update_target must be 'workload' or 'content', got {update_target!r}")
+    data = simulation.data
+    configuration = simulation.configuration
+    choice = _choose_clusters(data, configuration)
+    rng = random.Random(simulation.experiment_config.seed + 101)
+    _apply_update(
+        update_target,
+        update_kind,
+        data,
+        choice["current_members"],
+        choice["new_category"],
+        fraction,
+        data.generator,
+        rng,
+    )
+    before = simulation.cost_model.social_cost(configuration, normalized=True)
+    result = simulation.run()
+    result.extras.update(
+        {
+            "update_target": update_target,
+            "update_kind": update_kind,
+            "fraction": fraction,
+            "social_cost_before": before,
+        }
+    )
+    return result
+
+
 def run_maintenance_experiment(
     update_target: str,
     config: Optional[ExperimentConfig] = None,
@@ -163,59 +211,65 @@ def run_maintenance_experiment(
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     strategies: Sequence[str] = ("selfish", "altruistic"),
     update_kinds: Sequence[str] = ("updated-peers", "updated-degree"),
+    workers: int = 1,
+    hooks: Optional[EventHooks] = None,
 ) -> MaintenanceResult:
-    """Run the Figure 2 (``update_target="workload"``) or Figure 3 (``"content"``) experiment."""
+    """Run the Figure 2 (``update_target="workload"``) or Figure 3 (``"content"``) experiment.
+
+    Every (update scenario, strategy, fraction) point is an independent
+    ``maintenance-point`` task of the sweep engine — each rebuilds the
+    scenario from the same seed so every measurement perturbs an identical
+    starting state, which also makes the points embarrassingly parallel:
+    ``workers > 1`` fans them out with results identical to the serial run.
+    """
     if update_target not in {"workload", "content"}:
         raise ValueError(f"update_target must be 'workload' or 'content', got {update_target!r}")
     config = config if config is not None else ExperimentConfig.paper()
     figure_name = "figure2" if update_target == "workload" else "figure3"
-    result = MaintenanceResult(figure=figure_name)
 
+    tasks = []
+    keys = []
     for update_kind in update_kinds:
         for strategy_name in strategies:
-            curve = MaintenanceCurve(strategy=strategy_name, update_kind=update_kind)
+            session = SessionConfig.from_experiment_config(
+                config,
+                scenario=SCENARIO_SAME_CATEGORY,
+                strategy=strategy_name,
+                initial="category",
+                scenario_overrides={"uniform_workload": True},
+                gain_threshold=config.maintenance_gain_threshold,
+                allow_cluster_creation=False,
+                restrict_to_nonempty=True,
+            )
             for fraction in fractions:
-                # Rebuild the scenario from the same seed for every point so
-                # each measurement perturbs an identical starting state.  The
-                # facade builds the scenario (and the cost model) lazily, so
-                # the perturbation below happens before any cost is computed.
-                simulation = Simulation.from_config(
-                    SessionConfig.from_experiment_config(
-                        config,
-                        scenario=SCENARIO_SAME_CATEGORY,
-                        strategy=strategy_name,
-                        initial="category",
-                        scenario_overrides={"uniform_workload": True},
-                        gain_threshold=config.maintenance_gain_threshold,
-                        allow_cluster_creation=False,
-                        restrict_to_nonempty=True,
-                    )
+                tasks.append(
+                    {
+                        "config": session.to_dict(),
+                        "runner": "maintenance-point",
+                        "options": {
+                            "update_target": update_target,
+                            "update_kind": update_kind,
+                            "fraction": fraction,
+                        },
+                    }
                 )
-                data = simulation.data
-                configuration = simulation.configuration
-                choice = _choose_clusters(data, configuration)
-                rng = random.Random(config.seed + 101)
-                generator = data.generator
-                _apply_update(
-                    update_target,
-                    update_kind,
-                    data,
-                    choice["current_members"],
-                    choice["new_category"],
-                    fraction,
-                    generator,
-                    rng,
-                )
-                before = simulation.cost_model.social_cost(configuration, normalized=True)
-                run = simulation.run()
-                curve.points.append(
-                    MaintenancePoint(
-                        fraction=fraction,
-                        social_cost=run.final_social_cost,
-                        social_cost_before_maintenance=before,
-                        moves=run.moves,
-                        rounds=run.rounds,
-                    )
-                )
-            result.curves.append(curve)
+                keys.append((update_kind, strategy_name))
+    sweep = run_sweep(SweepSpec(tasks=tuple(tasks)), workers=workers, hooks=hooks)
+
+    result = MaintenanceResult(figure=figure_name)
+    curves: Dict[tuple, MaintenanceCurve] = {}
+    for key, run in zip(keys, sweep.results):
+        update_kind, strategy_name = key
+        if key not in curves:
+            curves[key] = MaintenanceCurve(strategy=strategy_name, update_kind=update_kind)
+            result.curves.append(curves[key])
+        curves[key].points.append(
+            MaintenancePoint(
+                fraction=float(run.extras["fraction"]),
+                social_cost=run.final_social_cost,
+                social_cost_before_maintenance=float(run.extras["social_cost_before"]),
+                moves=run.moves,
+                rounds=run.rounds,
+            )
+        )
     return result

@@ -36,15 +36,21 @@ class ExperimentSuiteResult:
     figure4: Figure4Result
 
 
-def run_all(config: Optional[ExperimentConfig] = None) -> ExperimentSuiteResult:
-    """Run Table 1 and Figures 1-4 with the given configuration."""
+def run_all(
+    config: Optional[ExperimentConfig] = None, *, workers: int = 1
+) -> ExperimentSuiteResult:
+    """Run Table 1 and Figures 1-4 with the given configuration.
+
+    ``workers > 1`` fans each driver's replications out over the sweep
+    engine's process pool; the results are identical to the serial run.
+    """
     config = config if config is not None else ExperimentConfig.benchmark()
     return ExperimentSuiteResult(
-        table1=run_table1(config),
-        figure1=run_figure1(config),
-        figure2=run_figure2(config),
-        figure3=run_figure3(config),
-        figure4=run_figure4(config),
+        table1=run_table1(config, workers=workers),
+        figure1=run_figure1(config, workers=workers),
+        figure2=run_figure2(config, workers=workers),
+        figure3=run_figure3(config, workers=workers),
+        figure4=run_figure4(config, workers=workers),
     )
 
 
@@ -123,9 +129,12 @@ def main(argv: Optional[list] = None) -> int:
         help="experiment scale preset",
     )
     parser.add_argument("--output", default=None, help="write the markdown report to this file")
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process count for the sweep engine"
+    )
     arguments = parser.parse_args(argv)
     config = ExperimentConfig.from_scale(arguments.scale)
-    results = run_all(config)
+    results = run_all(config, workers=arguments.workers)
     report = render_report(results, config=config)
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:

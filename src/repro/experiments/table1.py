@@ -16,20 +16,29 @@ converge, which is reported as a missing round count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.reporting import format_table
 from repro.datasets.scenarios import (
     SCENARIO_DIFFERENT_CATEGORY,
     SCENARIO_SAME_CATEGORY,
     SCENARIO_UNIFORM,
-    ScenarioData,
-    build_scenario,
 )
+from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
-from repro.session import SessionConfig, Simulation
+from repro.registry import scenario_registry
+from repro.session import RunResult, SessionConfig
+from repro.sweep.engine import run_sweep
+from repro.sweep.spec import SweepSpec
 
-__all__ = ["Table1Row", "Table1Result", "run_table1", "DEFAULT_SCENARIOS", "DEFAULT_INITIAL_KINDS"]
+__all__ = [
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "run_table1_sweep",
+    "DEFAULT_SCENARIOS",
+    "DEFAULT_INITIAL_KINDS",
+]
 
 DEFAULT_SCENARIOS: Tuple[str, ...] = (
     SCENARIO_SAME_CATEGORY,
@@ -92,21 +101,31 @@ class Table1Result:
         return format_table(headers, [row.as_sequence() for row in self.rows])
 
 
-def _run_single(
-    data: ScenarioData,
-    initial_kind: str,
-    strategy_name: str,
+def _table1_tasks(
     config: ExperimentConfig,
-) -> Tuple[Table1Row, "Simulation"]:
-    simulation = Simulation.from_config(
-        SessionConfig.from_experiment_config(
-            config, scenario=data.scenario, strategy=strategy_name, initial=initial_kind
-        ),
-        data=data,
-    )
-    result = simulation.run()
-    row = Table1Row(
-        scenario=data.scenario,
+    scenarios: Sequence[str],
+    initial_kinds: Sequence[str],
+    strategies: Sequence[str],
+) -> Tuple[List[Dict[str, Any]], List[Tuple[str, str, str]]]:
+    """The explicit sweep task list for Table 1, with the key of each cell."""
+    tasks: List[Dict[str, Any]] = []
+    keys: List[Tuple[str, str, str]] = []
+    for scenario in scenarios:
+        canonical = scenario_registry.canonical_name(scenario)
+        for initial_kind in initial_kinds:
+            for strategy_name in strategies:
+                session = SessionConfig.from_experiment_config(
+                    config, scenario=canonical, strategy=strategy_name, initial=initial_kind
+                )
+                tasks.append({"config": session.to_dict()})
+                keys.append((canonical, initial_kind, strategy_name))
+    return tasks, keys
+
+
+def _row_from_result(key: Tuple[str, str, str], result: RunResult) -> Table1Row:
+    scenario, initial_kind, strategy_name = key
+    return Table1Row(
+        scenario=scenario,
         initial_kind=initial_kind,
         strategy=strategy_name,
         converged=result.converged,
@@ -116,7 +135,6 @@ def _run_single(
         workload_cost=result.final_workload_cost,
         purity=result.purity if result.purity is not None else 0.0,
     )
-    return row, simulation
 
 
 def run_table1(
@@ -125,14 +143,51 @@ def run_table1(
     scenarios: Sequence[str] = DEFAULT_SCENARIOS,
     initial_kinds: Sequence[str] = DEFAULT_INITIAL_KINDS,
     strategies: Sequence[str] = ("selfish", "altruistic"),
+    workers: int = 1,
+    hooks: Optional[EventHooks] = None,
 ) -> Table1Result:
-    """Regenerate Table 1 for the requested scenarios / initial configurations / strategies."""
+    """Regenerate Table 1 for the requested scenarios / initial configurations / strategies.
+
+    The cells run through the sweep engine (:mod:`repro.sweep`):
+    ``workers > 1`` fans them out over a process pool with results
+    identical to the serial run, and *hooks* receives the engine's
+    ``task_started`` / ``task_finished`` / ``sweep_end`` progress events.
+    """
     config = config if config is not None else ExperimentConfig.paper()
+    tasks, keys = _table1_tasks(config, scenarios, initial_kinds, strategies)
+    sweep = run_sweep(SweepSpec(tasks=tuple(tasks)), workers=workers, hooks=hooks)
     result = Table1Result()
-    for scenario in scenarios:
-        data = build_scenario(scenario, config.scenario)
-        for initial_kind in initial_kinds:
-            for strategy_name in strategies:
-                row, _protocol_result = _run_single(data, initial_kind, strategy_name, config)
-                result.rows.append(row)
+    result.rows = [_row_from_result(key, run) for key, run in zip(keys, sweep.results)]
     return result
+
+
+def run_table1_sweep(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    seeds: Sequence[int],
+    scenarios: Sequence[str] = DEFAULT_SCENARIOS,
+    initial_kinds: Sequence[str] = DEFAULT_INITIAL_KINDS,
+    strategies: Sequence[str] = ("selfish", "altruistic"),
+    workers: int = 1,
+    hooks: Optional[EventHooks] = None,
+) -> Dict[int, Table1Result]:
+    """Regenerate Table 1 once per seed, fanned out over *workers* processes.
+
+    Every (scenario, initial, strategy, seed) cell is one engine task; the
+    returned mapping gives, per seed, exactly the :class:`Table1Result` the
+    serial driver produces for an :class:`ExperimentConfig` carrying that
+    seed (both the master seed and the scenario build seed) — seed for seed,
+    independent of the worker count.
+    """
+    config = config if config is not None else ExperimentConfig.paper()
+    tasks, keys = _table1_tasks(config, scenarios, initial_kinds, strategies)
+    seed_list = [int(seed) for seed in seeds]
+    sweep = run_sweep(
+        SweepSpec(tasks=tuple(tasks), seeds=tuple(seed_list)), workers=workers, hooks=hooks
+    )
+    results: Dict[int, Table1Result] = {seed: Table1Result() for seed in seed_list}
+    # Expansion order: base tasks outer, seeds inner (replications adjacent).
+    for position, (task, run) in enumerate(zip(sweep.tasks, sweep.results)):
+        key = keys[position // len(seed_list)]
+        results[task.seed].rows.append(_row_from_result(key, run))
+    return results

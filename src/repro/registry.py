@@ -46,11 +46,13 @@ __all__ = [
     "scenario_registry",
     "router_registry",
     "initializer_registry",
+    "runner_registry",
     "register_strategy",
     "register_theta",
     "register_scenario",
     "register_router",
     "register_initializer",
+    "register_runner",
 ]
 
 
@@ -164,6 +166,11 @@ scenario_registry = ComponentRegistry("scenario")
 router_registry = ComponentRegistry("router")
 #: Initial-configuration builders (``singletons``, ``random``, ``fewer``, ``more``, ``category``).
 initializer_registry = ComponentRegistry("initial configuration")
+#: Sweep task runners (``discover``, ``maintain``, experiment-specific runners).
+#: A runner is ``callable(simulation, options) -> RunResult`` and is referenced
+#: by name from a :class:`~repro.sweep.spec.SweepTask`, so tasks serialize
+#: cleanly across process boundaries.
+runner_registry = ComponentRegistry("sweep runner")
 
 
 def register_strategy(
@@ -199,3 +206,15 @@ def register_initializer(
 ) -> Callable[[Any], Any]:
     """Decorator registering an initial-configuration builder under *name*."""
     return initializer_registry.register(name, aliases=aliases, replace=replace)
+
+
+def register_runner(
+    name: str, *, aliases: Sequence[str] = (), replace: bool = False
+) -> Callable[[Any], Any]:
+    """Decorator registering a sweep task runner under *name*.
+
+    A runner receives a fully assembled
+    :class:`~repro.session.simulation.Simulation` plus the task's plain-dict
+    options and returns a :class:`~repro.session.result.RunResult`.
+    """
+    return runner_registry.register(name, aliases=aliases, replace=replace)

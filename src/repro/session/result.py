@@ -53,6 +53,10 @@ class RunResult:
     queries_routed: int = 0
     #: The session config the run was assembled from, as a plain dict.
     config: Dict[str, Any] = field(default_factory=dict)
+    #: Runner-specific scalars (JSON-safe): sweep runners stash per-task
+    #: measurements here (e.g. the pre-maintenance social cost, or a single
+    #: peer's individual cost) so they survive process boundaries and JSONL.
+    extras: Dict[str, Any] = field(default_factory=dict)
     #: Raw protocol result of the (last) protocol run; not serialised.
     protocol_result: Optional[ProtocolResult] = None
 
@@ -87,6 +91,7 @@ class RunResult:
             "periods": [asdict(record) for record in self.periods],
             "queries_routed": self.queries_routed,
             "config": dict(self.config),
+            "extras": dict(self.extras),
         }
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:

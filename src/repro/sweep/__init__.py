@@ -1,0 +1,47 @@
+"""Parallel sweep engine with deterministic seed streams.
+
+The paper's numbers are statements about *distributions* of equilibria; this
+package is the layer that produces those distributions fast.  A
+:class:`~repro.sweep.spec.SweepSpec` declares a grid over scenarios ×
+initial configurations × strategies × thetas × seeds (plus explicit task
+lists), :func:`~repro.sweep.engine.run_sweep` fans the tasks out over a
+process pool, and :class:`~repro.sweep.result.SweepResult` aggregates the
+per-task :class:`~repro.session.result.RunResult`\\ s (JSONL persistence,
+mean/stddev/CI summaries).
+
+Determinism is the design center: per-task seeds derive from
+``numpy.random.SeedSequence.spawn`` as a pure function of the spec, so a
+sweep is byte-identical for any worker count, including 1::
+
+    from repro.sweep import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        scenarios=("same-category",),
+        strategies=("selfish", "altruistic"),
+        scale="quick",
+        replications=8,
+    )
+    result = run_sweep(spec, workers=4)
+    print(result.summary_table())
+
+Progress streams through ``repro.events`` (``task_started`` /
+``task_finished`` / ``sweep_end``); the ``repro sweep`` CLI subcommand
+drives all of this from a JSON spec or flags.
+"""
+
+from repro.sweep.engine import execute_task, run_sweep
+from repro.sweep.result import SweepResult, read_jsonl
+from repro.sweep.runners import resolve_runner
+from repro.sweep.spec import DEFAULT_RUNNER, SweepSpec, SweepTask, derive_seeds
+
+__all__ = [
+    "SweepSpec",
+    "SweepTask",
+    "SweepResult",
+    "run_sweep",
+    "execute_task",
+    "read_jsonl",
+    "resolve_runner",
+    "derive_seeds",
+    "DEFAULT_RUNNER",
+]

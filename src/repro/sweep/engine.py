@@ -1,0 +1,156 @@
+"""The process-pool sweep executor.
+
+:func:`run_sweep` expands a :class:`~repro.sweep.spec.SweepSpec` into its
+ordered task list, fans the tasks out over a ``concurrent.futures``
+process pool (``workers=1`` runs inline in the coordinating process — same
+code path, no pool) and collects one
+:class:`~repro.session.result.RunResult` per task, re-ordered by task index
+so the outcome is independent of completion order.
+
+Determinism: every task carries its own seed (derived in the spec, never
+here), each worker builds its simulation from the task's plain-dict config,
+and nothing about scheduling feeds back into the tasks — so any worker
+count produces byte-identical results.
+
+Progress streams through :class:`~repro.events.EventHooks`:
+``task_started`` when a task is submitted (under ``workers > 1`` every task
+is submitted up front, so these arrive in a burst), ``task_finished`` when
+its result arrives (completion order), ``sweep_end`` once at the end.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.events import (
+    SWEEP_END,
+    TASK_FINISHED,
+    TASK_STARTED,
+    EventHooks,
+    SweepEndEvent,
+    TaskFinishedEvent,
+    TaskStartedEvent,
+)
+from repro.session.result import RunResult
+from repro.session.simulation import Simulation
+from repro.sweep.result import SweepResult
+from repro.sweep.spec import SweepSpec, SweepTask
+
+__all__ = ["run_sweep", "execute_task"]
+
+
+def execute_task(task: SweepTask) -> Tuple[RunResult, float]:
+    """Run one sweep task to completion; returns ``(result, seconds)``.
+
+    This is the whole per-worker protocol: materialise the task's
+    :class:`~repro.session.config.SessionConfig`, assemble a
+    :class:`~repro.session.simulation.Simulation`, hand it to the task's
+    registered runner, and return the runner's JSON-exportable
+    :class:`RunResult`.  The raw ``protocol_result`` is dropped — it is not
+    part of the exportable surface and would dominate pickling cost.
+    """
+    from repro.sweep.runners import resolve_runner
+
+    runner = resolve_runner(task.runner)
+    started = time.perf_counter()
+    simulation = Simulation.from_config(task.session_config())
+    result = runner(simulation, dict(task.options))
+    result.protocol_result = None
+    return result, time.perf_counter() - started
+
+
+def _execute_payload(payload: Dict[str, object]) -> Tuple[RunResult, float]:
+    """Process-pool entry point: rebuild the task from its dict form and run it."""
+    return execute_task(SweepTask.from_dict(payload))
+
+
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    workers: int = 1,
+    hooks: Optional[EventHooks] = None,
+    jsonl_path: Optional[str] = None,
+) -> SweepResult:
+    """Run every task of *spec* and aggregate the results.
+
+    Parameters
+    ----------
+    workers:
+        Process count.  ``1`` executes inline (deterministic reference
+        path, easiest to debug); ``> 1`` fans out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are
+        identical either way.
+    hooks:
+        Event hub receiving ``task_started`` / ``task_finished`` /
+        ``sweep_end``; a private one is created when omitted.
+    jsonl_path:
+        When given, the finished sweep is persisted there as JSONL
+        (see :meth:`~repro.sweep.result.SweepResult.write_jsonl`).
+    """
+    if workers < 1:
+        raise ConfigurationError(f"workers must be at least 1, got {workers}")
+    hooks = hooks if hooks is not None else EventHooks()
+    tasks = spec.validate()
+    total = len(tasks)
+    sweep_started = time.perf_counter()
+    results: List[Optional[RunResult]] = [None] * total
+    durations: List[float] = [0.0] * total
+    completed = 0
+
+    def finish(task: SweepTask, result: RunResult, duration: float) -> None:
+        nonlocal completed
+        results[task.index] = result
+        durations[task.index] = duration
+        completed += 1
+        hooks.emit(
+            TASK_FINISHED,
+            TaskFinishedEvent(
+                index=task.index,
+                task=task,
+                result=result,
+                total=total,
+                completed=completed,
+                duration=duration,
+            ),
+        )
+
+    if workers == 1 or total <= 1:
+        for task in tasks:
+            hooks.emit(TASK_STARTED, TaskStartedEvent(index=task.index, task=task, total=total))
+            result, duration = execute_task(task)
+            finish(task, result, duration)
+    else:
+        with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+            pending = {}
+            for task in tasks:
+                hooks.emit(
+                    TASK_STARTED, TaskStartedEvent(index=task.index, task=task, total=total)
+                )
+                pending[pool.submit(_execute_payload, task.to_dict())] = task
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = pending.pop(future)
+                    result, duration = future.result()
+                    finish(task, result, duration)
+
+    sweep_duration = time.perf_counter() - sweep_started
+    hooks.emit(
+        SWEEP_END, SweepEndEvent(total=total, duration=sweep_duration, workers=workers)
+    )
+    sweep_result = SweepResult(
+        spec=spec,
+        tasks=tasks,
+        results=[result for result in results if result is not None],
+        task_durations=durations,
+        duration=sweep_duration,
+        workers=workers,
+    )
+    if len(sweep_result.results) != total:  # pragma: no cover - defensive
+        raise RuntimeError("sweep finished with missing task results")
+    if jsonl_path is not None:
+        sweep_result.write_jsonl(jsonl_path)
+    return sweep_result

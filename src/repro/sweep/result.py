@@ -1,0 +1,160 @@
+"""Aggregation and persistence of sweep outcomes.
+
+:class:`SweepResult` pairs the expanded task list with one
+:class:`~repro.session.result.RunResult` per task (in task order), persists
+the whole sweep as JSONL (one self-describing record per line) and reduces
+replications to mean/stddev/95%-CI summaries through
+:func:`repro.analysis.reporting.summary_statistics`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.analysis.reporting import SummaryStats, format_table, summary_statistics
+from repro.errors import ConfigurationError
+from repro.session.result import RunResult
+from repro.sweep.spec import SweepSpec, SweepTask
+
+__all__ = ["SweepResult", "read_jsonl", "DEFAULT_SUMMARY_METRICS", "DEFAULT_GROUP_FIELDS"]
+
+#: Metrics summarised by default — the quantities Table 1 reports per run.
+DEFAULT_SUMMARY_METRICS: Tuple[str, ...] = (
+    "final_social_cost",
+    "final_workload_cost",
+    "rounds",
+    "moves",
+    "cluster_count",
+)
+#: Config fields a summary groups by (seeds within a group are aggregated).
+DEFAULT_GROUP_FIELDS: Tuple[str, ...] = ("scenario", "initial", "strategy")
+
+
+@dataclass
+class SweepResult:
+    """Everything a finished sweep produced, in task order."""
+
+    spec: SweepSpec
+    tasks: List[SweepTask]
+    results: List[RunResult]
+    #: Worker-side wall-clock seconds per task (task order).
+    task_durations: List[float] = field(default_factory=list)
+    #: Coordinator wall-clock seconds for the whole sweep.
+    duration: float = 0.0
+    #: Worker count the sweep ran with (informational; results don't depend on it).
+    workers: int = 1
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    # -- record views --------------------------------------------------------------
+
+    def records(self) -> List[Dict[str, Any]]:
+        """One JSON-safe record per task: the task plus its result summary."""
+        records = []
+        for position, (task, result) in enumerate(zip(self.tasks, self.results)):
+            duration = (
+                self.task_durations[position] if position < len(self.task_durations) else 0.0
+            )
+            records.append(
+                {
+                    "kind": "task",
+                    "task": task.to_dict(),
+                    "result": result.to_dict(),
+                    "duration": duration,
+                }
+            )
+        return records
+
+    # -- persistence ---------------------------------------------------------------
+
+    def write_jsonl(self, path: str) -> None:
+        """Persist the sweep as JSONL: a spec header line, then one task line each."""
+        header = {
+            "kind": "sweep",
+            "spec": self.spec.to_dict(),
+            "num_tasks": len(self.tasks),
+            "duration": self.duration,
+            "workers": self.workers,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for record in self.records():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # -- summaries -----------------------------------------------------------------
+
+    @staticmethod
+    def _metric_value(result: RunResult, metric: str) -> float:
+        """One result's value for *metric* (runner extras shadow result fields)."""
+        if metric in result.extras:
+            return float(result.extras[metric])
+        if not hasattr(result, metric):
+            raise ConfigurationError(
+                f"unknown sweep metric {metric!r}: neither a RunResult field "
+                "nor a runner extra of this sweep"
+            )
+        return float(getattr(result, metric))
+
+    def metric_values(self, metric: str) -> List[float]:
+        """The per-task values of one :class:`RunResult` metric, in task order."""
+        return [self._metric_value(result, metric) for result in self.results]
+
+    def summarize(
+        self,
+        *,
+        metrics: Sequence[str] = DEFAULT_SUMMARY_METRICS,
+        group_by: Sequence[str] = DEFAULT_GROUP_FIELDS,
+    ) -> Dict[Tuple[Any, ...], Dict[str, SummaryStats]]:
+        """Mean/stddev/CI of *metrics*, grouped by config fields.
+
+        Tasks whose configs agree on every ``group_by`` field (typically:
+        replications of the same configuration under different seeds) are
+        pooled; the result maps the group key tuple to one
+        :class:`~repro.analysis.reporting.SummaryStats` per metric, in first-
+        appearance (task) order.
+        """
+        grouped: Dict[Tuple[Any, ...], List[RunResult]] = {}
+        for task, result in zip(self.tasks, self.results):
+            key = tuple(task.config.get(field_name) for field_name in group_by)
+            grouped.setdefault(key, []).append(result)
+        summary: Dict[Tuple[Any, ...], Dict[str, SummaryStats]] = {}
+        for key, results in grouped.items():
+            summary[key] = {
+                metric: summary_statistics(
+                    [self._metric_value(result, metric) for result in results]
+                )
+                for metric in metrics
+            }
+        return summary
+
+    def summary_table(
+        self,
+        *,
+        metrics: Sequence[str] = DEFAULT_SUMMARY_METRICS,
+        group_by: Sequence[str] = DEFAULT_GROUP_FIELDS,
+    ) -> str:
+        """Plain-text summary: one row per (group, metric)."""
+        headers = tuple(group_by) + ("metric", "n", "mean", "stddev", "ci95 low", "ci95 high")
+        rows = []
+        for key, per_metric in self.summarize(metrics=metrics, group_by=group_by).items():
+            for metric, stats in per_metric.items():
+                rows.append(tuple(key) + (metric,) + tuple(stats.as_sequence()))
+        return format_table(headers, rows)
+
+
+def read_jsonl(path: str) -> Tuple[SweepSpec, List[Dict[str, Any]]]:
+    """Load a persisted sweep: ``(spec, task records)``.
+
+    Records are plain dicts (``{"task": ..., "result": ..., "duration": ...}``)
+    in task order — the JSON-facing mirror of :meth:`SweepResult.records`.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if not lines or lines[0].get("kind") != "sweep":
+        raise ConfigurationError(f"{path!r} is not a sweep JSONL file (missing header)")
+    spec = SweepSpec.from_dict(lines[0]["spec"])
+    records = [record for record in lines[1:] if record.get("kind") == "task"]
+    return spec, records

@@ -1,0 +1,63 @@
+"""Built-in sweep task runners and runner resolution.
+
+A *runner* is the piece of a :class:`~repro.sweep.spec.SweepTask` that says
+what to do with the assembled simulation.  Runners are plain callables
+``(simulation, options) -> RunResult`` registered by name in
+:data:`repro.registry.runner_registry`, so tasks reference them as strings
+and serialize cleanly across process boundaries.
+
+Two generic runners ship here:
+
+* ``discover`` — run the reformulation protocol to quiescence
+  (:meth:`Simulation.run`);
+* ``maintain`` — run ``options["periods"]`` maintenance periods
+  (:meth:`Simulation.run_maintenance`).  Exogenous update callbacks are not
+  expressible as JSON; sweeps that need perturbations register a dedicated
+  runner instead (see ``maintenance-point`` in
+  :mod:`repro.experiments.maintenance` and ``figure4-point`` in
+  :mod:`repro.experiments.figure4`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+from repro.registry import register_runner, runner_registry
+from repro.session.result import RunResult
+from repro.session.simulation import Simulation
+
+__all__ = ["resolve_runner", "run_discovery", "run_maintenance_periods"]
+
+#: The runner callable protocol.
+Runner = Callable[[Simulation, Dict[str, Any]], RunResult]
+
+
+def resolve_runner(name: str) -> Runner:
+    """Look up a runner by registered name.
+
+    Imports :mod:`repro.experiments` first so the experiment-specific
+    runners are registered even in a freshly spawned worker process that
+    never imported the drivers; unknown names raise the registry's
+    :class:`~repro.errors.UnknownComponentError` listing what is available.
+    """
+    import repro.experiments  # noqa: F401  (registers experiment runners)
+
+    return runner_registry.get(name)
+
+
+@register_runner("discover", aliases=("discovery",))
+def run_discovery(simulation: Simulation, options: Dict[str, Any]) -> RunResult:
+    """Run the reformulation protocol to quiescence (a discovery run).
+
+    Options: ``max_rounds`` (optional) overrides the config's round budget.
+    """
+    max_rounds = options.get("max_rounds")
+    return simulation.run(max_rounds=max_rounds)
+
+
+@register_runner("maintain", aliases=("maintenance",))
+def run_maintenance_periods(simulation: Simulation, options: Dict[str, Any]) -> RunResult:
+    """Run ``options["periods"]`` periods of the periodic maintenance loop."""
+    periods = int(options.get("periods", 1))
+    max_rounds = options.get("max_rounds_per_period")
+    return simulation.run_maintenance(periods, max_rounds_per_period=max_rounds)

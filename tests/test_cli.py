@@ -69,3 +69,82 @@ class TestRegistryDrivenChoices:
         assert main(["discover", "--scale", "quick", "--strategy", "static"]) == 0
         output = capsys.readouterr().out
         assert "static" in output
+
+
+class TestSweepCommand:
+    def test_sweep_from_flags_prints_progress_and_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--strategy",
+                    "selfish",
+                    "--strategy",
+                    "altruistic",
+                    "--seeds",
+                    "7,11",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "[4/4]" in output
+        assert "sweep finished: 4 tasks" in output
+        assert "final_social_cost" in output
+        assert "ci95 low" in output
+
+    def test_sweep_persists_jsonl(self, tmp_path, capsys):
+        output_file = tmp_path / "sweep.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--replications",
+                    "2",
+                    "--workers",
+                    "2",
+                    "--output",
+                    str(output_file),
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        from repro.sweep import read_jsonl
+
+        spec, records = read_jsonl(str(output_file))
+        assert spec.replications == 2
+        assert len(records) == 2
+
+    def test_sweep_from_spec_file(self, tmp_path, capsys):
+        import json
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(
+            json.dumps(
+                {"scale": "quick", "strategies": ["selfish"], "seeds": [7]}
+            ),
+            encoding="utf-8",
+        )
+        assert main(["sweep", "--spec", str(spec_file), "--no-progress"]) == 0
+        assert "selfish" in capsys.readouterr().out
+
+    def test_sweep_rejects_malformed_seeds(self, capsys):
+        assert main(["sweep", "--scale", "quick", "--seeds", "seven"]) == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+
+    def test_sweep_spec_file_with_unknown_keys_reports_cleanly(self, tmp_path, capsys):
+        import json
+
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({"strategiez": ["selfish"]}), encoding="utf-8")
+        assert main(["sweep", "--spec", str(spec_file)]) == 2
+        assert "unknown sweep spec keys" in capsys.readouterr().err
+
+    def test_workers_flag_available_on_experiment_commands(self):
+        arguments = build_parser().parse_args(["table1", "--workers", "4"])
+        assert arguments.workers == 4
