@@ -1,0 +1,150 @@
+"""Benchmark — incremental vectorized kernel vs the legacy best-response loop.
+
+Times best-response dynamics (the protocol's hot loop: score every candidate
+cluster for every peer, apply the best deviation, repeat) at 50 / 200 / 500
+peers with
+
+* the **kernel** path — :class:`~repro.game.kernel.BestResponseKernel`
+  incrementally maintaining the membership/covered-recall caches, and
+* the **legacy** path (``use_kernel=False``) — the pre-kernel implementation
+  that rebuilds the membership matrix and the ``W @ M`` product every round
+  and evaluates the new-cluster option peer by peer.
+
+The speedup/parity test additionally pins the kernel run to the exact
+per-query reference cost model (1e-9) and asserts the 200-peer speedup.
+
+Run with ``--benchmark-json BENCH_kernel.json`` (CI does) to produce the
+artifact the trend job compares across runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_block
+from repro.analysis.reporting import format_table
+from repro.datasets.scenarios import (
+    SCENARIO_SAME_CATEGORY,
+    ScenarioConfig,
+    build_scenario,
+    initial_configuration,
+)
+from repro.game.dynamics import run_best_response_dynamics
+from repro.game.model import ClusterGame
+
+#: Population sizes (the paper's experiments use 200).
+SIZES = (50, 200, 500)
+#: Step budgets keeping the slow legacy path bounded at every size.
+MAX_STEPS = {50: 40, 200: 25, 500: 10}
+
+
+def scenario_config(num_peers: int) -> ScenarioConfig:
+    return ScenarioConfig(
+        num_peers=num_peers,
+        num_categories=10,
+        documents_per_peer=6,
+        terms_per_document=4,
+        category_vocabulary_size=40,
+        queries_per_peer=4,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="module")
+def setups():
+    """Scenario/cost-model cache shared by every benchmark in the module."""
+    cache = {}
+
+    def get(num_peers: int):
+        if num_peers not in cache:
+            data = build_scenario(SCENARIO_SAME_CATEGORY, scenario_config(num_peers))
+            configuration = initial_configuration(data, "random", seed=20)
+            cost_model = data.network.cost_model()
+            cache[num_peers] = (data, configuration, cost_model)
+        return cache[num_peers]
+
+    return get
+
+
+def run_dynamics(cost_model, configuration, num_peers: int, *, use_kernel: bool):
+    game = ClusterGame(cost_model, configuration.copy(), use_kernel=use_kernel)
+    return run_best_response_dynamics(game, max_steps=MAX_STEPS[num_peers])
+
+
+@pytest.mark.parametrize("num_peers", SIZES)
+def test_kernel_best_response_dynamics(benchmark, setups, num_peers):
+    _, configuration, cost_model = setups(num_peers)
+    result = benchmark.pedantic(
+        run_dynamics,
+        args=(cost_model, configuration, num_peers),
+        kwargs={"use_kernel": True},
+        iterations=1,
+        rounds=3,
+    )
+    assert result.num_steps > 0
+
+
+@pytest.mark.parametrize("num_peers", SIZES)
+def test_legacy_best_response_dynamics(benchmark, setups, num_peers):
+    _, configuration, cost_model = setups(num_peers)
+    result = benchmark.pedantic(
+        run_dynamics,
+        args=(cost_model, configuration, num_peers),
+        kwargs={"use_kernel": False},
+        iterations=1,
+        rounds=2,
+    )
+    assert result.num_steps > 0
+
+
+def test_kernel_speedup_and_exact_parity(benchmark, setups):
+    """200-peer dynamics: kernel >= 5x the legacy loop, costs == exact reference."""
+    num_peers = 200
+    data, configuration, cost_model = setups(num_peers)
+
+    def timed(use_kernel: bool):
+        started = time.perf_counter()
+        result = run_dynamics(cost_model, configuration, num_peers, use_kernel=use_kernel)
+        return result, time.perf_counter() - started
+
+    def compare():
+        kernel_result, kernel_seconds = timed(True)
+        legacy_result, legacy_seconds = timed(False)
+        return kernel_result, kernel_seconds, legacy_result, legacy_seconds
+
+    kernel_result, kernel_seconds, legacy_result, legacy_seconds = benchmark.pedantic(
+        compare, iterations=1, rounds=1
+    )
+
+    # Identical decisions, step by step.
+    assert [(s.peer_id, s.from_cluster, s.to_cluster) for s in kernel_result.steps] == [
+        (s.peer_id, s.from_cluster, s.to_cluster) for s in legacy_result.steps
+    ]
+    for kernel_cost, legacy_cost in zip(
+        kernel_result.social_cost_trace, legacy_result.social_cost_trace
+    ):
+        assert kernel_cost == pytest.approx(legacy_cost, abs=1e-9)
+
+    # The kernel's final cost matches the exact per-query reference model.
+    final_configuration = configuration.copy()
+    kernel_game = ClusterGame(cost_model, final_configuration)
+    replay = run_best_response_dynamics(kernel_game, max_steps=MAX_STEPS[num_peers])
+    exact_model = data.network.cost_model(use_matrix=False)
+    exact_cost = exact_model.social_cost(final_configuration, normalized=True)
+    assert replay.social_cost_trace[-1] == pytest.approx(exact_cost, abs=1e-9)
+
+    speedup = legacy_seconds / kernel_seconds
+    print_block(
+        "Kernel vs legacy best-response dynamics (200 peers)",
+        format_table(
+            ("path", "seconds", "steps"),
+            (
+                ("legacy loop", f"{legacy_seconds:.3f}", str(legacy_result.num_steps)),
+                ("kernel", f"{kernel_seconds:.3f}", str(kernel_result.num_steps)),
+                ("speedup", f"{speedup:.1f}x", ""),
+            ),
+        ),
+    )
+    assert speedup >= 5.0, f"expected >=5x kernel speedup, measured {speedup:.1f}x"

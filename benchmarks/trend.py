@@ -1,0 +1,131 @@
+"""Benchmark trend comparison: fail CI on significant regressions.
+
+Compares two ``pytest-benchmark`` JSON files (the previous run's artifact
+vs the current run's output) benchmark-by-benchmark and reports every test
+whose time regressed beyond a threshold::
+
+    python -m benchmarks.trend previous/BENCH_smoke.json BENCH_smoke.json \
+        --max-regression 25
+
+The compared statistic is each benchmark's ``min`` round time (falling back
+to ``mean`` for files that lack it): on shared CI runners the minimum is far
+less noisy than the mean, so a hard gate on it stays meaningful.
+
+Exit status is 1 when at least one benchmark regressed by more than
+``--max-regression`` percent.  A missing/unreadable *previous* file — the
+first run of a repository, an expired artifact — passes with a note, so the
+trend job never blocks bootstrapping.  Benchmarks present on only one side
+are reported but never fail the check (renames and new benches are normal).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, NamedTuple, Optional
+
+__all__ = ["load_benchmark_means", "compare_benchmarks", "Comparison", "main"]
+
+
+class Comparison(NamedTuple):
+    """Outcome of comparing one benchmark between two runs."""
+
+    name: str
+    previous_mean: Optional[float]
+    current_mean: Optional[float]
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """``current / previous`` mean-time ratio (>1 = slower), when both sides exist."""
+        if not self.previous_mean or self.current_mean is None:
+            return None
+        return self.current_mean / self.previous_mean
+
+    def regressed(self, max_regression_percent: float) -> bool:
+        """Whether this benchmark slowed down beyond the threshold."""
+        ratio = self.ratio
+        return ratio is not None and ratio > 1.0 + max_regression_percent / 100.0
+
+
+def load_benchmark_means(path: Path) -> Dict[str, float]:
+    """``{benchmark name: seconds}`` from a pytest-benchmark JSON file.
+
+    Prefers each benchmark's ``min`` round time — the statistic least
+    sensitive to shared-runner noise — and falls back to ``mean`` when a
+    file lacks it.
+    """
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    means: Dict[str, float] = {}
+    for entry in payload.get("benchmarks", []):
+        stats = entry.get("stats") or {}
+        value = stats.get("min", stats.get("mean"))
+        if value is not None:
+            means[str(entry.get("fullname") or entry.get("name"))] = float(value)
+    return means
+
+
+def compare_benchmarks(
+    previous: Dict[str, float], current: Dict[str, float]
+) -> List[Comparison]:
+    """Pair up benchmarks by name (sorted), keeping one-sided entries visible."""
+    names = sorted(set(previous) | set(current))
+    return [
+        Comparison(name=name, previous_mean=previous.get(name), current_mean=current.get(name))
+        for name in names
+    ]
+
+
+def _format_row(comparison: Comparison) -> str:
+    def fmt(value: Optional[float]) -> str:
+        return f"{value * 1000:.2f}ms" if value is not None else "-"
+
+    ratio = comparison.ratio
+    ratio_text = f"{ratio:.2f}x" if ratio is not None else "-"
+    return f"  {comparison.name}: {fmt(comparison.previous_mean)} -> {fmt(comparison.current_mean)} ({ratio_text})"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("previous", type=Path, help="previous run's benchmark JSON")
+    parser.add_argument("current", type=Path, help="current run's benchmark JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=25.0,
+        metavar="PERCENT",
+        help="fail when a benchmark's mean slows down by more than this (default: 25)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_benchmark_means(args.current)
+    except (OSError, ValueError) as error:
+        print(f"trend: cannot read current results {args.current}: {error}")
+        return 1
+    try:
+        previous = load_benchmark_means(args.previous)
+    except (OSError, ValueError) as error:
+        print(f"trend: no usable previous results ({error}); skipping comparison")
+        return 0
+
+    comparisons = compare_benchmarks(previous, current)
+    regressions = [c for c in comparisons if c.regressed(args.max_regression)]
+    print(
+        f"trend: {len(comparisons)} benchmark(s), threshold +{args.max_regression:g}% "
+        f"({args.previous} -> {args.current})"
+    )
+    for comparison in comparisons:
+        marker = "  REGRESSION" if comparison in regressions else ""
+        print(_format_row(comparison) + marker)
+    if regressions:
+        print(f"trend: {len(regressions)} benchmark(s) regressed beyond the threshold")
+        return 1
+    print("trend: no regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,9 +128,11 @@ class CostModel:
 
     def recall_loss(self, peer_id: PeerId, covered_peers: Iterable[PeerId]) -> float:
         """Locally-weighted recall loss of *peer_id* given the covered peer set ``P(s_i)``."""
-        covered = set(covered_peers)
         if self._matrix is not None:
-            return self._matrix.recall_loss(peer_id, sorted(covered, key=repr))
+            # The matrix translates (and memoises) the peer set itself; no
+            # per-call repr-sort or set rebuild on the hot path.
+            return self._matrix.recall_loss(peer_id, covered_peers)
+        covered = set(covered_peers)
         workload = self.workloads.get(peer_id)
         if workload is None or workload.total() == 0:
             return 0.0
@@ -142,9 +144,9 @@ class CostModel:
 
     def global_recall_loss(self, peer_id: PeerId, covered_peers: Iterable[PeerId]) -> float:
         """Globally-weighted recall loss of *peer_id* (used by the workload cost)."""
-        covered = set(covered_peers)
         if self._matrix is not None:
-            return self._matrix.global_recall_loss(peer_id, sorted(covered, key=repr))
+            return self._matrix.global_recall_loss(peer_id, covered_peers)
+        covered = set(covered_peers)
         workload = self.workloads.get(peer_id)
         if workload is None or workload.total() == 0:
             return 0.0
@@ -160,8 +162,10 @@ class CostModel:
         """Individual cost (Eq. 1) of *peer_id* under its current strategy in *configuration*."""
         clusters = configuration.clusters_of(peer_id)
         sizes = [configuration.size(cluster_id) for cluster_id in clusters]
-        covered = set(configuration.covered_peers(peer_id))
-        covered.add(peer_id)
+        covered = configuration.covered_peers(peer_id)
+        if peer_id not in covered:
+            covered = set(covered)
+            covered.add(peer_id)
         return self.membership_cost(sizes) + self.recall_loss(peer_id, covered)
 
     def prospective_pcost(
@@ -215,8 +219,10 @@ class CostModel:
 
         loss = 0.0
         for peer_id in self.recall_model.peer_ids:
-            covered = set(configuration.covered_peers(peer_id))
-            covered.add(peer_id)
+            covered = configuration.covered_peers(peer_id)
+            if peer_id not in covered:
+                covered = set(covered)
+                covered.add(peer_id)
             loss += self.global_recall_loss(peer_id, covered)
         if normalized:
             return maintenance / self.population_size + loss

@@ -17,7 +17,7 @@ queries repeatedly while the reformulation protocol runs.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 from repro.core.documents import DocumentCollection
 from repro.core.index import InvertedIndex
@@ -67,13 +67,22 @@ class RecallModel:
         }
         self._result_cache: Dict[tuple, int] = {}
         self._total_cache: Dict[Query, int] = {}
+        self._peer_order: Optional[List[PeerId]] = None
 
     # -- population management --------------------------------------------
 
     @property
     def peer_ids(self) -> List[PeerId]:
-        """The peer identifiers known to the model, in deterministic order."""
-        return sorted(self._providers, key=repr)
+        """The peer identifiers known to the model, in deterministic order.
+
+        The repr-sorted order is computed once per population change instead
+        of on every access (the cost model reads this inside its global-cost
+        loops).  Callers receive a copy, so mutating the returned list never
+        corrupts the cache.
+        """
+        if self._peer_order is None:
+            self._peer_order = sorted(self._providers, key=repr)
+        return list(self._peer_order)
 
     def set_content(self, peer_id: PeerId, content: object) -> None:
         """Replace (or register) the content of *peer_id* and invalidate caches."""
@@ -88,9 +97,10 @@ class RecallModel:
         self.invalidate()
 
     def invalidate(self) -> None:
-        """Drop all cached counts (call after any content change)."""
+        """Drop all cached counts (call after any content or population change)."""
         self._result_cache.clear()
         self._total_cache.clear()
+        self._peer_order = None
 
     # -- core quantities ----------------------------------------------------
 

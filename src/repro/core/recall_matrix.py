@@ -23,8 +23,8 @@ cross-checks them against the reference (per-query) implementation.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Mapping, Sequence
-from typing import Dict, List, Optional
+from collections.abc import Hashable, Iterable, Mapping
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 import numpy as np
 
@@ -68,6 +68,10 @@ class WeightedRecallMatrix:
         }
         if len(self._index_of) != len(self._peer_order):
             raise ValueError("peer_order contains duplicate peer ids")
+        #: Memoised peer-set -> sorted row indices translation (frozenset keys
+        #: only; member sets repeat across peers and rounds, so the same
+        #: cluster never pays the dict-lookup translation twice).
+        self._indices_cache: Dict[FrozenSet[PeerId], np.ndarray] = {}
         self._local, self._global, self._service = self._build()
 
     # -- construction -------------------------------------------------------
@@ -163,19 +167,53 @@ class WeightedRecallMatrix:
 
     # -- recall-loss queries ---------------------------------------------------
 
+    #: Bound above which the peer-set -> indices memo is reset (the sets are
+    #: tiny arrays, but protocol runs produce a fresh frozenset per membership
+    #: change, so the memo would otherwise grow without limit).
+    _INDICES_CACHE_LIMIT = 8192
+
+    def covered_indices(self, covered_peers: Iterable[PeerId]) -> np.ndarray:
+        """Sorted, de-duplicated row indices of the known peers in *covered_peers*.
+
+        Sorting by index keeps the reduction order deterministic (it matches
+        the old ``sorted(..., key=repr)`` order whenever the peer order itself
+        is repr-sorted, as every built scenario's is) without re-sorting peer
+        ids by repr on every cost evaluation; ``np.unique`` also drops
+        duplicate mentions, exactly like the ``set()`` the exact reference
+        path builds.  Results for ``frozenset`` arguments — what
+        :meth:`ClusterConfiguration.covered_peers` returns — are memoised.
+        """
+        cache_key = covered_peers if isinstance(covered_peers, frozenset) else None
+        if cache_key is not None:
+            cached = self._indices_cache.get(cache_key)
+            if cached is not None:
+                return cached
+        index_of = self._index_of
+        indices = np.unique(
+            np.fromiter(
+                (index_of[other] for other in covered_peers if other in index_of),
+                dtype=np.intp,
+            )
+        )
+        if cache_key is not None:
+            if len(self._indices_cache) >= self._INDICES_CACHE_LIMIT:
+                self._indices_cache.clear()
+            self._indices_cache[cache_key] = indices
+        return indices
+
     def total_weight(self, peer_id: PeerId) -> float:
         """Total weighted recall available to *peer_id* (joining every cluster)."""
         return float(self._local[self.index_of(peer_id)].sum())
 
-    def covered_weight(self, peer_id: PeerId, covered_peers: Sequence[PeerId]) -> float:
+    def covered_weight(self, peer_id: PeerId, covered_peers: Iterable[PeerId]) -> float:
         """Weighted recall that *peer_id* obtains from the peers in *covered_peers*."""
         row = self._local[self.index_of(peer_id)]
-        indices = [self._index_of[other] for other in covered_peers if other in self._index_of]
-        if not indices:
+        indices = self.covered_indices(covered_peers)
+        if indices.size == 0:
             return 0.0
         return float(row[indices].sum())
 
-    def recall_loss(self, peer_id: PeerId, covered_peers: Sequence[PeerId]) -> float:
+    def recall_loss(self, peer_id: PeerId, covered_peers: Iterable[PeerId]) -> float:
         """Weighted recall lost by not reaching peers outside *covered_peers*.
 
         This equals the second term of the individual cost (Eq. 1) for the
@@ -183,12 +221,12 @@ class WeightedRecallMatrix:
         """
         return self.total_weight(peer_id) - self.covered_weight(peer_id, covered_peers)
 
-    def global_recall_loss(self, peer_id: PeerId, covered_peers: Sequence[PeerId]) -> float:
+    def global_recall_loss(self, peer_id: PeerId, covered_peers: Iterable[PeerId]) -> float:
         """Globally-weighted recall loss for *peer_id* (workload-cost weighting)."""
         row = self._global[self.index_of(peer_id)]
         total = float(row.sum())
-        indices = [self._index_of[other] for other in covered_peers if other in self._index_of]
-        covered = float(row[indices].sum()) if indices else 0.0
+        indices = self.covered_indices(covered_peers)
+        covered = float(row[indices].sum()) if indices.size else 0.0
         return total - covered
 
     def loss_matrix_for_clusters(self, membership: np.ndarray) -> np.ndarray:

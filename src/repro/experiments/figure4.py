@@ -68,7 +68,7 @@ class Figure4Result:
         )
 
 
-@register_runner("figure4-point")
+@register_runner("figure4-point", mutates_scenario=True)
 def run_figure4_point(simulation: Simulation, options: Dict[str, object]) -> RunResult:
     """Sweep runner measuring one Figure 4 point.
 

@@ -161,7 +161,7 @@ def _apply_update(
         raise ValueError(f"unknown update kind {update_kind!r}")
 
 
-@register_runner("maintenance-point")
+@register_runner("maintenance-point", mutates_scenario=True)
 def run_maintenance_point(simulation: Simulation, options: Dict[str, object]) -> RunResult:
     """Sweep runner measuring one maintenance point (Figures 2 and 3).
 

@@ -7,6 +7,7 @@ from repro.game.equilibrium import (
     enumerate_single_cluster_configurations,
     find_pure_nash_equilibria,
 )
+from repro.game.kernel import BestResponseKernel
 from repro.game.model import BestResponse, ClusterGame
 from repro.game.properties import (
     CostDecomposition,
@@ -18,6 +19,7 @@ from repro.game.properties import (
 __all__ = [
     "ClusterGame",
     "BestResponse",
+    "BestResponseKernel",
     "BestResponseResult",
     "BestResponseStep",
     "run_best_response_dynamics",

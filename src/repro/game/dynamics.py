@@ -69,17 +69,26 @@ def run_best_response_dynamics(
     configuration = game.configuration
     result = BestResponseResult(converged=False, reached_equilibrium=False, cycle_detected=False)
     seen_signatures: Set[Tuple] = set()
-    result.social_cost_trace.append(game.social_cost(normalized=True))
+
+    def social_cost() -> float:
+        # The kernel keeps the per-peer cost vector live across moves; the
+        # cost-model path recomputes it peer by peer.  Re-fetched every step
+        # so a kernel that goes stale mid-run is dropped automatically.
+        kernel = game._active_kernel()
+        if kernel is not None:
+            return kernel.social_cost(normalized=True)
+        return game.social_cost(normalized=True)
+
+    result.social_cost_trace.append(social_cost())
     if detect_cycles:
         seen_signatures.add(configuration.signature())
 
     for step in range(max_steps):
-        deviations = game.deviating_peers(tolerance=tolerance)
-        if not deviations:
+        best = game.best_deviation(tolerance=tolerance)
+        if best is None:
             result.converged = True
             result.reached_equilibrium = True
             return result
-        best = max(deviations, key=lambda response: (response.gain, repr(response.peer_id)))
         target: Optional[ClusterId] = best.best_cluster
         if target == NEW_CLUSTER:
             empties = configuration.empty_clusters()
@@ -99,7 +108,7 @@ def run_best_response_dynamics(
                 gain=best.gain,
             )
         )
-        result.social_cost_trace.append(game.social_cost(normalized=True))
+        result.social_cost_trace.append(social_cost())
         if detect_cycles:
             signature = configuration.signature()
             if signature in seen_signatures:

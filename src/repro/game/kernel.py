@@ -1,0 +1,493 @@
+"""Vectorized, incrementally-maintained best-response kernel.
+
+The per-round hot loop of every experiment is "score all candidate clusters
+for all peers".  The :class:`~repro.game.model.ClusterGame` reference path
+rebuilds the membership matrix and the ``W @ M`` covered-recall product from
+scratch on every call; at experiment scale that means re-doing a full GEMM
+plus a Python per-peer loop hundreds of times per run even though each round
+only moves a handful of peers.
+
+:class:`BestResponseKernel` keeps the pieces of that computation as *live*
+NumPy state tied to one :class:`~repro.peers.configuration.ClusterConfiguration`:
+
+* ``M`` — the 0/1 membership matrix (peers x cluster slots),
+* ``sizes`` — the cluster-size vector ``|c|``,
+* ``CW = W @ M`` — the locally weighted covered-recall row sums over the
+  :class:`~repro.core.recall_matrix.WeightedRecallMatrix` (the globally
+  weighted analogue ``CV = V @ M`` is available through
+  :meth:`BestResponseKernel.global_covered`, built lazily).
+
+The kernel registers itself as a configuration listener, so every
+``assign`` / ``move`` / ``remove_peer`` updates the caches in ``O(|P|)``
+(one column add/subtract) instead of triggering an ``O(|P|^2 |C|)`` rebuild.
+:meth:`best_response_all` then scores *all* candidates for *all* peers with
+pure array arithmetic — including the :data:`~repro.core.costs.NEW_CLUSTER`
+option — reproducing the reference per-candidate evaluation exactly (the
+test suite pins the kernel to the exact per-query :class:`~repro.core.costs.CostModel`).
+
+The kernel is used automatically by :meth:`ClusterGame.best_responses
+<repro.game.model.ClusterGame.best_responses>` whenever a recall matrix is
+attached; pass ``use_kernel=False`` to the game to force the reference path
+(the ablation benchmark does exactly that).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.costs import NEW_CLUSTER, CostModel
+from repro.errors import ConfigurationError
+from repro.game.model import BestResponse
+from repro.peers.configuration import ClusterConfiguration
+
+__all__ = ["BestResponseKernel"]
+
+PeerId = Hashable
+ClusterId = Hashable
+
+
+class BestResponseKernel:
+    """Live vectorized cost state over one configuration and cost model.
+
+    Parameters
+    ----------
+    cost_model:
+        Cost model with an attached :class:`WeightedRecallMatrix` (required —
+        the kernel *is* the matrix acceleration).
+    configuration:
+        The configuration whose membership the kernel mirrors.  The kernel
+        subscribes to its mutation events; it stays consistent for as long as
+        the underlying recall matrix describes the network (content changes
+        require a fresh cost model and hence a fresh kernel, exactly like the
+        matrix itself).
+    """
+
+    def __init__(self, cost_model: CostModel, configuration: ClusterConfiguration) -> None:
+        matrix = cost_model.matrix
+        if matrix is None:
+            raise ConfigurationError(
+                "BestResponseKernel requires a cost model with an attached WeightedRecallMatrix"
+            )
+        self.cost_model = cost_model
+        self.configuration = configuration
+        self._recall_matrix = matrix
+        self._peer_order: List[PeerId] = matrix.peer_order
+        self._peer_index: Dict[PeerId, int] = {
+            peer_id: row for row, peer_id in enumerate(self._peer_order)
+        }
+        self._W = matrix.local_matrix()
+        self._totals = self._W.sum(axis=1)
+        self._own = np.ascontiguousarray(np.diag(self._W))
+        self._theta_table = np.zeros(0, dtype=float)
+        #: Set when the configuration gained a peer unknown to the recall
+        #: matrix; the kernel can no longer answer for it and callers should
+        #: fall back to the reference path.
+        self.stale = False
+        self._rebuild()
+        configuration.add_listener(self)
+
+    # -- state construction --------------------------------------------------
+
+    def _rebuild(self) -> None:
+        """(Re)build every cache from the configuration (O(|P|^2 |C|))."""
+        self._cluster_order: List[ClusterId] = list(self.configuration.cluster_ids())
+        self._cluster_index: Dict[ClusterId, int] = {
+            cluster_id: column for column, cluster_id in enumerate(self._cluster_order)
+        }
+        membership, _ = self.configuration.membership_matrix(
+            self._peer_order, self._cluster_order
+        )
+        self._M = membership
+        self._sizes = membership.sum(axis=0)
+        self._CW = self._W @ membership
+        # The globally-weighted analogue (V @ M, for a future vectorized
+        # workload cost) is built on first access and maintained thereafter.
+        self._V: Optional[np.ndarray] = None
+        self._CV: Optional[np.ndarray] = None
+
+    def rebuild(self) -> None:
+        """Public O(|P|^2 |C|) rebuild (used by tests to cross-check the incremental state).
+
+        The stale flag is recomputed, not blindly cleared: a configuration
+        still holding peers the recall matrix does not know stays stale.
+        """
+        self._rebuild()
+        self.stale = self._has_untracked_peers()
+
+    def _has_untracked_peers(self) -> bool:
+        """Whether the configuration holds assigned peers outside the matrix."""
+        tracked_assigned = int(np.count_nonzero(self._M.sum(axis=1)))
+        return self.configuration.num_peers() != tracked_assigned
+
+    def _untracked_peers(self) -> List[PeerId]:
+        """Assigned peers the recall matrix (and hence the kernel) cannot score."""
+        if not self._has_untracked_peers():
+            return []
+        return [
+            peer_id
+            for peer_id in self.configuration.peer_ids()
+            if peer_id not in self._peer_index
+        ]
+
+    # -- configuration listener callbacks ------------------------------------
+
+    def configuration_assigned(self, peer_id: PeerId, cluster_id: ClusterId) -> None:
+        row = self._peer_index.get(peer_id)
+        if row is None:
+            self.stale = True
+            return
+        column = self._cluster_index.get(cluster_id)
+        if column is None:
+            column = self._add_cluster_column(cluster_id)
+        self._M[row, column] = 1.0
+        self._sizes[column] += 1.0
+        self._CW[:, column] += self._W[:, row]
+        if self._CV is not None:
+            self._CV[:, column] += self._V[:, row]
+
+    def configuration_unassigned(self, peer_id: PeerId, cluster_id: ClusterId) -> None:
+        row = self._peer_index.get(peer_id)
+        if row is None:
+            return  # never tracked; nothing to undo
+        column = self._cluster_index.get(cluster_id)
+        if column is None:
+            self.stale = True
+            return
+        self._M[row, column] = 0.0
+        self._sizes[column] -= 1.0
+        self._CW[:, column] -= self._W[:, row]
+        if self._CV is not None:
+            self._CV[:, column] -= self._V[:, row]
+
+    def configuration_cluster_added(self, cluster_id: ClusterId) -> None:
+        if cluster_id not in self._cluster_index:
+            self._add_cluster_column(cluster_id)
+
+    def _add_cluster_column(self, cluster_id: ClusterId) -> int:
+        population = len(self._peer_order)
+        column = len(self._cluster_order)
+        self._cluster_order.append(cluster_id)
+        self._cluster_index[cluster_id] = column
+        self._M = np.hstack([self._M, np.zeros((population, 1))])
+        self._sizes = np.append(self._sizes, 0.0)
+        self._CW = np.hstack([self._CW, np.zeros((population, 1))])
+        if self._CV is not None:
+            self._CV = np.hstack([self._CV, np.zeros((population, 1))])
+        return column
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def peer_order(self) -> List[PeerId]:
+        """The row ordering of peer ids (the recall matrix's order)."""
+        return list(self._peer_order)
+
+    def global_covered(self) -> np.ndarray:
+        """``V @ M`` — globally-weighted covered recall per cluster column.
+
+        Built lazily on first access (the best-response path never needs it)
+        and incrementally maintained from then on; the raw material for a
+        vectorized workload cost.
+        """
+        if self._CV is None:
+            self._V = self._recall_matrix.global_matrix()
+            self._CV = self._V @ self._M
+        return self._CV
+
+    def membership_columns(
+        self, cluster_order: Sequence[ClusterId]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(membership, sizes)`` restricted to *cluster_order* columns.
+
+        The membership block is a copy (callers may scale it freely); the
+        sizes are the live cluster sizes gathered in the same order.
+        """
+        columns = [self._cluster_index[cluster_id] for cluster_id in cluster_order]
+        return self._M[:, columns].copy(), self._sizes[columns].copy()
+
+    def _theta_values(self, max_size: int) -> np.ndarray:
+        if max_size >= self._theta_table.size:
+            theta = self.cost_model.theta
+            self._theta_table = np.array(
+                [theta(size) for size in range(max_size + 1)], dtype=float
+            )
+        return self._theta_table
+
+    # -- vectorized cost evaluation -------------------------------------------
+
+    def _cost_table_for(self, membership: np.ndarray, columns: Sequence[int]) -> np.ndarray:
+        covered = self._CW[:, columns]
+        own = self._own[:, None]
+        own_counted = membership * own
+        covered_adjusted = covered - own_counted + own
+        losses = self._totals[:, None] - covered_adjusted
+        effective_sizes = self._sizes[columns][None, :] + (1.0 - membership)
+        max_size = int(effective_sizes.max()) if effective_sizes.size else 0
+        theta_table = self._theta_values(max_size)
+        membership_costs = (
+            self.cost_model.alpha
+            * theta_table[effective_sizes.astype(int)]
+            / self.cost_model.population_size
+        )
+        return membership_costs + losses
+
+    def cost_table(self, candidate_clusters: Sequence[ClusterId]) -> np.ndarray:
+        """Prospective ``pcost`` of every peer against every candidate cluster.
+
+        ``table[i, k]`` is the individual cost peer ``i`` would incur with the
+        single-cluster strategy ``candidate_clusters[k]`` — clusters the peer
+        does not belong to are evaluated "as if joined" (size + 1, its own
+        content always reachable), exactly like
+        :meth:`CostModel.prospective_pcost`.
+        """
+        columns = [self._cluster_index[cluster_id] for cluster_id in candidate_clusters]
+        return self._cost_table_for(self._M[:, columns], columns)
+
+    def new_cluster_costs(self) -> np.ndarray:
+        """Cost of moving to a fresh, empty cluster, for every peer."""
+        theta_one = float(self._theta_values(1)[1])
+        membership = self.cost_model.alpha * theta_one / self.cost_model.population_size
+        return membership + (self._totals - self._own)
+
+    def _single_cluster_columns(self) -> Optional[np.ndarray]:
+        """Column of each peer's single cluster, or ``None`` if any peer deviates.
+
+        ``None`` means some tracked peer belongs to zero or several clusters
+        (multi-membership is legal in the model but outside the vector fast
+        path) — callers fall back to the per-peer reference evaluation.
+        """
+        counts = self._M.sum(axis=1)
+        if counts.size == 0 or not np.all(counts == 1.0):
+            return None
+        return np.argmax(self._M, axis=1)
+
+    def _current_cost_vector(self, columns: np.ndarray) -> np.ndarray:
+        sizes = self._sizes[columns]
+        theta_table = self._theta_values(int(sizes.max()) if sizes.size else 0)
+        membership = (
+            self.cost_model.alpha
+            * theta_table[sizes.astype(int)]
+            / self.cost_model.population_size
+        )
+        losses = self._totals - self._CW[np.arange(columns.size), columns]
+        return membership + losses
+
+    def current_costs(self) -> Dict[PeerId, float]:
+        """``pcost`` of every assigned peer under its current strategy."""
+        configuration = self.configuration
+        columns = self._single_cluster_columns()
+        if columns is not None and not self._has_untracked_peers():
+            values = self._current_cost_vector(columns)
+            return {
+                peer_id: float(value)
+                for peer_id, value in zip(self._peer_order, values)
+            }
+        return {
+            peer_id: self.cost_model.pcost(peer_id, configuration)
+            for peer_id in configuration.peer_ids()
+        }
+
+    def social_cost(self, *, normalized: bool = False) -> float:
+        """Social cost (Eq. 2) of the current configuration, fully vectorized.
+
+        Falls back to the cost model's per-peer evaluation whenever a tracked
+        peer is not in the single-cluster regime, so the result always agrees
+        with :meth:`CostModel.social_cost` (up to float summation order).
+        """
+        columns = self._single_cluster_columns()
+        if columns is None or self._has_untracked_peers():
+            return self.cost_model.social_cost(self.configuration, normalized=normalized)
+        total = float(self._current_cost_vector(columns).sum())
+        if normalized:
+            return total / self.cost_model.population_size
+        return total
+
+    # -- best responses --------------------------------------------------------
+
+    class _Selection:
+        """Arrays of one vectorized best-response evaluation (internal)."""
+
+        __slots__ = (
+            "candidates",
+            "eligible",
+            "fallback_rows",
+            "current_columns",
+            "current_costs",
+            "best_columns",
+            "best_costs",
+            "use_new",
+            "stay",
+            "gains",
+        )
+
+    def _select(
+        self,
+        candidates: Sequence[ClusterId],
+        *,
+        include_new_cluster: bool,
+        tolerance: float,
+    ) -> "BestResponseKernel._Selection":
+        """Vectorized best-response selection over every tracked peer.
+
+        Mirrors the reference semantics bit for bit: global argmin over the
+        candidate columns, a strictly-better-by-*tolerance* test for the
+        fresh-cluster option, and "stay unless strictly better than the
+        current cost".  Rows outside the single-cluster regime (or whose
+        cluster is not a candidate) land in ``fallback_rows``.
+        """
+        columns = [self._cluster_index[cluster_id] for cluster_id in candidates]
+        membership = self._M[:, columns]
+        costs = self._cost_table_for(membership, columns)
+        counts_all = self._M.sum(axis=1)
+        assigned = counts_all > 0.0
+        eligible = assigned & (counts_all == 1.0) & (membership.sum(axis=1) == 1.0)
+        rows = np.arange(len(self._peer_order))
+        current_columns = np.argmax(membership, axis=1)
+        current_costs = costs[rows, current_columns]
+        best_columns = np.argmin(costs, axis=1)
+        best_costs = costs[rows, best_columns]
+        if include_new_cluster:
+            new_costs = self.new_cluster_costs()
+            use_new = new_costs < best_costs - tolerance
+            best_costs = np.where(use_new, new_costs, best_costs)
+        else:
+            use_new = np.zeros(rows.size, dtype=bool)
+        stay = best_costs >= current_costs - tolerance
+        selection = BestResponseKernel._Selection()
+        selection.candidates = list(candidates)
+        selection.eligible = eligible
+        selection.fallback_rows = np.nonzero(assigned & ~eligible)[0]
+        selection.current_columns = current_columns
+        selection.current_costs = current_costs
+        selection.best_columns = best_columns
+        selection.best_costs = best_costs
+        selection.use_new = use_new
+        selection.stay = stay
+        selection.gains = np.where(
+            eligible & ~stay, current_costs - best_costs, 0.0
+        )
+        return selection
+
+    def _response_for_row(
+        self, row: int, selection: "BestResponseKernel._Selection"
+    ) -> BestResponse:
+        current_cluster = selection.candidates[int(selection.current_columns[row])]
+        current_cost = float(selection.current_costs[row])
+        if selection.stay[row]:
+            best_cluster = current_cluster
+            best_cost = current_cost
+        elif selection.use_new[row]:
+            best_cluster = NEW_CLUSTER
+            best_cost = float(selection.best_costs[row])
+        else:
+            best_cluster = selection.candidates[int(selection.best_columns[row])]
+            best_cost = float(selection.best_costs[row])
+        return BestResponse(
+            peer_id=self._peer_order[row],
+            current_cluster=current_cluster,
+            best_cluster=best_cluster,
+            current_cost=current_cost,
+            best_cost=best_cost,
+        )
+
+    def best_response_all(
+        self,
+        peer_ids: Optional[Iterable[PeerId]] = None,
+        *,
+        candidate_clusters: Optional[Sequence[ClusterId]] = None,
+        include_new_cluster: bool = False,
+        tolerance: float = 1e-12,
+    ) -> Tuple[Dict[PeerId, BestResponse], List[PeerId]]:
+        """Best response of every (requested) peer against the candidate set.
+
+        Returns ``(responses, fallback_peers)``: *fallback_peers* lists peers
+        the kernel cannot score (their current cluster lies outside the
+        candidate set, or they joined several clusters) — the caller decides
+        how to evaluate those (the game falls back to the scalar path,
+        matching the reference implementation's behaviour exactly).
+        """
+        configuration = self.configuration
+        candidates: List[ClusterId] = (
+            list(candidate_clusters)
+            if candidate_clusters is not None
+            else configuration.nonempty_clusters()
+        )
+        candidates = [cluster_id for cluster_id in candidates if cluster_id != NEW_CLUSTER]
+        wanted = set(peer_ids) if peer_ids is not None else None
+        responses: Dict[PeerId, BestResponse] = {}
+        if not candidates:
+            return responses, [
+                peer_id
+                for peer_id in configuration.peer_ids()
+                if wanted is None or peer_id in wanted
+            ]
+        selection = self._select(
+            candidates, include_new_cluster=include_new_cluster, tolerance=tolerance
+        )
+        peer_order = self._peer_order
+        fallback = [peer_order[row] for row in selection.fallback_rows]
+        # Assigned peers outside the recall matrix cannot be scored here;
+        # they belong to the caller's fallback path (where the reference
+        # implementation's behaviour — including its errors — applies).
+        fallback.extend(self._untracked_peers())
+        for row in np.nonzero(selection.eligible)[0]:
+            peer_id = peer_order[row]
+            if wanted is not None and peer_id not in wanted:
+                continue
+            responses[peer_id] = self._response_for_row(int(row), selection)
+        if wanted is not None:
+            fallback = [peer_id for peer_id in fallback if peer_id in wanted]
+        return responses, fallback
+
+    def best_deviation(
+        self,
+        *,
+        candidate_clusters: Optional[Sequence[ClusterId]] = None,
+        include_new_cluster: bool = False,
+        gain_tolerance: float = 1e-9,
+        tolerance: float = 1e-12,
+    ) -> Tuple[Optional[BestResponse], List[PeerId]]:
+        """The single best deviation — ``max`` over ``(gain, repr(peer))``.
+
+        This is the step rule of best-response dynamics; only the winning
+        peer's :class:`BestResponse` is materialised, everything else stays
+        in arrays.  Returns ``(winner_or_None, fallback_peers)`` — fallback
+        peers (outside the single-cluster regime) must be evaluated by the
+        caller and compared against the winner.
+        """
+        configuration = self.configuration
+        candidates: List[ClusterId] = (
+            list(candidate_clusters)
+            if candidate_clusters is not None
+            else configuration.nonempty_clusters()
+        )
+        candidates = [cluster_id for cluster_id in candidates if cluster_id != NEW_CLUSTER]
+        if not candidates:
+            return None, list(configuration.peer_ids())
+        selection = self._select(
+            candidates, include_new_cluster=include_new_cluster, tolerance=tolerance
+        )
+        fallback = [self._peer_order[row] for row in selection.fallback_rows]
+        fallback.extend(self._untracked_peers())
+        gains = selection.gains
+        deviating = np.nonzero(gains > gain_tolerance)[0]
+        if deviating.size == 0:
+            return None, fallback
+        best_gain = gains[deviating].max()
+        tied_rows = deviating[gains[deviating] == best_gain]
+        # max() over (gain, repr(peer_id)) breaks gain ties by largest repr.
+        winner_row = max(tied_rows, key=lambda row: repr(self._peer_order[row]))
+        return self._response_for_row(int(winner_row), selection), fallback
+
+    def detach(self) -> None:
+        """Stop listening to the configuration (the kernel becomes read-only)."""
+        self.configuration.remove_listener(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"BestResponseKernel(peers={len(self._peer_order)}, "
+            f"clusters={len(self._cluster_order)}, stale={self.stale})"
+        )

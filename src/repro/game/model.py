@@ -68,7 +68,18 @@ class BestResponse:
 
 
 class ClusterGame:
-    """Game-theoretic view over a cost model and a cluster configuration."""
+    """Game-theoretic view over a cost model and a cluster configuration.
+
+    When the cost model has a :class:`WeightedRecallMatrix` attached, batch
+    evaluations (:meth:`best_responses`, :meth:`prospective_cost_table`) run
+    on a :class:`~repro.game.kernel.BestResponseKernel` — incrementally
+    maintained vectorized state shared across rounds.  Long-lived drivers
+    (the reformulation protocol) build one kernel and pass it to every
+    per-round game through the ``kernel`` parameter; short-lived games build
+    their own lazily.  ``use_kernel=False`` forces the reference
+    (rebuild-everything) path, which the ablation benchmark times against
+    the kernel.
+    """
 
     def __init__(
         self,
@@ -77,6 +88,8 @@ class ClusterGame:
         *,
         allow_new_clusters: bool = True,
         candidate_clusters: Optional[Iterable[ClusterId]] = None,
+        kernel: Optional["object"] = None,
+        use_kernel: bool = True,
     ) -> None:
         self.cost_model = cost_model
         self.configuration = configuration
@@ -84,6 +97,26 @@ class ClusterGame:
         self._candidate_clusters = (
             list(candidate_clusters) if candidate_clusters is not None else None
         )
+        self.use_kernel = use_kernel
+        self._kernel = kernel
+
+    @property
+    def kernel(self):
+        """The game's :class:`BestResponseKernel`, or ``None`` when unavailable.
+
+        Built lazily on first use when a recall matrix is attached; a kernel
+        that went stale (the configuration gained a peer the matrix does not
+        know) is discarded and the reference path takes over.
+        """
+        if not self.use_kernel:
+            return None
+        if self._kernel is None and self.cost_model.matrix is not None:
+            from repro.game.kernel import BestResponseKernel
+
+            self._kernel = BestResponseKernel(self.cost_model, self.configuration)
+        if self._kernel is not None and getattr(self._kernel, "stale", False):
+            return None
+        return self._kernel
 
     # -- candidate strategies ----------------------------------------------------
 
@@ -159,17 +192,18 @@ class ClusterGame:
         not currently belong to are evaluated "as if joined": size + 1).
 
         The table is exactly what :meth:`prospective_cost` computes per pair;
-        the equivalence is asserted by the test suite.
+        the equivalence is asserted by the test suite.  When a kernel is
+        active the table comes from its incrementally maintained caches,
+        otherwise everything is rebuilt from the matrix (the reference path).
         """
         matrix = self.cost_model.matrix
         if matrix is None:
             raise ValueError("prospective_cost_table requires an attached WeightedRecallMatrix")
         peer_order = matrix.peer_order
-        candidate_order = [
-            cluster_id
-            for cluster_id in self.candidate_clusters(peer_order[0] if peer_order else None)
-            if cluster_id != NEW_CLUSTER
-        ]
+        candidate_order, _ = self._candidate_set(peer_order)
+        kernel = self._active_kernel()
+        if kernel is not None:
+            return peer_order, list(candidate_order), kernel.cost_table(candidate_order)
         membership, cluster_order = self.configuration.membership_matrix(
             peer_order, candidate_order
         )
@@ -188,13 +222,47 @@ class ClusterGame:
         )
         return peer_order, cluster_order, membership_costs + losses
 
+    def _active_kernel(self):
+        """The kernel when it is usable for *this* game's configuration."""
+        kernel = self.kernel
+        if kernel is not None and kernel.configuration is not self.configuration:
+            return None
+        return kernel
+
+    def _candidate_set(self, peer_order) -> Tuple[List[ClusterId], bool]:
+        """``(candidates without NEW_CLUSTER, whether a fresh cluster is in play)``.
+
+        The single source of the batch paths' candidate semantics — the
+        vectorized table covers the existing clusters, the fresh-cluster
+        option is handled as a separate column when creation is allowed and
+        an empty slot exists.
+        """
+        candidates = [
+            cluster_id
+            for cluster_id in self.candidate_clusters(peer_order[0] if peer_order else None)
+            if cluster_id != NEW_CLUSTER
+        ]
+        include_new = self.allow_new_clusters and bool(self.configuration.empty_clusters())
+        return candidates, include_new
+
     def best_responses(self, *, tolerance: float = 1e-12) -> Dict[PeerId, BestResponse]:
-        """Best response of every peer, using the vectorised table when available."""
+        """Best response of every peer, using the kernel / vectorised table when available."""
         if self.cost_model.matrix is None:
             return {
                 peer_id: self.best_response(peer_id)
                 for peer_id in self.configuration.peer_ids()
             }
+        kernel = self._active_kernel()
+        if kernel is not None:
+            candidates, include_new = self._candidate_set(kernel.peer_order)
+            responses, fallback_peers = kernel.best_response_all(
+                candidate_clusters=candidates,
+                include_new_cluster=include_new,
+                tolerance=tolerance,
+            )
+            for peer_id in fallback_peers:
+                responses[peer_id] = self.best_response(peer_id)
+            return responses
         peer_order, cluster_order, costs = self.prospective_cost_table()
         include_new = self.allow_new_clusters and bool(self.configuration.empty_clusters())
         responses: Dict[PeerId, BestResponse] = {}
@@ -236,12 +304,7 @@ class ClusterGame:
 
     def is_nash_equilibrium(self, *, tolerance: float = 1e-9) -> bool:
         """``True`` when no peer can reduce its cost by more than *tolerance* by deviating."""
-        responses = self.best_responses()
-        for peer_id in self.configuration.peer_ids():
-            response = responses.get(peer_id) or self.best_response(peer_id)
-            if response.gain > tolerance:
-                return False
-        return True
+        return self.best_deviation(tolerance=tolerance) is None
 
     def deviating_peers(self, *, tolerance: float = 1e-9) -> List[BestResponse]:
         """Best responses of every peer that strictly gains by deviating."""
@@ -252,6 +315,37 @@ class ClusterGame:
             if response.gain > tolerance:
                 deviations.append(response)
         return deviations
+
+    def best_deviation(self, *, tolerance: float = 1e-9) -> Optional[BestResponse]:
+        """The most profitable deviation, or ``None`` at a (tolerance-)equilibrium.
+
+        Ties in gain break towards the largest ``repr(peer_id)`` — the same
+        rule as ``max(deviating_peers(), key=lambda r: (r.gain, repr(r.peer_id)))``,
+        which this replaces on the best-response-dynamics hot path.  With a
+        kernel only the winning response is materialised.
+        """
+        kernel = self._active_kernel()
+        if kernel is not None:
+            candidates, include_new = self._candidate_set(kernel.peer_order)
+            best, fallback_peers = kernel.best_deviation(
+                candidate_clusters=candidates,
+                include_new_cluster=include_new,
+                gain_tolerance=tolerance,
+            )
+            for peer_id in fallback_peers:
+                response = self.best_response(peer_id)
+                if response.gain <= tolerance:
+                    continue
+                if best is None or (response.gain, repr(response.peer_id)) > (
+                    best.gain,
+                    repr(best.peer_id),
+                ):
+                    best = response
+            return best
+        deviations = self.deviating_peers(tolerance=tolerance)
+        if not deviations:
+            return None
+        return max(deviations, key=lambda response: (response.gain, repr(response.peer_id)))
 
     def social_cost(self, *, normalized: bool = False) -> float:
         """Social cost of the current configuration."""

@@ -27,14 +27,17 @@ class Cluster:
     def __init__(self, cluster_id: ClusterId, members: Optional[Iterable[PeerId]] = None) -> None:
         self.cluster_id = cluster_id
         self._members: Set[PeerId] = set(members) if members is not None else set()
+        self._members_view: Optional[FrozenSet[PeerId]] = None
         self._representative: Optional[PeerId] = None
 
     # -- membership -----------------------------------------------------------
 
     @property
     def members(self) -> FrozenSet[PeerId]:
-        """The current member peer ids (immutable view)."""
-        return frozenset(self._members)
+        """The current member peer ids (immutable view, cached between mutations)."""
+        if self._members_view is None:
+            self._members_view = frozenset(self._members)
+        return self._members_view
 
     @property
     def size(self) -> int:
@@ -49,6 +52,7 @@ class Cluster:
     def add(self, peer_id: PeerId) -> None:
         """Add *peer_id* to the cluster."""
         self._members.add(peer_id)
+        self._members_view = None
 
     def remove(self, peer_id: PeerId) -> None:
         """Remove *peer_id* from the cluster, clearing the representative if it leaves."""
@@ -57,6 +61,7 @@ class Cluster:
                 f"peer {peer_id!r} is not a member of cluster {self.cluster_id!r}"
             )
         self._members.remove(peer_id)
+        self._members_view = None
         if self._representative == peer_id:
             self._representative = None
 

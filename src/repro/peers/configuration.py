@@ -15,6 +15,7 @@ exactly what the cluster-creation rule of Section 3.2 needs.
 
 from __future__ import annotations
 
+import weakref
 from collections.abc import Hashable, Iterable, Mapping, Sequence
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -53,6 +54,10 @@ class ClusterConfiguration:
                 raise ConfigurationError(f"duplicate cluster id {cluster_id!r}")
             self._clusters[cluster_id] = Cluster(cluster_id)
         self._strategies: Dict[PeerId, Set[ClusterId]] = {}
+        self._listeners: List["weakref.ref"] = []
+        self._sorted_cluster_ids: Optional[List[ClusterId]] = None
+        self._nonempty_cache: Optional[List[ClusterId]] = None
+        self._empty_cache: Optional[List[ClusterId]] = None
         if assignment is not None:
             for peer_id, clusters in assignment.items():
                 if isinstance(clusters, (str, bytes)) or not isinstance(clusters, Iterable):
@@ -86,6 +91,44 @@ class ClusterConfiguration:
                 duplicate.assign(peer_id, cluster_id)
         return duplicate
 
+    # -- mutation listeners -------------------------------------------------------
+
+    def add_listener(self, listener: object) -> None:
+        """Register *listener* for membership-change callbacks (held weakly).
+
+        A listener may implement any of ``configuration_assigned(peer_id,
+        cluster_id)``, ``configuration_unassigned(peer_id, cluster_id)`` and
+        ``configuration_cluster_added(cluster_id)``; missing methods are
+        skipped.  Listeners are stored through weak references so a discarded
+        listener (e.g. a per-round game's kernel) never outlives its owner.
+        """
+        self._listeners.append(weakref.ref(listener))
+
+    def remove_listener(self, listener: object) -> None:
+        """Unregister *listener* (no-op when it was never registered)."""
+        self._listeners = [
+            reference for reference in self._listeners if reference() not in (None, listener)
+        ]
+
+    def _invalidate_partition_caches(self) -> None:
+        self._nonempty_cache = None
+        self._empty_cache = None
+
+    def _notify(self, method: str, *args: object) -> None:
+        if not self._listeners:
+            return
+        alive = []
+        for reference in self._listeners:
+            listener = reference()
+            if listener is None:
+                continue
+            callback = getattr(listener, method, None)
+            if callback is not None:
+                callback(*args)
+            alive.append(reference)
+        if len(alive) != len(self._listeners):
+            self._listeners = alive
+
     # -- cluster management -------------------------------------------------------
 
     def add_cluster(self, cluster_id: ClusterId) -> None:
@@ -93,6 +136,9 @@ class ClusterConfiguration:
         if cluster_id in self._clusters:
             raise ConfigurationError(f"cluster {cluster_id!r} already exists")
         self._clusters[cluster_id] = Cluster(cluster_id)
+        self._sorted_cluster_ids = None
+        self._invalidate_partition_caches()
+        self._notify("configuration_cluster_added", cluster_id)
 
     def cluster(self, cluster_id: ClusterId) -> Cluster:
         """Return the :class:`Cluster` object for *cluster_id*."""
@@ -103,15 +149,29 @@ class ClusterConfiguration:
 
     def cluster_ids(self) -> List[ClusterId]:
         """All cluster slot identifiers (including empty slots), deterministic order."""
-        return sorted(self._clusters, key=repr)
+        if self._sorted_cluster_ids is None:
+            self._sorted_cluster_ids = sorted(self._clusters, key=repr)
+        return list(self._sorted_cluster_ids)
 
     def nonempty_clusters(self) -> List[ClusterId]:
         """Identifiers of clusters with at least one member."""
-        return [cluster_id for cluster_id in self.cluster_ids() if not self._clusters[cluster_id].is_empty]
+        if self._nonempty_cache is None:
+            self._nonempty_cache = [
+                cluster_id
+                for cluster_id in self.cluster_ids()
+                if not self._clusters[cluster_id].is_empty
+            ]
+        return list(self._nonempty_cache)
 
     def empty_clusters(self) -> List[ClusterId]:
         """Identifiers of empty cluster slots (candidates for cluster creation)."""
-        return [cluster_id for cluster_id in self.cluster_ids() if self._clusters[cluster_id].is_empty]
+        if self._empty_cache is None:
+            self._empty_cache = [
+                cluster_id
+                for cluster_id in self.cluster_ids()
+                if self._clusters[cluster_id].is_empty
+            ]
+        return list(self._empty_cache)
 
     def size(self, cluster_id: ClusterId) -> int:
         """``|c|`` for the given cluster."""
@@ -131,6 +191,10 @@ class ClusterConfiguration:
         """All assigned peer ids, deterministic order."""
         return sorted(self._strategies, key=repr)
 
+    def num_peers(self) -> int:
+        """Number of assigned peers (cheap — no sort)."""
+        return len(self._strategies)
+
     def assign(self, peer_id: PeerId, cluster_id: ClusterId) -> None:
         """Add *cluster_id* to the strategy of *peer_id*."""
         cluster = self.cluster(cluster_id)
@@ -141,14 +205,21 @@ class ClusterConfiguration:
             )
         strategy.add(cluster_id)
         cluster.add(peer_id)
+        self._invalidate_partition_caches()
+        self._notify("configuration_assigned", peer_id, cluster_id)
 
     def remove_peer(self, peer_id: PeerId) -> None:
         """Remove *peer_id* from every cluster (peer departure)."""
         strategy = self._strategies.pop(peer_id, None)
         if strategy is None:
             raise UnknownPeerError(peer_id)
-        for cluster_id in strategy:
+        for cluster_id in sorted(strategy, key=repr):
             self._clusters[cluster_id].remove(peer_id)
+            # Invalidate after every removal: a listener may (re)populate the
+            # partition caches from inside its callback, and the caches must
+            # never outlive a later membership change of this same loop.
+            self._invalidate_partition_caches()
+            self._notify("configuration_unassigned", peer_id, cluster_id)
 
     def move(self, peer_id: PeerId, from_cluster: ClusterId, to_cluster: ClusterId) -> None:
         """Relocate *peer_id* from *from_cluster* to *to_cluster*."""
@@ -168,6 +239,9 @@ class ClusterConfiguration:
         strategy.remove(from_cluster)
         strategy.add(to_cluster)
         destination.add(peer_id)
+        self._invalidate_partition_caches()
+        self._notify("configuration_unassigned", peer_id, from_cluster)
+        self._notify("configuration_assigned", peer_id, to_cluster)
 
     def clusters_of(self, peer_id: PeerId) -> FrozenSet[ClusterId]:
         """The strategy ``s_i`` of *peer_id*: the set of clusters it belongs to."""
@@ -186,9 +260,19 @@ class ClusterConfiguration:
         return next(iter(strategy))
 
     def covered_peers(self, peer_id: PeerId) -> FrozenSet[PeerId]:
-        """``P(s_i)``: the union of the member sets of the peer's clusters."""
+        """``P(s_i)``: the union of the member sets of the peer's clusters.
+
+        For the protocol's common case — a peer belonging to exactly one
+        cluster — this returns the cluster's cached member view directly
+        instead of rebuilding a fresh set per call.
+        """
+        strategy = self._strategies.get(peer_id)
+        if strategy is None:
+            raise UnknownPeerError(peer_id)
+        if len(strategy) == 1:
+            return self._clusters[next(iter(strategy))].members
         covered: Set[PeerId] = set()
-        for cluster_id in self.clusters_of(peer_id):
+        for cluster_id in strategy:
             covered |= self._clusters[cluster_id].members
         return frozenset(covered)
 

@@ -79,6 +79,22 @@ class PeerNetwork:
     def __len__(self) -> int:
         return len(self._peers)
 
+    def __deepcopy__(self, memo: Dict[int, object]) -> "PeerNetwork":
+        """Deep copy the peers but none of the derived-model caches.
+
+        The recall model / matrix are pure functions of the peers and can be
+        rebuilt on demand; copying them would waste time and — worse — hand
+        the copy caches built from a *pre-mutation* snapshot if the caller
+        copies precisely because it intends to mutate (the sweep engine's
+        copy-on-write scenario cache does exactly that).
+        """
+        import copy as _copy
+
+        duplicate = PeerNetwork()
+        memo[id(self)] = duplicate
+        duplicate._peers = _copy.deepcopy(self._peers, memo)
+        return duplicate
+
     # -- derived models --------------------------------------------------------------
 
     def invalidate(self) -> None:

@@ -31,6 +31,7 @@ from repro.events import (
     RelocationGrantedEvent,
     RoundEndEvent,
 )
+from repro.game.kernel import BestResponseKernel
 from repro.game.model import ClusterGame
 from repro.overlay.messages import MessageBus
 from repro.peers.configuration import ClusterConfiguration
@@ -139,17 +140,32 @@ class ReformulationProtocol:
         #: :class:`~repro.events.EventHooks` in.
         self.hooks = hooks if hooks is not None else EventHooks()
         self._previous_costs: Optional[Dict[PeerId, float]] = None
+        self._kernel: Optional[BestResponseKernel] = None
 
     # -- helpers -----------------------------------------------------------------
 
     def _build_game(self) -> ClusterGame:
+        # One incrementally-maintained kernel serves every round's game: the
+        # games are throwaway views, the vectorized membership / covered-recall
+        # caches persist and follow the configuration's moves in O(|P|).
+        if self._kernel is None and self.cost_model.matrix is not None:
+            self._kernel = BestResponseKernel(self.cost_model, self.configuration)
         candidates = self.configuration.nonempty_clusters() if self.restrict_to_nonempty else None
         return ClusterGame(
             self.cost_model,
             self.configuration,
             allow_new_clusters=self.allow_cluster_creation,
             candidate_clusters=candidates,
+            kernel=self._kernel,
         )
+
+    def _snapshot_costs(self, game: ClusterGame) -> Dict[PeerId, float]:
+        kernel = game._active_kernel()
+        if kernel is not None:
+            return kernel.current_costs()
+        return {
+            peer_id: game.current_cost(peer_id) for peer_id in self.configuration.peer_ids()
+        }
 
     def _filter_new_cluster_proposals(
         self, proposals: Dict[PeerId, RelocationProposal], game: ClusterGame
@@ -267,9 +283,7 @@ class ReformulationProtocol:
                 seen_signatures.add(signature)
 
         game = self._build_game()
-        self._previous_costs = {
-            peer_id: game.current_cost(peer_id) for peer_id in self.configuration.peer_ids()
-        }
+        self._previous_costs = self._snapshot_costs(game)
         result.message_counts = self.bus.snapshot()
         result.equalize_traces()
         return result
@@ -281,9 +295,7 @@ class ReformulationProtocol:
         cluster-creation rule can compare against pre-update costs.
         """
         game = self._build_game()
-        self._previous_costs = {
-            peer_id: game.current_cost(peer_id) for peer_id in self.configuration.peer_ids()
-        }
+        self._previous_costs = self._snapshot_costs(game)
 
     def __repr__(self) -> str:
         return (

@@ -209,12 +209,29 @@ def register_initializer(
 
 
 def register_runner(
-    name: str, *, aliases: Sequence[str] = (), replace: bool = False
+    name: str,
+    *,
+    aliases: Sequence[str] = (),
+    replace: bool = False,
+    mutates_scenario: Optional[bool] = None,
 ) -> Callable[[Any], Any]:
     """Decorator registering a sweep task runner under *name*.
 
     A runner receives a fully assembled
     :class:`~repro.session.simulation.Simulation` plus the task's plain-dict
     options and returns a :class:`~repro.session.result.RunResult`.
+
+    ``mutates_scenario`` declares whether the runner mutates the scenario's
+    network (content/workload updates, churn).  The sweep engine's per-worker
+    scenario cache hands non-mutating runners the shared
+    :class:`~repro.datasets.scenarios.ScenarioData` and mutating runners a
+    private deep copy.  Runners that do not declare the flag are treated as
+    mutating (the safe default).
     """
-    return runner_registry.register(name, aliases=aliases, replace=replace)
+
+    def decorator(component: Any) -> Any:
+        if mutates_scenario is not None:
+            component.mutates_scenario = mutates_scenario
+        return runner_registry.register(name, component, aliases=aliases, replace=replace)
+
+    return decorator

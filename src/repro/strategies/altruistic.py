@@ -198,23 +198,48 @@ class AltruisticStrategy(RelocationStrategy):
             gain=gain,
         )
 
+    def batch_state(self, context: StrategyContext, cluster_order):
+        """Shared vectorised scaffolding of the batch (exact-mode) paths.
+
+        Returns ``(contributions, join_increases, leave_decreases)`` over the
+        *cluster_order* columns — the peer x cluster contribution matrix
+        (Eq. 6) plus the per-cluster maintenance-cost deltas — or ``None``
+        when no recall matrix is attached.  The hybrid strategy builds its
+        altruistic term from exactly this state, so the two batch paths can
+        never diverge.
+        """
+        matrix = context.game.cost_model.matrix
+        if matrix is None:
+            return None
+        configuration = context.game.configuration
+        cost_model = context.game.cost_model
+        kernel = context.game._active_kernel()
+        if kernel is not None:
+            # The kernel's live membership/size caches replace the per-round
+            # membership-matrix rebuild.
+            membership, sizes = kernel.membership_columns(cluster_order)
+        else:
+            membership, _ = configuration.membership_matrix(matrix.peer_order, cluster_order)
+            sizes = membership.sum(axis=0)
+        contributions = matrix.contribution_matrix(membership)
+        join_increases = np.array(
+            [self.join_cost_increase(cost_model, int(size)) for size in sizes], dtype=float
+        )
+        leave_decreases = np.array(
+            [self.leave_cost_decrease(cost_model, int(size)) for size in sizes], dtype=float
+        )
+        return contributions, join_increases, leave_decreases
+
     def propose_all(self, peer_ids, context: StrategyContext):
         """Vectorised batch evaluation in exact mode (per-peer fallback otherwise)."""
         matrix = context.game.cost_model.matrix
         if self.mode != "exact" or matrix is None:
             return super().propose_all(peer_ids, context)
         configuration = context.game.configuration
-        cost_model = context.game.cost_model
         peer_order = matrix.peer_order
         cluster_order = configuration.nonempty_clusters()
-        membership, cluster_order = configuration.membership_matrix(peer_order, cluster_order)
-        contributions = matrix.contribution_matrix(membership)
-        sizes = membership.sum(axis=0)
-        join_increases = np.array(
-            [self.join_cost_increase(cost_model, int(size)) for size in sizes], dtype=float
-        )
-        leave_decreases = np.array(
-            [self.leave_cost_decrease(cost_model, int(size)) for size in sizes], dtype=float
+        contributions, join_increases, leave_decreases = self.batch_state(
+            context, cluster_order
         )
         cluster_index = {cluster_id: column for column, cluster_id in enumerate(cluster_order)}
         wanted = set(peer_ids)

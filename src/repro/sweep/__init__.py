@@ -29,6 +29,12 @@ Progress streams through ``repro.events`` (``task_started`` /
 drives all of this from a JSON spec or flags.
 """
 
+from repro.sweep.cache import (
+    clear_scenario_cache,
+    scenario_cache_enabled,
+    scenario_cache_info,
+    scenario_data_for,
+)
 from repro.sweep.engine import execute_task, run_sweep
 from repro.sweep.result import SweepResult, read_jsonl
 from repro.sweep.runners import resolve_runner
@@ -44,4 +50,8 @@ __all__ = [
     "resolve_runner",
     "derive_seeds",
     "DEFAULT_RUNNER",
+    "scenario_data_for",
+    "scenario_cache_enabled",
+    "scenario_cache_info",
+    "clear_scenario_cache",
 ]

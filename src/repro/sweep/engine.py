@@ -42,29 +42,47 @@ from repro.sweep.spec import SweepSpec, SweepTask
 __all__ = ["run_sweep", "execute_task"]
 
 
-def execute_task(task: SweepTask) -> Tuple[RunResult, float]:
+def execute_task(task: SweepTask, *, scenario_cache: bool = True) -> Tuple[RunResult, float]:
     """Run one sweep task to completion; returns ``(result, seconds)``.
 
     This is the whole per-worker protocol: materialise the task's
-    :class:`~repro.session.config.SessionConfig`, assemble a
+    :class:`~repro.session.config.SessionConfig`, fetch (or build) the
+    scenario data through the per-worker memo, assemble a
     :class:`~repro.session.simulation.Simulation`, hand it to the task's
     registered runner, and return the runner's JSON-exportable
     :class:`RunResult`.  The raw ``protocol_result`` is dropped — it is not
     part of the exportable surface and would dominate pickling cost.
+
+    With ``scenario_cache=True`` (the default) tasks sharing a
+    ``(scenario, ScenarioConfig)`` key reuse one built
+    :class:`~repro.datasets.scenarios.ScenarioData` per process; runners
+    registered as scenario-mutating get a private deep copy (copy-on-write),
+    so results are byte-identical with and without the cache.
     """
+    from repro.sweep.cache import (
+        runner_mutates_scenario,
+        scenario_cache_enabled,
+        scenario_data_for,
+    )
     from repro.sweep.runners import resolve_runner
 
     runner = resolve_runner(task.runner)
     started = time.perf_counter()
-    simulation = Simulation.from_config(task.session_config())
+    config = task.session_config()
+    data = None
+    if scenario_cache and scenario_cache_enabled():
+        data = scenario_data_for(config, mutates=runner_mutates_scenario(runner))
+    simulation = Simulation.from_config(config, data=data)
     result = runner(simulation, dict(task.options))
     result.protocol_result = None
     return result, time.perf_counter() - started
 
 
-def _execute_payload(payload: Dict[str, object]) -> Tuple[RunResult, float]:
+def _execute_payload(
+    payload: Dict[str, object], scenario_cache: bool = True
+) -> Tuple[RunResult, float]:
     """Process-pool entry point: rebuild the task from its dict form and run it."""
-    return execute_task(SweepTask.from_dict(payload))
+    return execute_task(SweepTask.from_dict(payload), scenario_cache=scenario_cache)
 
 
 def run_sweep(
@@ -73,6 +91,7 @@ def run_sweep(
     workers: int = 1,
     hooks: Optional[EventHooks] = None,
     jsonl_path: Optional[str] = None,
+    scenario_cache: bool = True,
 ) -> SweepResult:
     """Run every task of *spec* and aggregate the results.
 
@@ -89,6 +108,9 @@ def run_sweep(
     jsonl_path:
         When given, the finished sweep is persisted there as JSONL
         (see :meth:`~repro.sweep.result.SweepResult.write_jsonl`).
+    scenario_cache:
+        Memoise built scenarios per worker process (copy-on-write for
+        mutating runners).  On by default; results do not depend on it.
     """
     if workers < 1:
         raise ConfigurationError(f"workers must be at least 1, got {workers}")
@@ -120,7 +142,7 @@ def run_sweep(
     if workers == 1 or total <= 1:
         for task in tasks:
             hooks.emit(TASK_STARTED, TaskStartedEvent(index=task.index, task=task, total=total))
-            result, duration = execute_task(task)
+            result, duration = execute_task(task, scenario_cache=scenario_cache)
             finish(task, result, duration)
     else:
         with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
@@ -129,7 +151,7 @@ def run_sweep(
                 hooks.emit(
                     TASK_STARTED, TaskStartedEvent(index=task.index, task=task, total=total)
                 )
-                pending[pool.submit(_execute_payload, task.to_dict())] = task
+                pending[pool.submit(_execute_payload, task.to_dict(), scenario_cache)] = task
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:

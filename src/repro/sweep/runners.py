@@ -45,19 +45,26 @@ def resolve_runner(name: str) -> Runner:
     return runner_registry.get(name)
 
 
-@register_runner("discover", aliases=("discovery",))
+@register_runner("discover", aliases=("discovery",), mutates_scenario=False)
 def run_discovery(simulation: Simulation, options: Dict[str, Any]) -> RunResult:
     """Run the reformulation protocol to quiescence (a discovery run).
 
     Options: ``max_rounds`` (optional) overrides the config's round budget.
+
+    Discovery only mutates the cluster configuration (built per task), never
+    the scenario's network, so it shares cached scenario data.
     """
     max_rounds = options.get("max_rounds")
     return simulation.run(max_rounds=max_rounds)
 
 
-@register_runner("maintain", aliases=("maintenance",))
+@register_runner("maintain", aliases=("maintenance",), mutates_scenario=True)
 def run_maintenance_periods(simulation: Simulation, options: Dict[str, Any]) -> RunResult:
-    """Run ``options["periods"]`` periods of the periodic maintenance loop."""
+    """Run ``options["periods"]`` periods of the periodic maintenance loop.
+
+    Registered as scenario-mutating: the maintenance loop may apply network
+    updates, so a sweep task gets a private copy of any cached scenario.
+    """
     periods = int(options.get("periods", 1))
     max_rounds = options.get("max_rounds_per_period")
     return simulation.run_maintenance(periods, max_rounds_per_period=max_rounds)

@@ -117,3 +117,24 @@ class TestLossMatrix:
     def test_shape_validation(self, matrix):
         with pytest.raises(ValueError):
             matrix.loss_matrix_for_clusters(np.zeros((1, 1)))
+
+
+class TestCoveredIndices:
+    def test_duplicate_peer_mentions_are_counted_once(self, tiny_network):
+        """The matrix path dedups covered peers exactly like the set() of the exact path."""
+        model = tiny_network.cost_model(use_matrix=True)
+        exact = tiny_network.cost_model(use_matrix=False)
+        duplicated = ["alice", "alice", "carol", "carol"]
+        assert model.recall_loss("bob", duplicated) == pytest.approx(
+            exact.recall_loss("bob", duplicated)
+        )
+        assert model.recall_loss("bob", duplicated) == pytest.approx(
+            model.recall_loss("bob", ["alice", "carol"])
+        )
+
+    def test_frozenset_translation_is_memoised(self, tiny_network):
+        matrix = tiny_network.recall_matrix()
+        covered = frozenset({"alice", "carol"})
+        first = matrix.covered_indices(covered)
+        second = matrix.covered_indices(covered)
+        assert first is second

@@ -158,3 +158,101 @@ class TestRandomMoveProperty:
             assert configuration.cluster_of(peer_id) == target
         assert sorted(configuration.peer_ids()) == sorted(peer_ids)
         assert sum(configuration.sizes().values()) == len(peer_ids)
+
+
+class RecordingListener:
+    """Collects configuration mutation callbacks for assertions."""
+
+    def __init__(self):
+        self.events = []
+
+    def configuration_assigned(self, peer_id, cluster_id):
+        self.events.append(("assign", peer_id, cluster_id))
+
+    def configuration_unassigned(self, peer_id, cluster_id):
+        self.events.append(("unassign", peer_id, cluster_id))
+
+    def configuration_cluster_added(self, cluster_id):
+        self.events.append(("cluster", cluster_id))
+
+
+class TestListeners:
+    def test_assign_move_remove_notify_in_order(self):
+        configuration = build_configuration()
+        listener = RecordingListener()
+        configuration.add_listener(listener)
+        configuration.assign("p9", "c3")
+        configuration.move("p9", "c3", "c2")
+        configuration.remove_peer("p9")
+        configuration.add_cluster("c4")
+        assert listener.events == [
+            ("assign", "p9", "c3"),
+            ("unassign", "p9", "c3"),
+            ("assign", "p9", "c2"),
+            ("unassign", "p9", "c2"),
+            ("cluster", "c4"),
+        ]
+
+    def test_remove_listener(self):
+        configuration = build_configuration()
+        listener = RecordingListener()
+        configuration.add_listener(listener)
+        configuration.remove_listener(listener)
+        configuration.assign("p9", "c3")
+        assert listener.events == []
+
+    def test_dead_listeners_are_pruned(self):
+        import gc
+
+        configuration = build_configuration()
+        configuration.add_listener(RecordingListener())
+        gc.collect()
+        configuration.assign("p9", "c3")  # prunes the dead weakref
+        assert configuration._listeners == []
+
+    def test_copy_does_not_inherit_listeners(self):
+        configuration = build_configuration()
+        listener = RecordingListener()
+        configuration.add_listener(listener)
+        duplicate = configuration.copy()
+        duplicate.assign("p9", "c1")
+        assert listener.events == []
+
+
+class TestCoveredPeersFastPath:
+    def test_single_cluster_peer_reuses_the_member_view(self):
+        configuration = build_configuration()
+        peer = configuration.peer_ids()[0]
+        (cluster_id,) = configuration.clusters_of(peer)
+        assert configuration.covered_peers(peer) is configuration.members(cluster_id)
+
+    def test_multi_cluster_peer_unions_members(self):
+        configuration = build_configuration()
+        peer = configuration.peer_ids()[0]
+        (current,) = configuration.clusters_of(peer)
+        other = next(c for c in configuration.cluster_ids() if c != current)
+        configuration.assign(peer, other)
+        covered = configuration.covered_peers(peer)
+        assert covered == configuration.members(current) | configuration.members(other)
+
+
+class TestListenerCacheConsistency:
+    def test_partition_caches_survive_listener_reads_during_remove(self):
+        """A listener reading the caches mid-remove_peer must not freeze stale state."""
+
+        class Snooper:
+            def __init__(self, configuration):
+                self.configuration = configuration
+
+            def configuration_unassigned(self, peer_id, cluster_id):
+                # Repopulates the partition caches between the per-cluster removals.
+                self.configuration.empty_clusters()
+                self.configuration.nonempty_clusters()
+
+        configuration = ClusterConfiguration(["c1", "c2"], {"p0": "c1"})
+        configuration.assign("p0", "c2")  # p0 is the only member of both clusters
+        snooper = Snooper(configuration)
+        configuration.add_listener(snooper)
+        configuration.remove_peer("p0")
+        assert configuration.empty_clusters() == ["c1", "c2"]
+        assert configuration.nonempty_clusters() == []

@@ -62,3 +62,28 @@ class TestBehaviour:
         proposal = HybridStrategy(weight=1.0).propose("alice", context)
         assert not proposal.is_move
         assert proposal.gain == 0.0
+
+
+class TestVectorisedProposeAll:
+    def test_batch_matches_per_peer_on_scenario(self, small_scenario):
+        """Kernel-backed propose_all reaches the same decisions as propose."""
+        configuration = small_scenario.network.singleton_configuration()
+        game = ClusterGame(small_scenario.network.cost_model(use_matrix=True), configuration)
+        context = StrategyContext(game=game)
+        strategy = HybridStrategy(weight=0.5)
+        peer_ids = configuration.peer_ids()
+        batch = strategy.propose_all(peer_ids, context)
+        assert game._active_kernel() is not None
+        assert set(batch) == set(peer_ids)
+        for peer_id in peer_ids:
+            scalar = strategy.propose(peer_id, context)
+            assert batch[peer_id].is_move == scalar.is_move
+            assert batch[peer_id].target_cluster == scalar.target_cluster
+            assert batch[peer_id].gain == pytest.approx(scalar.gain, abs=1e-9)
+
+    def test_batch_falls_back_without_matrix(self, context):
+        strategy = HybridStrategy(weight=0.5)
+        batch = strategy.propose_all(["alice", "bob", "carol"], context)
+        for peer_id in ("alice", "bob", "carol"):
+            scalar = strategy.propose(peer_id, context)
+            assert batch[peer_id].target_cluster == scalar.target_cluster

@@ -1,0 +1,88 @@
+"""Tests for the benchmark trend comparator (benchmarks/trend.py)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from benchmarks.trend import Comparison, compare_benchmarks, load_benchmark_means, main
+
+
+def write_bench_json(path: Path, means: dict) -> Path:
+    payload = {
+        "benchmarks": [
+            {"fullname": name, "stats": {"mean": mean}} for name, mean in means.items()
+        ]
+    }
+    path.write_text(json.dumps(payload), encoding="utf-8")
+    return path
+
+
+class TestComparison:
+    def test_ratio_and_regression(self):
+        comparison = Comparison(name="bench", previous_mean=1.0, current_mean=1.30)
+        assert comparison.ratio == 1.30
+        assert comparison.regressed(25.0)
+        assert not comparison.regressed(35.0)
+
+    def test_one_sided_entries_never_regress(self):
+        only_new = Comparison(name="new", previous_mean=None, current_mean=2.0)
+        only_old = Comparison(name="gone", previous_mean=2.0, current_mean=None)
+        assert only_new.ratio is None and not only_new.regressed(0.0)
+        assert only_old.ratio is None and not only_old.regressed(0.0)
+
+    def test_compare_pairs_by_name(self):
+        comparisons = compare_benchmarks({"a": 1.0, "b": 2.0}, {"b": 2.2, "c": 3.0})
+        assert [c.name for c in comparisons] == ["a", "b", "c"]
+        by_name = {c.name: c for c in comparisons}
+        assert by_name["b"].ratio == 2.2 / 2.0
+
+
+class TestLoading:
+    def test_loads_means_by_fullname(self, tmp_path):
+        path = write_bench_json(tmp_path / "bench.json", {"x": 0.5, "y": 1.5})
+        assert load_benchmark_means(path) == {"x": 0.5, "y": 1.5}
+
+    def test_entries_without_stats_are_skipped(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"benchmarks": [{"fullname": "x"}]}), encoding="utf-8")
+        assert load_benchmark_means(path) == {}
+
+
+class TestMain:
+    def test_regression_fails(self, tmp_path, capsys):
+        previous = write_bench_json(tmp_path / "prev.json", {"bench": 1.0})
+        current = write_bench_json(tmp_path / "cur.json", {"bench": 1.5})
+        assert main([str(previous), str(current), "--max-regression", "25"]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_within_threshold_passes(self, tmp_path):
+        previous = write_bench_json(tmp_path / "prev.json", {"bench": 1.0})
+        current = write_bench_json(tmp_path / "cur.json", {"bench": 1.2})
+        assert main([str(previous), str(current), "--max-regression", "25"]) == 0
+
+    def test_missing_previous_passes(self, tmp_path, capsys):
+        current = write_bench_json(tmp_path / "cur.json", {"bench": 1.0})
+        assert main([str(tmp_path / "nope.json"), str(current)]) == 0
+        assert "skipping comparison" in capsys.readouterr().out
+
+    def test_missing_current_fails(self, tmp_path):
+        previous = write_bench_json(tmp_path / "prev.json", {"bench": 1.0})
+        assert main([str(previous), str(tmp_path / "nope.json")]) == 1
+
+    def test_improvement_passes(self, tmp_path):
+        previous = write_bench_json(tmp_path / "prev.json", {"bench": 2.0})
+        current = write_bench_json(tmp_path / "cur.json", {"bench": 1.0})
+        assert main([str(previous), str(current), "--max-regression", "0"]) == 0
+
+
+class TestStatisticPreference:
+    def test_min_preferred_over_mean(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(
+            json.dumps(
+                {"benchmarks": [{"fullname": "x", "stats": {"mean": 2.0, "min": 1.0}}]}
+            ),
+            encoding="utf-8",
+        )
+        assert load_benchmark_means(path) == {"x": 1.0}
