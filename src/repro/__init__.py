@@ -96,8 +96,16 @@ from repro.errors import (
     UnknownComponentError,
     UnknownPeerError,
 )
+from repro.dynamics import (
+    DriftModel,
+    DriftReport,
+    DriftRule,
+    DynamicsSchedule,
+    build_drift_model,
+)
 from repro.events import (
     CostTraceRecorder,
+    DriftAppliedEvent,
     EventHooks,
     PeriodEndEvent,
     RelocationGrantedEvent,
@@ -128,6 +136,7 @@ from repro.peers import Cluster, ClusterConfiguration, Peer, PeerNetwork
 from repro.protocol import ProtocolResult, ReformulationProtocol
 from repro.registry import (
     ComponentRegistry,
+    register_drift,
     register_initializer,
     register_router,
     register_runner,
@@ -168,11 +177,19 @@ __all__ = [
     "register_router",
     "register_initializer",
     "register_runner",
+    "register_drift",
+    # dynamics
+    "DriftModel",
+    "DriftReport",
+    "DriftRule",
+    "DynamicsSchedule",
+    "build_drift_model",
     # events
     "EventHooks",
     "RoundEndEvent",
     "RelocationGrantedEvent",
     "PeriodEndEvent",
+    "DriftAppliedEvent",
     "TaskStartedEvent",
     "TaskFinishedEvent",
     "SweepEndEvent",

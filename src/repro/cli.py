@@ -4,12 +4,18 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent)::
 
     repro discover   --scale quick --strategy selfish
     repro maintain   --scale quick --periods 3
+    repro maintain   --scale quick --periods 5 \
+                     --dynamics '{"model": "churn", "options": {"departures": 2}}'
     repro table1     --scale benchmark --workers 4
     repro figure2    --scale quick
     repro report     --scale benchmark --output report.md
     repro sweep      --scale quick --strategy selfish --strategy altruistic \
                      --replications 8 --workers 4 --output sweep.jsonl
     repro sweep      --spec sweep.json --workers 8
+    repro sweep      --scale quick --runner maintain --replications 5 \
+                     --runner-options '{"periods": 3}' \
+                     --dynamics '{"model": "workload-full", "options": {"peer_fraction": 0.2}}' \
+                     --dynamics '{"model": "workload-full", "options": {"peer_fraction": 0.6}}'
 
 Every subcommand prints a plain-text table/series; ``report`` runs the whole
 suite and renders the markdown that EXPERIMENTS.md is derived from, and
@@ -21,20 +27,21 @@ The ``discover`` and ``maintain`` commands drive the :class:`repro.Simulation`
 facade, and the ``--strategy``/``--initial``/``--scenario`` choices are read
 from the component registries — a strategy registered through
 :func:`repro.registry.register_strategy` before :func:`main` runs is
-selectable by name.
+selectable by name.  Exogenous change is declared with ``--dynamics``, a
+:class:`repro.dynamics.DynamicsSchedule` spec in JSON (inline, or ``@file``
+to read a file) naming registered drift models; on ``sweep`` the flag is
+repeatable and forms a grid axis.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import random
 import sys
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.analysis.reporting import format_table
 from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY
-from repro.dynamics.updates import update_workload_full
 from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.figure1 import run_figure1
@@ -54,6 +61,28 @@ from repro.session import SessionConfig, Simulation
 from repro.sweep import SweepSpec, run_sweep
 
 __all__ = ["main", "build_parser"]
+
+#: The default drift of ``repro maintain``: from period 1 on, a quarter of the
+#: perturbed cluster's peers switch their whole workload to another category.
+DEFAULT_MAINTAIN_DYNAMICS = {
+    "model": "workload-full",
+    "options": {"peer_fraction": 0.25},
+    "start": 1,
+}
+
+
+def _parse_json_argument(flag: str, value: str) -> Any:
+    """Parse a JSON CLI value (inline JSON, or ``@path`` to read a file)."""
+    candidate = value.strip()
+    try:
+        if candidate.startswith("@"):
+            with open(candidate[1:], "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        return json.loads(candidate)
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(
+            f"{flag} expects inline JSON or @file, got {value!r} ({error})"
+        ) from None
 
 
 def _add_scale_argument(parser: argparse.ArgumentParser) -> None:
@@ -107,12 +136,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     maintain = subparsers.add_parser(
-        "maintain", help="run periodic maintenance under workload drift"
+        "maintain", help="run periodic maintenance under declarative drift"
     )
     _add_scale_argument(maintain)
     maintain.add_argument("--periods", type=int, default=3)
     maintain.add_argument(
         "--strategy", choices=strategy_registry.names(), default="selfish"
+    )
+    maintain.add_argument(
+        "--dynamics",
+        default=None,
+        help="drift schedule spec as inline JSON or @file "
+        "(default: workload-full on a quarter of the first cluster from period 1)",
     )
 
     for name in ("table1", "figure1", "figure2", "figure3", "figure4"):
@@ -187,6 +222,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="registered sweep runner applied to every task (default: discover)",
     )
     sweep.add_argument(
+        "--runner-options",
+        default=None,
+        help="JSON (or @file) options passed to the runner of every grid task, "
+        'e.g. \'{"periods": 5}\' for --runner maintain',
+    )
+    sweep.add_argument(
+        "--dynamics",
+        action="append",
+        default=None,
+        help="drift schedule spec (inline JSON or @file) forming a grid axis; "
+        "repeat the flag for several grid points",
+    )
+    sweep.add_argument(
         "--output", default=None, help="persist the sweep as JSONL to this file"
     )
     sweep.add_argument(
@@ -222,27 +270,20 @@ def _command_discover(arguments: argparse.Namespace) -> int:
 
 
 def _command_maintain(arguments: argparse.Namespace) -> int:
+    if arguments.dynamics is not None:
+        dynamics = _parse_json_argument("--dynamics", arguments.dynamics)
+    else:
+        dynamics = DEFAULT_MAINTAIN_DYNAMICS
     simulation = Simulation.from_config(
         SessionConfig(
             scenario=SCENARIO_SAME_CATEGORY,
             strategy=arguments.strategy,
             scale=arguments.scale,
             initial="category",
+            dynamics=dynamics,
         )
     )
-    data = simulation.data
-    config = simulation.experiment_config
-    categories = sorted({c for c in data.data_categories.values() if c})
-    rng = random.Random(config.seed + 31)
-
-    def drift(network, current_configuration):
-        cluster_id = current_configuration.nonempty_clusters()[0]
-        members = sorted(current_configuration.members(cluster_id), key=repr)
-        victims = members[: max(1, len(members) // 4)]
-        update_workload_full(network, victims, categories[-1], data.generator, rng=rng)
-
-    updates = [None] + [drift] * max(0, arguments.periods - 1)
-    result = simulation.run_maintenance(arguments.periods, updates=updates)
+    result = simulation.run_maintenance(arguments.periods)
     rows = [
         (
             record.period,
@@ -296,16 +337,26 @@ def _sweep_spec_from_arguments(arguments: argparse.Namespace) -> SweepSpec:
             raise ConfigurationError(
                 f"--seeds must be comma-separated integers, got {arguments.seeds!r}"
             ) from None
+    dynamics = tuple(
+        _parse_json_argument("--dynamics", value) for value in (arguments.dynamics or ())
+    )
+    runner_options = (
+        _parse_json_argument("--runner-options", arguments.runner_options)
+        if arguments.runner_options is not None
+        else {}
+    )
     return SweepSpec(
         scenarios=tuple(arguments.scenario or ()),
         initials=tuple(arguments.initial or ()),
         strategies=tuple(arguments.strategy or ()),
         thetas=tuple(arguments.theta or ()),
+        dynamics=dynamics,
         scale=arguments.scale,
         seeds=seeds,
         replications=arguments.replications if arguments.replications is not None else 1,
         base_seed=arguments.base_seed,
         runner=arguments.runner,
+        runner_options=dict(runner_options),
     )
 
 

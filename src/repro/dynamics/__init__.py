@@ -1,7 +1,20 @@
-"""Dynamics: workload/content updates and peer churn."""
+"""Dynamics: declarative drift models/schedules, updates, churn and the periodic loop.
+
+Importing this package registers the built-in drift models
+(``workload-full``, ``workload-fraction``, ``content-full``,
+``content-fraction``, ``churn``, ``composite``, ``none``) in
+:data:`repro.registry.drift_registry`.
+"""
 
 from repro.dynamics.churn import add_peer, random_departures, remove_peers
+from repro.dynamics.models import (
+    DriftModel,
+    DriftReport,
+    build_drift_model,
+    drift_model_from_spec,
+)
 from repro.dynamics.periodic import PeriodicMaintenanceLoop, PeriodRecord
+from repro.dynamics.schedule import DriftRule, DynamicsSchedule
 from repro.dynamics.updates import (
     UpdateReport,
     update_content_fraction,
@@ -13,6 +26,12 @@ from repro.dynamics.updates import (
 __all__ = [
     "PeriodicMaintenanceLoop",
     "PeriodRecord",
+    "DriftModel",
+    "DriftReport",
+    "DriftRule",
+    "DynamicsSchedule",
+    "build_drift_model",
+    "drift_model_from_spec",
     "UpdateReport",
     "update_workload_full",
     "update_workload_fraction",

@@ -13,6 +13,8 @@ import random
 from collections.abc import Hashable, Sequence
 from typing import List, Optional
 
+from repro.dynamics.updates import _validate_rng
+
 from repro.core.costs import CostModel
 from repro.errors import ConfigurationError, DatasetError
 from repro.peers.configuration import ClusterConfiguration
@@ -44,16 +46,20 @@ def random_departures(
     configuration: ClusterConfiguration,
     count: int,
     *,
-    rng: Optional[random.Random] = None,
+    rng: random.Random,
 ) -> List[Peer]:
-    """Remove *count* uniformly random peers (a simple churn burst)."""
+    """Remove *count* uniformly random peers (a simple churn burst).
+
+    The *rng* is mandatory: churn must be reproducible under the sweep
+    engine's spawned seed streams, so no implicit randomness is allowed.
+    """
+    rng = _validate_rng(rng)
     if count < 0:
         raise DatasetError(f"count must be non-negative, got {count}")
     if count > len(network):
         raise DatasetError(
             f"cannot remove {count} peers from a network of {len(network)}"
         )
-    rng = rng if rng is not None else random.Random(0)
     victims = rng.sample(network.peer_ids(), count)
     return remove_peers(network, configuration, victims)
 

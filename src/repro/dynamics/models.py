@@ -1,0 +1,489 @@
+"""Registered, declarative drift models (the Section 4.2 change model as components).
+
+The maintenance experiments are driven by exogenous change: workload or
+content drift on a perturbed cluster, and peer churn.  Historically those
+changes were raw Python callbacks threaded into the maintenance loop — the
+one part of a run that could not be described by a JSON-round-trippable
+:class:`~repro.session.config.SessionConfig` and therefore could not cross
+the sweep engine's process boundaries.
+
+A :class:`DriftModel` closes that gap.  It is the drift analogue of a
+registered strategy or scenario:
+
+* constructed from a plain dict of strings/numbers
+  (``build_drift_model("workload-full", peer_fraction=0.4)``),
+* registered by name through :func:`repro.registry.register_drift`,
+* applied through a two-phase protocol — :meth:`DriftModel.prepare` binds the
+  scenario data (corpus generator, ground-truth categories), then
+  :meth:`DriftModel.apply` perturbs the network/configuration for one period
+  and returns a JSON-exportable :class:`DriftReport`.
+
+Built-in models (all options optional unless noted):
+
+``workload-full``
+    Scenario (a) for workloads: the first ``peer_fraction`` (or an explicit
+    ``peers`` count) of the perturbed cluster's members switch their *whole*
+    workload to another category.
+``workload-fraction``
+    Scenario (b) for workloads: *all* members of the perturbed cluster switch
+    ``fraction`` (required) of their workload.
+``content-full`` / ``content-fraction``
+    The same two scenarios applied to the peers' documents (Figure 3).
+``churn``
+    ``departures`` peers (or ``departure_fraction`` of the population) leave
+    the system, uniformly at random.
+``composite``
+    Applies a list of sub-model specs (``models=[{"model": ..., "options":
+    ...}, ...]``) in order.
+``none``
+    Explicit no-op (useful as a grid point next to real drift).
+
+The cluster-perturbing models resolve their targets exactly like the
+maintenance experiment drivers always did: the perturbed cluster ``c_cur`` is
+the ``cluster_index``-th non-empty cluster, its members are repr-sorted, and
+the target category ``c_new`` defaults to the first other category — so a
+drift model reproduces the pre-registry closures result for result.
+
+All randomness flows through the explicit ``rng`` handed to :meth:`apply`;
+the :class:`~repro.dynamics.schedule.DynamicsSchedule` derives one
+deterministic stream per (seed, period, rule) so sweeps stay byte-identical
+for any worker count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.datasets.scenarios import ScenarioData
+from repro.dynamics.churn import random_departures
+from repro.dynamics.updates import (
+    update_content_fraction,
+    update_content_full,
+    update_workload_fraction,
+    update_workload_full,
+)
+from repro.errors import ConfigurationError
+from repro.peers.configuration import ClusterConfiguration
+from repro.peers.network import PeerNetwork
+from repro.registry import drift_registry, register_drift
+
+__all__ = [
+    "DriftReport",
+    "DriftModel",
+    "build_drift_model",
+    "drift_model_from_spec",
+]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """JSON-exportable record of one applied drift (carried by ``drift_applied`` events)."""
+
+    #: Registered name of the model that produced the drift.
+    model: str
+    #: Maintenance period the drift was applied before.
+    period: int
+    #: Peers whose state changed (removed peers for churn).
+    peer_ids: Tuple[Any, ...] = ()
+    #: Target category for workload/content drift.
+    category: Optional[str] = None
+    #: Updated degree (1.0 for full updates).
+    fraction: Optional[float] = None
+    #: Sub-reports of a composite drift.
+    parts: Tuple["DriftReport", ...] = field(default_factory=tuple)
+
+    @property
+    def num_peers(self) -> int:
+        """Number of peers affected, including composite sub-reports."""
+        return len(self.peer_ids) + sum(part.num_peers for part in self.parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable summary of the drift."""
+        payload: Dict[str, Any] = {
+            "model": self.model,
+            "period": self.period,
+            "peer_ids": [str(peer_id) for peer_id in self.peer_ids],
+        }
+        if self.category is not None:
+            payload["category"] = self.category
+        if self.fraction is not None:
+            payload["fraction"] = self.fraction
+        if self.parts:
+            payload["parts"] = [part.to_dict() for part in self.parts]
+        return payload
+
+
+class DriftModel:
+    """Protocol (and convenience base) for registered drift models.
+
+    A drift model's lifecycle has two phases:
+
+    ``prepare(data, rng)``
+        Called once before the first application, with the session's
+        :class:`~repro.datasets.scenarios.ScenarioData` (or ``None`` when the
+        caller has no scenario — models that need the corpus generator or the
+        ground-truth categories raise then).  Implementations must not mutate
+        the network here.
+    ``apply(network, configuration, period, rng) -> Optional[DriftReport]``
+        Perturb the network and/or configuration in place for *period*;
+        return a report, or ``None`` when the invocation was a no-op.
+
+    Third parties register models through
+    :func:`repro.registry.register_drift`; the class (or factory) is called
+    with the model's plain-dict options, so a registered model is fully
+    describable by ``{"model": name, "options": {...}}``.
+    """
+
+    #: Registered name, used in reports (subclasses override).
+    name = "drift"
+    #: Whether :meth:`prepare` must receive a non-``None`` ``ScenarioData``.
+    requires_data = False
+
+    def __init__(self) -> None:
+        self.data: Optional[ScenarioData] = None
+
+    def prepare(self, data: Optional[ScenarioData], rng: random.Random) -> None:
+        """Bind the scenario *data* this model perturbs (no mutation yet)."""
+        if data is None and self.requires_data:
+            raise ConfigurationError(
+                f"drift model {self.name!r} needs scenario data (corpus generator "
+                "and ground-truth categories); prepare() received None"
+            )
+        self.data = data
+
+    def apply(
+        self,
+        network: PeerNetwork,
+        configuration: ClusterConfiguration,
+        period: int,
+        rng: random.Random,
+    ) -> Optional[DriftReport]:
+        """Apply one period's drift; return a report or ``None`` for a no-op."""
+        raise NotImplementedError
+
+
+def build_drift_model(name: str, **options: Any) -> DriftModel:
+    """Instantiate the drift model registered under *name* with plain-dict *options*.
+
+    Unknown names raise :class:`~repro.errors.UnknownComponentError` listing
+    the registered models; invalid options raise
+    :class:`~repro.errors.ConfigurationError` instead of a bare ``TypeError``.
+    """
+    factory = drift_registry.get(name)
+    try:
+        return factory(**options)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"invalid options for drift model {name!r}: {error}"
+        ) from None
+
+
+def drift_model_from_spec(spec: Mapping[str, Any]) -> DriftModel:
+    """Build a model from a ``{"model": name, "options": {...}}`` mapping."""
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(
+            f"a drift spec must be a mapping, got {type(spec).__name__}"
+        )
+    unknown = sorted(set(spec) - {"model", "options"})
+    if unknown:
+        raise ConfigurationError(
+            f"unknown drift spec keys {unknown}; valid keys: ['model', 'options'] "
+            "(schedule keys such as 'start'/'every'/'ramp' belong to a "
+            "DynamicsSchedule rule, not a bare model spec)"
+        )
+    if "model" not in spec:
+        raise ConfigurationError("a drift spec needs a 'model' name")
+    options = spec.get("options") or {}
+    if not isinstance(options, Mapping):
+        raise ConfigurationError(
+            f"drift spec 'options' must be a mapping, got {type(options).__name__}"
+        )
+    return build_drift_model(str(spec["model"]), **options)
+
+
+class _ClusterDriftModel(DriftModel):
+    """Shared target resolution for models perturbing one cluster ``c_cur``."""
+
+    requires_data = True
+
+    def __init__(self, *, cluster_index: int = 0, category: Optional[str] = None) -> None:
+        super().__init__()
+        self.cluster_index = int(cluster_index)
+        if self.cluster_index < 0:
+            raise ConfigurationError(
+                f"cluster_index must be non-negative, got {cluster_index}"
+            )
+        self.category = category
+
+    def _target_members(self, configuration: ClusterConfiguration) -> List[Any]:
+        """The repr-sorted members of the perturbed cluster ``c_cur``."""
+        clusters = configuration.nonempty_clusters()
+        if not clusters:
+            raise ConfigurationError(
+                f"drift model {self.name!r} needs at least one non-empty cluster"
+            )
+        cluster_id = clusters[self.cluster_index % len(clusters)]
+        return sorted(configuration.members(cluster_id), key=repr)
+
+    def _new_category(self, members: Sequence[Any]) -> str:
+        """The target category ``c_new`` (explicit, or the first other category)."""
+        if self.category is not None:
+            return str(self.category)
+        assert self.data is not None  # requires_data enforces this in prepare()
+        current = self.data.data_categories.get(members[0]) if members else None
+        others = sorted(
+            {
+                category
+                for category in self.data.data_categories.values()
+                if category is not None and category != current
+            }
+        )
+        if not others:
+            raise ConfigurationError(
+                f"drift model {self.name!r} found no alternative category to "
+                "drift towards; pass category=... explicitly"
+            )
+        return others[0]
+
+
+class _FullUpdateDrift(_ClusterDriftModel):
+    """Scenario (a): a varying *number of peers* in ``c_cur`` is updated completely."""
+
+    #: The underlying update helper (set by subclasses).
+    _update = None
+
+    def __init__(
+        self,
+        *,
+        peer_fraction: Optional[float] = None,
+        peers: Optional[int] = None,
+        cluster_index: int = 0,
+        category: Optional[str] = None,
+    ) -> None:
+        super().__init__(cluster_index=cluster_index, category=category)
+        if peer_fraction is not None and peers is not None:
+            raise ConfigurationError(
+                "give either peer_fraction or peers (an explicit count), not both"
+            )
+        if peer_fraction is not None and not 0.0 <= float(peer_fraction) <= 1.0:
+            raise ConfigurationError(
+                f"peer_fraction must be in [0, 1], got {peer_fraction}"
+            )
+        if peers is not None and int(peers) < 0:
+            raise ConfigurationError(f"peers must be non-negative, got {peers}")
+        self.peer_fraction = float(peer_fraction) if peer_fraction is not None else None
+        self.peers = int(peers) if peers is not None else None
+
+    def _affected(self, members: Sequence[Any]) -> List[Any]:
+        if self.peers is not None:
+            count = min(self.peers, len(members))
+        else:
+            fraction = self.peer_fraction if self.peer_fraction is not None else 1.0
+            count = int(round(fraction * len(members)))
+        return list(members)[:count]
+
+    def apply(
+        self,
+        network: PeerNetwork,
+        configuration: ClusterConfiguration,
+        period: int,
+        rng: random.Random,
+    ) -> Optional[DriftReport]:
+        members = self._target_members(configuration)
+        affected = self._affected(members)
+        if not affected:
+            return None
+        category = self._new_category(members)
+        assert self.data is not None
+        type(self)._update(network, affected, category, self.data.generator, rng=rng)
+        return DriftReport(
+            model=self.name,
+            period=period,
+            peer_ids=tuple(affected),
+            category=category,
+            fraction=1.0,
+        )
+
+
+class _FractionUpdateDrift(_ClusterDriftModel):
+    """Scenario (b): *all* peers in ``c_cur`` are updated by a varying degree."""
+
+    _update = None
+
+    def __init__(
+        self,
+        *,
+        fraction: float,
+        cluster_index: int = 0,
+        category: Optional[str] = None,
+    ) -> None:
+        super().__init__(cluster_index=cluster_index, category=category)
+        if not 0.0 <= float(fraction) <= 1.0:
+            raise ConfigurationError(f"fraction must be in [0, 1], got {fraction}")
+        self.fraction = float(fraction)
+
+    def apply(
+        self,
+        network: PeerNetwork,
+        configuration: ClusterConfiguration,
+        period: int,
+        rng: random.Random,
+    ) -> Optional[DriftReport]:
+        if self.fraction <= 0.0:
+            return None
+        members = self._target_members(configuration)
+        if not members:
+            return None
+        category = self._new_category(members)
+        assert self.data is not None
+        type(self)._update(
+            network, members, category, self.data.generator, self.fraction, rng=rng
+        )
+        return DriftReport(
+            model=self.name,
+            period=period,
+            peer_ids=tuple(members),
+            category=category,
+            fraction=self.fraction,
+        )
+
+
+@register_drift("workload-full", aliases=("workload-peers",))
+class WorkloadFullDrift(_FullUpdateDrift):
+    """Peers in ``c_cur`` switch their whole workload to another category."""
+
+    name = "workload-full"
+    _update = staticmethod(update_workload_full)
+
+
+@register_drift("workload-fraction", aliases=("workload-degree",))
+class WorkloadFractionDrift(_FractionUpdateDrift):
+    """All peers in ``c_cur`` switch a fraction of their workload."""
+
+    name = "workload-fraction"
+    _update = staticmethod(update_workload_fraction)
+
+
+@register_drift("content-full", aliases=("content-peers",))
+class ContentFullDrift(_FullUpdateDrift):
+    """Peers in ``c_cur`` replace their whole content with another category's."""
+
+    name = "content-full"
+    _update = staticmethod(update_content_full)
+
+
+@register_drift("content-fraction", aliases=("content-degree",))
+class ContentFractionDrift(_FractionUpdateDrift):
+    """All peers in ``c_cur`` replace a fraction of their documents."""
+
+    name = "content-fraction"
+    _update = staticmethod(update_content_fraction)
+
+
+@register_drift("churn")
+class ChurnDrift(DriftModel):
+    """Uniformly random peer departures (topology updates as peers leave)."""
+
+    name = "churn"
+
+    def __init__(
+        self,
+        *,
+        departures: Optional[int] = None,
+        departure_fraction: Optional[float] = None,
+    ) -> None:
+        super().__init__()
+        if departures is not None and departure_fraction is not None:
+            raise ConfigurationError(
+                "give either departures (a count) or departure_fraction, not both"
+            )
+        if departures is not None and int(departures) < 0:
+            raise ConfigurationError(
+                f"departures must be non-negative, got {departures}"
+            )
+        if departure_fraction is not None and not 0.0 <= float(departure_fraction) <= 1.0:
+            raise ConfigurationError(
+                f"departure_fraction must be in [0, 1], got {departure_fraction}"
+            )
+        self.departures = int(departures) if departures is not None else None
+        self.departure_fraction = (
+            float(departure_fraction) if departure_fraction is not None else None
+        )
+
+    def apply(
+        self,
+        network: PeerNetwork,
+        configuration: ClusterConfiguration,
+        period: int,
+        rng: random.Random,
+    ) -> Optional[DriftReport]:
+        if self.departures is not None:
+            count = self.departures
+        elif self.departure_fraction is not None:
+            count = int(round(self.departure_fraction * len(network)))
+        else:
+            count = 1
+        count = min(count, len(network))
+        if count <= 0:
+            return None
+        removed = random_departures(network, configuration, count, rng=rng)
+        return DriftReport(
+            model=self.name,
+            period=period,
+            peer_ids=tuple(peer.peer_id for peer in removed),
+        )
+
+
+@register_drift("composite")
+class CompositeDrift(DriftModel):
+    """Applies a list of sub-model specs in order (one report with parts)."""
+
+    name = "composite"
+
+    def __init__(self, *, models: Sequence[Mapping[str, Any]]) -> None:
+        super().__init__()
+        if not models:
+            raise ConfigurationError("composite drift needs at least one sub-model")
+        self.models = [drift_model_from_spec(spec) for spec in models]
+
+    def prepare(self, data: Optional[ScenarioData], rng: random.Random) -> None:
+        super().prepare(data, rng)
+        for model in self.models:
+            model.prepare(data, rng)
+
+    def apply(
+        self,
+        network: PeerNetwork,
+        configuration: ClusterConfiguration,
+        period: int,
+        rng: random.Random,
+    ) -> Optional[DriftReport]:
+        parts = tuple(
+            report
+            for model in self.models
+            if (report := model.apply(network, configuration, period, rng)) is not None
+        )
+        if not parts:
+            return None
+        return DriftReport(model=self.name, period=period, parts=parts)
+
+
+@register_drift("none", aliases=("noop",))
+class NoDrift(DriftModel):
+    """Explicit no-op (a clean 'no drift' grid point)."""
+
+    name = "none"
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def apply(
+        self,
+        network: PeerNetwork,
+        configuration: ClusterConfiguration,
+        period: int,
+        rng: random.Random,
+    ) -> Optional[DriftReport]:
+        return None

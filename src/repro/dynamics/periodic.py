@@ -6,7 +6,10 @@ reformulation protocol runs one maintenance pass.  :class:`PeriodicMaintenanceLo
 drives that loop end-to-end:
 
 1. optionally apply the period's exogenous changes (workload drift, content
-   drift, churn) supplied by the caller,
+   drift, churn) — declaratively through a
+   :class:`~repro.dynamics.schedule.DynamicsSchedule` of registered drift
+   models (each application publishes a ``drift_applied`` event), or through
+   the deprecated raw-callback interface,
 2. simulate the period's query traffic over the overlay (collecting the
    per-peer observations the strategies need),
 3. rebuild the cost model against the updated network state,
@@ -24,7 +27,14 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional
 
 from repro.core.theta import ThetaFunction
-from repro.events import PERIOD_END, EventHooks, PeriodEndEvent
+from repro.dynamics.schedule import DynamicsSchedule
+from repro.events import (
+    DRIFT_APPLIED,
+    PERIOD_END,
+    DriftAppliedEvent,
+    EventHooks,
+    PeriodEndEvent,
+)
 from repro.overlay.messages import MessageBus
 from repro.overlay.routing import QueryRouter
 from repro.overlay.simulator import OverlaySimulator
@@ -37,6 +47,9 @@ __all__ = ["PeriodRecord", "PeriodicMaintenanceLoop"]
 
 #: Callback applying one period's exogenous changes.  It receives the network
 #: and the configuration and may mutate both (e.g. apply updates, churn).
+#: Deprecated in favour of registered drift models scheduled through a
+#: :class:`~repro.dynamics.schedule.DynamicsSchedule` — callbacks cannot be
+#: serialised, so sweeps cannot express them.
 UpdateCallback = Callable[[PeerNetwork, ClusterConfiguration], None]
 
 
@@ -77,6 +90,7 @@ class PeriodicMaintenanceLoop:
         simulate_queries: Optional[bool] = None,
         router_factory: Optional[Callable[[PeerNetwork], QueryRouter]] = None,
         hooks: Optional[EventHooks] = None,
+        schedule: Optional[DynamicsSchedule] = None,
     ) -> None:
         self.network = network
         self.configuration = configuration
@@ -97,6 +111,12 @@ class PeriodicMaintenanceLoop:
         #: relocation events flow from maintenance too; ``period_end`` fires
         #: here after every period.
         self.hooks = hooks if hooks is not None else EventHooks()
+        #: Declarative dynamics applied at the start of every period (one
+        #: ``drift_applied`` event per applied model); ``None`` = no drift.
+        #: The schedule must already be bound to the scenario data/seed
+        #: (:meth:`DynamicsSchedule.bind`) — ``Simulation.run_maintenance``
+        #: does this automatically.
+        self.schedule = schedule
         self.records: List[PeriodRecord] = []
         self.bus = MessageBus()
 
@@ -116,7 +136,18 @@ class PeriodicMaintenanceLoop:
     # -- public API ------------------------------------------------------------------
 
     def run_period(self, update: Optional[UpdateCallback] = None) -> PeriodRecord:
-        """Run one full period: apply *update*, observe, maintain, record."""
+        """Run one full period: apply the scheduled drift (and *update*), observe, maintain, record."""
+        period_index = len(self.records)
+        if self.schedule is not None:
+            reports = self.schedule.apply_period(
+                self.network, self.configuration, period_index
+            )
+            for report in reports:
+                self.hooks.emit(
+                    DRIFT_APPLIED, DriftAppliedEvent(period=period_index, report=report)
+                )
+            if reports:
+                self.network.invalidate()
         if update is not None:
             update(self.network, self.configuration)
             self.network.invalidate()
@@ -163,7 +194,13 @@ class PeriodicMaintenanceLoop:
         *,
         updates: Optional[List[Optional[UpdateCallback]]] = None,
     ) -> List[PeriodRecord]:
-        """Run *periods* consecutive periods; ``updates[i]`` (if given) is applied before period ``i``."""
+        """Run *periods* consecutive periods.
+
+        ``updates[i]`` (if given) is applied before period ``i`` — the
+        deprecated raw-callback interface; prefer a declarative
+        :class:`~repro.dynamics.schedule.DynamicsSchedule` passed to the
+        constructor (callbacks cannot cross sweep process boundaries).
+        """
         if periods < 0:
             raise ValueError(f"periods must be non-negative, got {periods}")
         if updates is not None and len(updates) < periods:

@@ -11,7 +11,10 @@ single cluster ``c_cur`` in one of two ways:
 
 The helpers below apply those perturbations to a network in place; they work
 on any subset of peers so they are also reusable for churn-style studies.
-All randomness is seeded through the generator that produced the data.
+Every helper takes an **explicit** ``rng`` — drift must be reproducible under
+the sweep engine's spawned seed streams, so no randomness is ever drawn from
+module-level or generator-owned state.  Pass ``random.Random(seed)`` (or any
+object with the same sampling interface).
 """
 
 from __future__ import annotations
@@ -19,7 +22,7 @@ from __future__ import annotations
 import random
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 from repro.datasets.corpus import CorpusGenerator
 from repro.errors import DatasetError
@@ -58,13 +61,23 @@ def _validate_peers(network: PeerNetwork, peer_ids: Sequence[PeerId]) -> List[Pe
     return list(peer_ids)
 
 
+def _validate_rng(rng: random.Random) -> random.Random:
+    if rng is None:
+        raise DatasetError(
+            "an explicit rng (e.g. random.Random(seed)) is required; "
+            "implicit module-level randomness is not reproducible under "
+            "the sweep engine's seed streams"
+        )
+    return rng
+
+
 def update_workload_full(
     network: PeerNetwork,
     peer_ids: Sequence[PeerId],
     new_category: str,
     generator: CorpusGenerator,
     *,
-    rng: Optional[random.Random] = None,
+    rng: random.Random,
 ) -> UpdateReport:
     """Replace the whole workload of *peer_ids* with queries about *new_category*.
 
@@ -72,6 +85,7 @@ def update_workload_full(
     interested in data located at another cluster, but they do not become
     more or less demanding).
     """
+    rng = _validate_rng(rng)
     peers = _validate_peers(network, peer_ids)
     for peer_id in peers:
         peer = network.peer(peer_id)
@@ -90,9 +104,10 @@ def update_workload_fraction(
     generator: CorpusGenerator,
     fraction: float,
     *,
-    rng: Optional[random.Random] = None,
+    rng: random.Random,
 ) -> UpdateReport:
     """Replace *fraction* of each peer's workload volume with *new_category* queries."""
+    rng = _validate_rng(rng)
     if not 0.0 <= fraction <= 1.0:
         raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
     peers = _validate_peers(network, peer_ids)
@@ -119,9 +134,10 @@ def update_content_full(
     new_category: str,
     generator: CorpusGenerator,
     *,
-    rng: Optional[random.Random] = None,
+    rng: random.Random,
 ) -> UpdateReport:
     """Replace the whole content of *peer_ids* with documents of *new_category*."""
+    rng = _validate_rng(rng)
     peers = _validate_peers(network, peer_ids)
     for peer_id in peers:
         peer = network.peer(peer_id)
@@ -140,9 +156,10 @@ def update_content_fraction(
     generator: CorpusGenerator,
     fraction: float,
     *,
-    rng: Optional[random.Random] = None,
+    rng: random.Random,
 ) -> UpdateReport:
     """Replace *fraction* of each peer's documents with documents of *new_category*."""
+    rng = _validate_rng(rng)
     if not 0.0 <= fraction <= 1.0:
         raise DatasetError(f"fraction must be in [0, 1], got {fraction}")
     peers = _validate_peers(network, peer_ids)

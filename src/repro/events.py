@@ -8,7 +8,10 @@ events while they run:
   configuration;
 * :data:`RELOCATION_GRANTED` — for every granted (and applied) relocation;
 * :data:`PERIOD_END` — after every maintenance period, with its
-  :class:`~repro.dynamics.periodic.PeriodRecord`.
+  :class:`~repro.dynamics.periodic.PeriodRecord`;
+* :data:`DRIFT_APPLIED` — for every exogenous drift a
+  :class:`~repro.dynamics.schedule.DynamicsSchedule` applied at the start of
+  a period, carrying the model's :class:`~repro.dynamics.models.DriftReport`.
 
 The sweep engine (:mod:`repro.sweep`) publishes three more events from the
 coordinating process while a sweep runs:
@@ -41,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List
 
 if TYPE_CHECKING:  # imported for annotations only; avoids runtime cycles
+    from repro.dynamics.models import DriftReport
     from repro.dynamics.periodic import PeriodRecord
     from repro.protocol.reformulation import ProtocolResult
     from repro.protocol.rounds import GrantedMove, RoundResult
@@ -49,12 +53,14 @@ __all__ = [
     "ROUND_END",
     "RELOCATION_GRANTED",
     "PERIOD_END",
+    "DRIFT_APPLIED",
     "TASK_STARTED",
     "TASK_FINISHED",
     "SWEEP_END",
     "RoundEndEvent",
     "RelocationGrantedEvent",
     "PeriodEndEvent",
+    "DriftAppliedEvent",
     "TaskStartedEvent",
     "TaskFinishedEvent",
     "SweepEndEvent",
@@ -65,6 +71,7 @@ __all__ = [
 ROUND_END = "round_end"
 RELOCATION_GRANTED = "relocation_granted"
 PERIOD_END = "period_end"
+DRIFT_APPLIED = "drift_applied"
 TASK_STARTED = "task_started"
 TASK_FINISHED = "task_finished"
 SWEEP_END = "sweep_end"
@@ -98,6 +105,14 @@ class PeriodEndEvent:
 
     record: "PeriodRecord"
     protocol_result: "ProtocolResult"
+
+
+@dataclass(frozen=True)
+class DriftAppliedEvent:
+    """Published for every drift a schedule applied at the start of a period."""
+
+    period: int
+    report: "DriftReport"
 
 
 @dataclass(frozen=True)
@@ -167,6 +182,10 @@ class EventHooks:
     def on_period_end(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`PERIOD_END` (receives a :class:`PeriodEndEvent`)."""
         return self.subscribe(PERIOD_END, callback)
+
+    def on_drift_applied(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`DRIFT_APPLIED` (receives a :class:`DriftAppliedEvent`)."""
+        return self.subscribe(DRIFT_APPLIED, callback)
 
     def on_task_started(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`TASK_STARTED` (receives a :class:`TaskStartedEvent`)."""

@@ -1,9 +1,13 @@
 """Figure 2: social cost after **workload** updates in a single cluster.
 
 Left panel — a varying fraction of the peers in the perturbed cluster change
-their whole workload to another category; right panel — all peers in the
-cluster change a varying fraction of their workload.  Selfish vs altruistic,
-uniform workload assignment, gain threshold ε = 0.001, fixed cluster count.
+their whole workload to another category (the registered ``workload-full``
+drift model with a ``peer_fraction`` ramp); right panel — all peers in the
+cluster change a varying fraction of their workload (``workload-fraction``).
+Selfish vs altruistic, uniform workload assignment, gain threshold
+ε = 0.001, fixed cluster count.  Every point is a sweep task whose
+perturbation travels as the task config's ``dynamics`` field, so the same
+grid is reproducible from JSON via ``repro sweep``.
 
 Expected shape (paper): the selfish strategy only improves the social cost
 once the change is large (above ~50%), because moving the updated peers hurts

@@ -2,7 +2,8 @@
 
 Same two update scenarios as Figure 2, but the perturbation replaces the
 *data* of the peers in the perturbed cluster with data of a different
-category (their workloads stay unchanged).
+category (their workloads stay unchanged) — the registered ``content-full``
+and ``content-fraction`` drift models.
 
 Expected shape (paper): the altruistic strategy now behaves like the selfish
 one did for workload updates — a peer whose content changed no longer serves

@@ -14,26 +14,29 @@ uniformly and perturb a single cluster ``c_cur``:
 After each perturbation the reformulation protocol runs (with the paper's
 gain threshold ε = 0.001) until no more relocation requests are issued, and
 the normalised social cost of the resulting configuration is recorded.
+
+The perturbations themselves are **registered drift models**
+(:mod:`repro.dynamics.models`): scenario (a) maps to ``workload-full`` /
+``content-full`` with a ``peer_fraction`` option, scenario (b) to
+``workload-fraction`` / ``content-fraction`` with a ``fraction`` option —
+see :func:`drift_spec`.  Each figure point carries its spec inside the
+task's :class:`~repro.session.config.SessionConfig` (the ``dynamics``
+field), so every maintenance figure is an ordinary, JSON-describable sweep
+grid.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_series
-from repro.datasets.corpus import CorpusGenerator
-from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, ScenarioData
-from repro.dynamics.updates import (
-    update_content_fraction,
-    update_content_full,
-    update_workload_fraction,
-    update_workload_full,
-)
-from repro.events import EventHooks
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY
+from repro.dynamics.schedule import DynamicsSchedule
+from repro.errors import ConfigurationError
+from repro.events import DRIFT_APPLIED, DriftAppliedEvent, EventHooks
 from repro.experiments.config import ExperimentConfig
-from repro.peers.configuration import ClusterConfiguration
 from repro.registry import register_runner
 from repro.session import RunResult, SessionConfig, Simulation
 from repro.sweep.engine import run_sweep
@@ -44,6 +47,7 @@ __all__ = [
     "MaintenancePoint",
     "MaintenanceCurve",
     "MaintenanceResult",
+    "drift_spec",
     "run_maintenance_experiment",
     "run_maintenance_point",
 ]
@@ -103,104 +107,87 @@ class MaintenanceResult:
         return "\n\n".join(blocks)
 
 
-def _choose_clusters(
-    data: ScenarioData, configuration: ClusterConfiguration
-) -> Dict[str, object]:
-    """Pick the perturbed cluster ``c_cur`` and the category of the target cluster ``c_new``."""
-    clusters = configuration.nonempty_clusters()
-    current_cluster = clusters[0]
-    current_members = sorted(configuration.members(current_cluster), key=repr)
-    current_category = data.data_categories[current_members[0]]
-    other_categories = sorted(
-        {
-            category
-            for category in data.data_categories.values()
-            if category is not None and category != current_category
-        }
-    )
-    new_category = other_categories[0]
-    return {
-        "current_cluster": current_cluster,
-        "current_members": current_members,
-        "current_category": current_category,
-        "new_category": new_category,
-    }
+#: (update target, update kind) -> registered drift-model name.
+_DRIFT_MODELS = {
+    ("workload", "updated-peers"): "workload-full",
+    ("workload", "updated-degree"): "workload-fraction",
+    ("content", "updated-peers"): "content-full",
+    ("content", "updated-degree"): "content-fraction",
+}
 
 
-def _apply_update(
-    update_target: str,
-    update_kind: str,
-    data: ScenarioData,
-    members: Sequence[object],
-    new_category: str,
-    fraction: float,
-    generator: CorpusGenerator,
-    rng: random.Random,
-) -> None:
-    if update_kind == "updated-peers":
-        affected_count = int(round(fraction * len(members)))
-        affected = list(members)[:affected_count]
-        if not affected:
-            return
-        if update_target == "workload":
-            update_workload_full(data.network, affected, new_category, generator, rng=rng)
-        else:
-            update_content_full(data.network, affected, new_category, generator, rng=rng)
-    elif update_kind == "updated-degree":
-        if fraction <= 0.0:
-            return
-        if update_target == "workload":
-            update_workload_fraction(
-                data.network, members, new_category, generator, fraction, rng=rng
-            )
-        else:
-            update_content_fraction(
-                data.network, members, new_category, generator, fraction, rng=rng
-            )
-    else:
+def drift_spec(update_target: str, update_kind: str, fraction: float) -> Dict[str, Any]:
+    """The registered drift-model spec of one maintenance figure point.
+
+    Scenario (a) (``update_kind="updated-peers"``) varies the *number of
+    peers* fully updated (``peer_fraction``); scenario (b)
+    (``"updated-degree"``) varies the *degree* by which all of ``c_cur``'s
+    peers are updated (``fraction``).
+    """
+    if update_target not in {"workload", "content"}:
+        raise ValueError(
+            f"update_target must be 'workload' or 'content', got {update_target!r}"
+        )
+    if update_kind not in {"updated-peers", "updated-degree"}:
         raise ValueError(f"unknown update kind {update_kind!r}")
+    model = _DRIFT_MODELS[(update_target, update_kind)]
+    if update_kind == "updated-peers":
+        options: Dict[str, Any] = {"peer_fraction": float(fraction)}
+    else:
+        options = {"fraction": float(fraction)}
+    return {"model": model, "options": options}
 
 
 @register_runner("maintenance-point", mutates_scenario=True)
 def run_maintenance_point(simulation: Simulation, options: Dict[str, object]) -> RunResult:
     """Sweep runner measuring one maintenance point (Figures 2 and 3).
 
-    Perturbs the freshly built scenario (``update_target`` ×
-    ``update_kind`` × ``fraction`` from *options*), records the social cost
-    before maintenance, runs the reformulation protocol and stashes the
-    point's measurements in ``RunResult.extras``.  The facade builds the
-    scenario (and the cost model) lazily, so the perturbation happens
-    before any cost is computed.
+    Builds the point's registered drift models (from ``options["dynamics"]``,
+    the session config's ``dynamics`` field — either may be a full
+    :class:`~repro.dynamics.schedule.DynamicsSchedule` spec — or the legacy
+    ``update_target`` × ``update_kind`` × ``fraction`` options), applies
+    each rule's first invocation once to the freshly built scenario, records
+    the social cost before maintenance, runs the reformulation protocol and
+    stashes the point's measurements in ``RunResult.extras``.  The facade
+    builds the scenario (and the cost model) lazily, so the perturbation
+    happens before any cost is computed.
     """
-    update_target = str(options["update_target"])
-    update_kind = str(options["update_kind"])
-    fraction = float(options["fraction"])  # type: ignore[arg-type]
-    if update_target not in {"workload", "content"}:
-        raise ValueError(f"update_target must be 'workload' or 'content', got {update_target!r}")
+    update_target = options.get("update_target")
+    update_kind = options.get("update_kind")
+    fraction = options.get("fraction")
+    spec = options.get("dynamics") or simulation.config.dynamics
+    if spec is None:
+        if update_target is None or update_kind is None or fraction is None:
+            raise ConfigurationError(
+                "maintenance-point needs a drift: pass a 'dynamics' spec (task "
+                "option or session config) or the update_target/update_kind/"
+                "fraction options"
+            )
+        spec = drift_spec(str(update_target), str(update_kind), float(fraction))
+    schedule = DynamicsSchedule.from_any(spec)
     data = simulation.data
     configuration = simulation.configuration
-    choice = _choose_clusters(data, configuration)
     rng = random.Random(simulation.experiment_config.seed + 101)
-    _apply_update(
-        update_target,
-        update_kind,
-        data,
-        choice["current_members"],
-        choice["new_category"],
-        fraction,
-        data.generator,
-        rng,
-    )
+    reports = []
+    for rule in schedule.rules:
+        model = rule.build_model(0)
+        model.prepare(data, rng)
+        report = model.apply(data.network, configuration, 0, rng)
+        if report is not None:
+            reports.append(report)
+            simulation.hooks.emit(
+                DRIFT_APPLIED, DriftAppliedEvent(period=0, report=report)
+            )
     before = simulation.cost_model.social_cost(configuration, normalized=True)
     result = simulation.run()
-    result.extras.update(
-        {
-            "update_target": update_target,
-            "update_kind": update_kind,
-            "fraction": fraction,
-            "social_cost_before": before,
-        }
-    )
+    result.extras["social_cost_before"] = before
+    result.extras["drift"] = [report.to_dict() for report in reports]
+    if update_target is not None:
+        result.extras["update_target"] = str(update_target)
+    if update_kind is not None:
+        result.extras["update_kind"] = str(update_kind)
+    if fraction is not None:
+        result.extras["fraction"] = float(fraction)
     return result
 
 
@@ -217,10 +204,12 @@ def run_maintenance_experiment(
     """Run the Figure 2 (``update_target="workload"``) or Figure 3 (``"content"``) experiment.
 
     Every (update scenario, strategy, fraction) point is an independent
-    ``maintenance-point`` task of the sweep engine — each rebuilds the
-    scenario from the same seed so every measurement perturbs an identical
-    starting state, which also makes the points embarrassingly parallel:
-    ``workers > 1`` fans them out with results identical to the serial run.
+    ``maintenance-point`` task of the sweep engine whose perturbation is a
+    registered drift model carried in the task config's ``dynamics`` field
+    (see :func:`drift_spec`) — each task rebuilds the scenario from the same
+    seed so every measurement perturbs an identical starting state, which
+    also makes the points embarrassingly parallel: ``workers > 1`` fans them
+    out with results identical to the serial run.
     """
     if update_target not in {"workload", "content"}:
         raise ValueError(f"update_target must be 'workload' or 'content', got {update_target!r}")
@@ -231,17 +220,18 @@ def run_maintenance_experiment(
     keys = []
     for update_kind in update_kinds:
         for strategy_name in strategies:
-            session = SessionConfig.from_experiment_config(
-                config,
-                scenario=SCENARIO_SAME_CATEGORY,
-                strategy=strategy_name,
-                initial="category",
-                scenario_overrides={"uniform_workload": True},
-                gain_threshold=config.maintenance_gain_threshold,
-                allow_cluster_creation=False,
-                restrict_to_nonempty=True,
-            )
             for fraction in fractions:
+                session = SessionConfig.from_experiment_config(
+                    config,
+                    scenario=SCENARIO_SAME_CATEGORY,
+                    strategy=strategy_name,
+                    initial="category",
+                    scenario_overrides={"uniform_workload": True},
+                    gain_threshold=config.maintenance_gain_threshold,
+                    allow_cluster_creation=False,
+                    restrict_to_nonempty=True,
+                    dynamics=drift_spec(update_target, update_kind, fraction),
+                )
                 tasks.append(
                     {
                         "config": session.to_dict(),

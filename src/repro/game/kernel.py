@@ -103,10 +103,11 @@ class BestResponseKernel:
         self._M = membership
         self._sizes = membership.sum(axis=0)
         self._CW = self._W @ membership
-        # The globally-weighted analogue (V @ M, for a future vectorized
+        # The globally-weighted analogue (V @ M, backing the vectorized
         # workload cost) is built on first access and maintained thereafter.
         self._V: Optional[np.ndarray] = None
         self._CV: Optional[np.ndarray] = None
+        self._V_totals: Optional[np.ndarray] = None
 
     def rebuild(self) -> None:
         """Public O(|P|^2 |C|) rebuild (used by tests to cross-check the incremental state).
@@ -189,12 +190,13 @@ class BestResponseKernel:
         """``V @ M`` — globally-weighted covered recall per cluster column.
 
         Built lazily on first access (the best-response path never needs it)
-        and incrementally maintained from then on; the raw material for a
-        vectorized workload cost.
+        and incrementally maintained from then on; the raw material of
+        :meth:`workload_cost`.
         """
         if self._CV is None:
             self._V = self._recall_matrix.global_matrix()
             self._CV = self._V @ self._M
+            self._V_totals = self._V.sum(axis=1)
         return self._CV
 
     def membership_columns(
@@ -304,6 +306,35 @@ class BestResponseKernel:
         if normalized:
             return total / self.cost_model.population_size
         return total
+
+    def workload_cost(self, *, normalized: bool = False) -> float:
+        """Workload cost (Eq. 3) of the current configuration, fully vectorized.
+
+        The maintenance term is ``alpha * sum |c| * theta(|c|) / |P|`` over the
+        live cluster-size vector; the recall term reads the lazily-built,
+        incrementally-maintained ``CV = V @ M`` product
+        (:meth:`global_covered`), replacing the per-peer Python loop of
+        :meth:`CostModel.workload_cost` on the per-round trace path.  Falls
+        back to the cost model whenever a tracked peer is outside the
+        single-cluster regime, so the result always agrees with the reference
+        (up to float summation order).
+        """
+        columns = self._single_cluster_columns()
+        if columns is None or self._has_untracked_peers():
+            return self.cost_model.workload_cost(self.configuration, normalized=normalized)
+        sizes = self._sizes
+        theta_table = self._theta_values(int(sizes.max()) if sizes.size else 0)
+        maintenance = (
+            self.cost_model.alpha
+            * float((sizes * theta_table[sizes.astype(int)]).sum())
+            / self.cost_model.population_size
+        )
+        covered = self.global_covered()
+        rows = np.arange(columns.size)
+        loss = float((self._V_totals - covered[rows, columns]).sum())
+        if normalized:
+            return maintenance / self.cost_model.population_size + loss
+        return maintenance + loss
 
     # -- best responses --------------------------------------------------------
 

@@ -144,12 +144,16 @@ class ReformulationProtocol:
 
     # -- helpers -----------------------------------------------------------------
 
-    def _build_game(self) -> ClusterGame:
+    def _ensure_kernel(self) -> Optional[BestResponseKernel]:
         # One incrementally-maintained kernel serves every round's game: the
         # games are throwaway views, the vectorized membership / covered-recall
         # caches persist and follow the configuration's moves in O(|P|).
         if self._kernel is None and self.cost_model.matrix is not None:
             self._kernel = BestResponseKernel(self.cost_model, self.configuration)
+        return self._kernel
+
+    def _build_game(self) -> ClusterGame:
+        self._ensure_kernel()
         candidates = self.configuration.nonempty_clusters() if self.restrict_to_nonempty else None
         return ClusterGame(
             self.cost_model,
@@ -197,12 +201,18 @@ class ReformulationProtocol:
         return filtered
 
     def _record_costs(self, result: ProtocolResult) -> None:
-        result.social_cost_trace.append(
-            self.cost_model.social_cost(self.configuration, normalized=True)
-        )
-        result.workload_cost_trace.append(
-            self.cost_model.workload_cost(self.configuration, normalized=True)
-        )
+        # The kernel answers both global costs from its live vectorized state
+        # (it falls back to the cost model internally whenever some peer is
+        # outside the single-cluster regime or unknown to the recall matrix).
+        kernel = self._ensure_kernel()
+        if kernel is not None and not kernel.stale:
+            social = kernel.social_cost(normalized=True)
+            workload = kernel.workload_cost(normalized=True)
+        else:
+            social = self.cost_model.social_cost(self.configuration, normalized=True)
+            workload = self.cost_model.workload_cost(self.configuration, normalized=True)
+        result.social_cost_trace.append(social)
+        result.workload_cost_trace.append(workload)
         result.cluster_count_trace.append(self.configuration.num_nonempty_clusters())
 
     def _publish_round(self, round_result: RoundResult, result: ProtocolResult) -> None:

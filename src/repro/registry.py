@@ -47,12 +47,14 @@ __all__ = [
     "router_registry",
     "initializer_registry",
     "runner_registry",
+    "drift_registry",
     "register_strategy",
     "register_theta",
     "register_scenario",
     "register_router",
     "register_initializer",
     "register_runner",
+    "register_drift",
 ]
 
 
@@ -171,6 +173,13 @@ initializer_registry = ComponentRegistry("initial configuration")
 #: by name from a :class:`~repro.sweep.spec.SweepTask`, so tasks serialize
 #: cleanly across process boundaries.
 runner_registry = ComponentRegistry("sweep runner")
+#: Exogenous drift models (``workload-full``, ``content-fraction``, ``churn``,
+#: ``composite``, ``none``, plugins).  A drift model is a factory/class whose
+#: instances implement the :class:`~repro.dynamics.models.DriftModel` protocol
+#: (``prepare(data, rng)`` / ``apply(network, configuration, period, rng)``)
+#: and are constructible from a plain dict of strings/numbers, so dynamics
+#: specs round-trip through JSON like every other component reference.
+drift_registry = ComponentRegistry("drift model")
 
 
 def register_strategy(
@@ -206,6 +215,18 @@ def register_initializer(
 ) -> Callable[[Any], Any]:
     """Decorator registering an initial-configuration builder under *name*."""
     return initializer_registry.register(name, aliases=aliases, replace=replace)
+
+
+def register_drift(
+    name: str, *, aliases: Sequence[str] = (), replace: bool = False
+) -> Callable[[Any], Any]:
+    """Class/factory decorator registering an exogenous drift model under *name*.
+
+    The registered component is called with the model's plain-dict options
+    (``drift_registry.create(name, **options)``) and must return an object
+    implementing the :class:`~repro.dynamics.models.DriftModel` protocol.
+    """
+    return drift_registry.register(name, aliases=aliases, replace=replace)
 
 
 def register_runner(

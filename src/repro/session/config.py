@@ -62,6 +62,13 @@ class SessionConfig:
     #: Registered query router name; ``None`` = broadcast when a router is needed.
     router: Optional[str] = None
     router_options: Dict[str, Any] = field(default_factory=dict)
+    #: Declarative exogenous dynamics for maintenance runs: a
+    #: :class:`~repro.dynamics.schedule.DynamicsSchedule` spec — one drift
+    #: rule (``{"model": name, "options": {...}, "start": ..., "every": ...,
+    #: "times": ..., "ramp": ...}``) or ``{"rules": [...]}``.  ``None`` = no
+    #: drift.  Like every other field this is a plain bag of strings/numbers,
+    #: so drifting sessions sweep and JSON-round-trip like static ones.
+    dynamics: Optional[Dict[str, Any]] = None
     #: Field overrides applied to the preset's :class:`ScenarioConfig`.
     scenario_overrides: Dict[str, Any] = field(default_factory=dict)
     #: Discovery-run protocol knobs (the paper's Section 4.1 defaults).

@@ -35,6 +35,7 @@ and :meth:`Simulation.on_period_end`.
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.metrics import cluster_purity
@@ -42,6 +43,7 @@ from repro.core.costs import CostModel
 from repro.core.theta import ThetaFunction, theta_from_name
 from repro.datasets.scenarios import ScenarioData, build_scenario, initial_configuration
 from repro.dynamics.periodic import PeriodicMaintenanceLoop, UpdateCallback
+from repro.dynamics.schedule import DynamicsSchedule
 from repro.errors import ConfigurationError
 from repro.events import EventHooks
 from repro.overlay.routing import QueryRouter, build_router
@@ -188,6 +190,10 @@ class Simulation:
         """Subscribe to maintenance period-end events; returns an unsubscribe function."""
         return self.hooks.on_period_end(callback)
 
+    def on_drift_applied(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Subscribe to applied-drift events; returns an unsubscribe function."""
+        return self.hooks.on_drift_applied(callback)
+
     # -- running -----------------------------------------------------------------
 
     def _purity(self) -> Optional[float]:
@@ -257,11 +263,54 @@ class Simulation:
             protocol_result=result,
         )
 
+    def _resolve_schedule(
+        self,
+        periods: int,
+        updates: Optional[List[Optional[UpdateCallback]]],
+        dynamics: Any,
+        schedule: Optional[DynamicsSchedule],
+    ) -> Optional[DynamicsSchedule]:
+        """The maintenance run's dynamics schedule, bound to this session.
+
+        Precedence: an explicit *schedule* > a *dynamics* spec > the config's
+        ``dynamics`` field.  Deprecated raw *updates* callbacks are adapted
+        via :meth:`DynamicsSchedule.from_callbacks` and cannot be combined
+        with declarative dynamics.
+        """
+        resolved = schedule
+        if resolved is None:
+            spec = dynamics if dynamics is not None else self.config.dynamics
+            if spec is not None:
+                resolved = DynamicsSchedule.from_any(spec)
+        if updates is not None:
+            warnings.warn(
+                "run_maintenance(updates=[...]) is deprecated; declare the drift "
+                "as registered models via SessionConfig(dynamics=...) or a "
+                "DynamicsSchedule so it can be swept and serialised",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            if resolved is not None:
+                raise ConfigurationError(
+                    "updates callbacks cannot be combined with a dynamics schedule; "
+                    "pass one or the other"
+                )
+            if len(updates) < periods:
+                raise ValueError(
+                    "updates must provide one (possibly None) entry per period"
+                )
+            resolved = DynamicsSchedule.from_callbacks(updates)
+        if resolved is not None:
+            resolved.bind(data=self.data, seed=self.experiment_config.seed)
+        return resolved
+
     def run_maintenance(
         self,
         periods: int,
         *,
         updates: Optional[List[Optional[UpdateCallback]]] = None,
+        dynamics: Any = None,
+        schedule: Optional[DynamicsSchedule] = None,
         max_rounds_per_period: Optional[int] = None,
     ) -> RunResult:
         """Run *periods* of the periodic maintenance loop (Section 4.2 setting).
@@ -269,11 +318,20 @@ class Simulation:
         Uses the paper's maintenance defaults — fixed cluster count
         (no creation, candidates restricted to non-empty clusters) and the
         maintenance gain threshold — independent of the discovery knobs.
-        ``updates[i]``, when given, applies period *i*'s exogenous changes.
+
+        Exogenous change comes from the declarative dynamics layer: a
+        *dynamics* spec (or the config's ``dynamics`` field) names registered
+        drift models and when they fire; pass a pre-built
+        :class:`~repro.dynamics.schedule.DynamicsSchedule` via *schedule* to
+        share one across runs.  Every applied drift publishes a
+        ``drift_applied`` event and is summarised in ``extras["drift"]``.
+        ``updates[i]`` (deprecated) applies period *i*'s changes as a raw
+        callback.
         """
         if periods < 0:
             raise ConfigurationError(f"periods must be non-negative, got {periods}")
         config = self.experiment_config
+        resolved = self._resolve_schedule(periods, updates, dynamics, schedule)
         loop_kwargs: Dict[str, Any] = {}
         if max_rounds_per_period is not None:
             loop_kwargs["max_rounds_per_period"] = max_rounds_per_period
@@ -286,21 +344,34 @@ class Simulation:
             gain_threshold=config.maintenance_gain_threshold,
             router_factory=self.router_factory(),
             hooks=self.hooks,
+            schedule=resolved,
             **loop_kwargs,
         )
         self.last_loop = loop
         cluster_counts: List[int] = []
-        unsubscribe = self.hooks.on_period_end(
-            lambda _event: cluster_counts.append(self.configuration.num_nonempty_clusters())
-        )
+        drift_reports: List[Any] = []
+        unsubscribers = [
+            self.hooks.on_period_end(
+                lambda _event: cluster_counts.append(
+                    self.configuration.num_nonempty_clusters()
+                )
+            )
+        ]
+        if resolved is not None:
+            unsubscribers.append(
+                self.hooks.on_drift_applied(
+                    lambda event: drift_reports.append(event.report)
+                )
+            )
         try:
-            records = loop.run(periods, updates=updates)
+            records = loop.run(periods)
         finally:
-            unsubscribe()
-        self.invalidate()  # the loop's updates may have mutated the network
+            for unsubscribe in unsubscribers:
+                unsubscribe()
+        self.invalidate()  # the loop's drift may have mutated the network
         final_social = records[-1].social_cost_after if records else float("nan")
         final_workload = records[-1].workload_cost_after if records else float("nan")
-        return RunResult(
+        result = RunResult(
             kind=KIND_MAINTENANCE,
             converged=all(record.converged for record in records) if records else True,
             rounds=sum(record.rounds for record in records),
@@ -317,6 +388,9 @@ class Simulation:
             queries_routed=sum(record.queries_routed for record in records),
             config=self.config.to_dict(),
         )
+        if resolved is not None:
+            result.extras["drift"] = [report.to_dict() for report in drift_reports]
+        return result
 
     def __repr__(self) -> str:
         return (
@@ -399,6 +473,13 @@ class SimulationBuilder:
         self._values["router"] = name
         if options:
             self._values["router_options"] = dict(options)
+        return self
+
+    def dynamics(self, spec: Any) -> "SimulationBuilder":
+        """Declare the maintenance-run dynamics (a drift schedule spec or schedule)."""
+        if isinstance(spec, DynamicsSchedule):
+            spec = spec.to_dict()
+        self._values["dynamics"] = dict(spec)
         return self
 
     # -- scalar knobs ------------------------------------------------------------

@@ -11,11 +11,11 @@ Two generic runners ship here:
 * ``discover`` — run the reformulation protocol to quiescence
   (:meth:`Simulation.run`);
 * ``maintain`` — run ``options["periods"]`` maintenance periods
-  (:meth:`Simulation.run_maintenance`).  Exogenous update callbacks are not
-  expressible as JSON; sweeps that need perturbations register a dedicated
-  runner instead (see ``maintenance-point`` in
-  :mod:`repro.experiments.maintenance` and ``figure4-point`` in
-  :mod:`repro.experiments.figure4`).
+  (:meth:`Simulation.run_maintenance`).  Exogenous change is declared
+  through the dynamics layer: the task config's ``dynamics`` field (or
+  ``options["dynamics"]``, which overrides it) is a
+  :class:`~repro.dynamics.schedule.DynamicsSchedule` spec naming registered
+  drift models — plain JSON, so drift studies sweep like everything else.
 """
 
 from __future__ import annotations
@@ -62,9 +62,16 @@ def run_discovery(simulation: Simulation, options: Dict[str, Any]) -> RunResult:
 def run_maintenance_periods(simulation: Simulation, options: Dict[str, Any]) -> RunResult:
     """Run ``options["periods"]`` periods of the periodic maintenance loop.
 
-    Registered as scenario-mutating: the maintenance loop may apply network
-    updates, so a sweep task gets a private copy of any cached scenario.
+    Options: ``periods`` (default 1), ``max_rounds_per_period``, and
+    ``dynamics`` — a drift schedule spec overriding the session config's
+    ``dynamics`` field for this task.
+
+    Registered as scenario-mutating: the scheduled drift mutates the
+    network, so a sweep task gets a private copy of any cached scenario.
     """
     periods = int(options.get("periods", 1))
     max_rounds = options.get("max_rounds_per_period")
-    return simulation.run_maintenance(periods, max_rounds_per_period=max_rounds)
+    dynamics = options.get("dynamics")
+    return simulation.run_maintenance(
+        periods, max_rounds_per_period=max_rounds, dynamics=dynamics
+    )

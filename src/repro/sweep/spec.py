@@ -152,6 +152,12 @@ class SweepSpec:
     strategies: Tuple[str, ...] = ()
     #: Registered theta function names; empty = the scale preset's theta.
     thetas: Tuple[str, ...] = ()
+    #: Dynamics axis: drift schedule specs (mappings naming registered drift
+    #: models, see :class:`~repro.dynamics.schedule.DynamicsSchedule`), one
+    #: grid point each; empty = the SessionConfig default (no drift).  This
+    #: is how the paper's Section 4.2 drift grids sweep: e.g. one
+    #: ``workload-full`` spec per ``peer_fraction`` value x the seed stream.
+    dynamics: Tuple[Any, ...] = ()
     #: Scale preset applied to every grid task (``quick``/``benchmark``/``paper``).
     scale: Optional[str] = None
     #: Extra :class:`SessionConfig` fields applied to every grid task.
@@ -174,6 +180,7 @@ class SweepSpec:
         object.__setattr__(self, "initials", _as_tuple(self.initials))
         object.__setattr__(self, "strategies", _as_tuple(self.strategies))
         object.__setattr__(self, "thetas", _as_tuple(self.thetas))
+        object.__setattr__(self, "dynamics", _as_tuple(self.dynamics))
         if self.seeds is not None:
             object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
         object.__setattr__(self, "tasks", tuple(self.tasks))
@@ -205,7 +212,7 @@ class SweepSpec:
         values = dict(mapping)
         if "seeds" in values and values["seeds"] is not None:
             values["seeds"] = tuple(int(seed) for seed in values["seeds"])
-        for axis in ("scenarios", "initials", "strategies", "thetas", "tasks"):
+        for axis in ("scenarios", "initials", "strategies", "thetas", "dynamics", "tasks"):
             if axis in values and values[axis] is not None:
                 values[axis] = tuple(values[axis])
         return cls(**values)
@@ -217,6 +224,7 @@ class SweepSpec:
             "initials": list(self.initials),
             "strategies": list(self.strategies),
             "thetas": list(self.thetas),
+            "dynamics": [dict(spec) for spec in self.dynamics],
             "scale": self.scale,
             "overrides": dict(self.overrides),
             "seeds": list(self.seeds) if self.seeds is not None else None,
@@ -258,11 +266,12 @@ class SweepSpec:
         # and summary group keys name the actual component that ran.  The
         # theta axis stays unset: its default depends on the scale preset.
         defaults = SessionConfig()
-        axes: List[Tuple[str, Tuple[Optional[str], ...], Optional[str]]] = [
+        axes: List[Tuple[str, Tuple[Any, ...], Optional[str]]] = [
             ("scenario", self.scenarios or (None,), defaults.scenario),
             ("initial", self.initials or (None,), defaults.initial),
             ("strategy", self.strategies or (None,), defaults.strategy),
             ("theta", self.thetas or (None,), None),
+            ("dynamics", self.dynamics or (None,), None),
         ]
         configs: List[Dict[str, Any]] = []
         for combo in itertools.product(*(values for _field, values, _default in axes)):
@@ -343,7 +352,11 @@ class SweepSpec:
 
     def _grid_requested(self) -> bool:
         return bool(
-            self.scenarios or self.initials or self.strategies or self.thetas
+            self.scenarios
+            or self.initials
+            or self.strategies
+            or self.thetas
+            or self.dynamics
         )
 
     # -- validation ----------------------------------------------------------------
@@ -359,6 +372,7 @@ class SweepSpec:
         """
         # Imported here: repro.sweep.runners registers the built-in runners
         # and importing it at module scope would be cyclic.
+        from repro.dynamics.schedule import DynamicsSchedule
         from repro.sweep.runners import resolve_runner
 
         expanded = self.expand()
@@ -373,5 +387,9 @@ class SweepSpec:
                 router_registry.canonical_name(config.router)
             if config.scale is not None:
                 ExperimentConfig.from_scale(config.scale)
+            if config.dynamics is not None:
+                DynamicsSchedule.from_dict(config.dynamics).validate()
+            if "dynamics" in task.options and task.options["dynamics"] is not None:
+                DynamicsSchedule.from_dict(task.options["dynamics"]).validate()
             resolve_runner(task.runner)
         return expanded

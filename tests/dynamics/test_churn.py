@@ -38,9 +38,27 @@ class TestDepartures:
     def test_random_departures_validation(self, scenario_with_configuration):
         scenario, configuration = scenario_with_configuration
         with pytest.raises(DatasetError):
-            random_departures(scenario.network, configuration, -1)
+            random_departures(scenario.network, configuration, -1, rng=random.Random(2))
         with pytest.raises(DatasetError):
-            random_departures(scenario.network, configuration, 10_000)
+            random_departures(scenario.network, configuration, 10_000, rng=random.Random(2))
+
+    def test_random_departures_require_an_explicit_rng(self, scenario_with_configuration):
+        scenario, configuration = scenario_with_configuration
+        with pytest.raises(DatasetError, match="explicit rng"):
+            random_departures(scenario.network, configuration, 1, rng=None)
+
+    def test_same_rng_seed_removes_the_same_peers(self):
+        from repro.datasets.scenarios import category_configuration
+
+        removed_ids = []
+        for _attempt in range(2):
+            scenario = make_small_scenario()
+            configuration = category_configuration(scenario)
+            removed = random_departures(
+                scenario.network, configuration, 4, rng=random.Random(99)
+            )
+            removed_ids.append([peer.peer_id for peer in removed])
+        assert removed_ids[0] == removed_ids[1]
 
 
 class TestJoins:

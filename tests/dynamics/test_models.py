@@ -1,0 +1,235 @@
+"""Tests for the registered drift models (repro.dynamics.models)."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.datasets.scenarios import category_configuration
+from repro.dynamics.models import (
+    DriftModel,
+    DriftReport,
+    build_drift_model,
+    drift_model_from_spec,
+)
+from repro.errors import ConfigurationError, UnknownComponentError
+from repro.registry import drift_registry, register_drift
+from tests.conftest import make_small_scenario
+
+
+@pytest.fixture
+def scenario():
+    return make_small_scenario()
+
+
+@pytest.fixture
+def configured(scenario):
+    return scenario, category_configuration(scenario)
+
+
+def apply_model(name, configured, *, seed=11, period=0, **options):
+    scenario, configuration = configured
+    model = build_drift_model(name, **options)
+    rng = random.Random(seed)
+    model.prepare(scenario, rng)
+    return model.apply(scenario.network, configuration, period, rng)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = drift_registry.names()
+        for expected in (
+            "workload-full",
+            "workload-fraction",
+            "content-full",
+            "content-fraction",
+            "churn",
+            "composite",
+            "none",
+        ):
+            assert expected in names
+
+    def test_unknown_model_lists_available(self):
+        with pytest.raises(UnknownComponentError, match="workload-full"):
+            build_drift_model("quantum-drift")
+
+    def test_invalid_options_raise_configuration_error(self):
+        with pytest.raises(ConfigurationError, match="invalid options"):
+            build_drift_model("workload-full", warp=9)
+
+    def test_spec_rejects_schedule_keys(self):
+        with pytest.raises(ConfigurationError, match="start"):
+            drift_model_from_spec({"model": "none", "start": 1})
+
+    def test_custom_model_plugs_in(self, configured):
+        @register_drift("test-flip")
+        class FlipDrift(DriftModel):
+            name = "test-flip"
+
+            def apply(self, network, configuration, period, rng):
+                return DriftReport(model=self.name, period=period)
+
+        try:
+            report = apply_model("test-flip", configured)
+            assert report.model == "test-flip"
+        finally:
+            drift_registry.unregister("test-flip")
+
+
+class TestWorkloadDrift:
+    def test_full_update_switches_the_selected_peers(self, configured):
+        scenario, configuration = configured
+        members = sorted(
+            configuration.members(configuration.nonempty_clusters()[0]), key=repr
+        )
+        report = apply_model("workload-full", configured, peer_fraction=0.5)
+        expected = members[: int(round(0.5 * len(members)))]
+        assert list(report.peer_ids) == expected
+        assert report.fraction == 1.0
+        vocabularies = scenario.generator.vocabularies
+        for peer_id in report.peer_ids:
+            for query in scenario.network.peer(peer_id).workload:
+                term = next(iter(query.attributes))
+                assert vocabularies.category_of_term(term) == report.category
+
+    def test_explicit_peer_count_and_category(self, configured):
+        report = apply_model("workload-full", configured, peers=2, category="cat02")
+        assert report.num_peers == 2
+        assert report.category == "cat02"
+
+    def test_zero_fraction_is_a_noop(self, configured):
+        assert apply_model("workload-full", configured, peer_fraction=0.0) is None
+        assert apply_model("workload-fraction", configured, fraction=0.0) is None
+
+    def test_fraction_update_touches_all_members(self, configured):
+        scenario, configuration = configured
+        members = sorted(
+            configuration.members(configuration.nonempty_clusters()[0]), key=repr
+        )
+        report = apply_model("workload-fraction", configured, fraction=0.5)
+        assert list(report.peer_ids) == members
+        assert report.fraction == 0.5
+
+    def test_same_seed_reproduces_the_same_drift(self):
+        workloads = []
+        for _attempt in range(2):
+            data = make_small_scenario()
+            configured = (data, category_configuration(data))
+            report = apply_model("workload-full", configured, peer_fraction=1.0, seed=5)
+            peer_id = report.peer_ids[0]
+            workload = data.network.peer(peer_id).workload
+            workloads.append(sorted((repr(q), c) for q, c in workload.items()))
+        assert workloads[0] == workloads[1]
+
+    def test_cluster_index_targets_another_cluster(self, configured):
+        scenario, configuration = configured
+        second = configuration.nonempty_clusters()[1]
+        members = sorted(configuration.members(second), key=repr)
+        report = apply_model("workload-full", configured, cluster_index=1)
+        assert list(report.peer_ids) == members
+
+    def test_invalid_options_fail_fast(self):
+        with pytest.raises(ConfigurationError):
+            build_drift_model("workload-full", peer_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            build_drift_model("workload-full", peer_fraction=0.5, peers=2)
+        with pytest.raises(ConfigurationError):
+            build_drift_model("workload-fraction", fraction=-0.1)
+
+    def test_requires_scenario_data(self, configured):
+        _scenario, configuration = configured
+        model = build_drift_model("workload-full")
+        with pytest.raises(ConfigurationError, match="scenario data"):
+            model.prepare(None, random.Random(1))
+
+
+class TestContentDrift:
+    def test_full_update_replaces_documents(self, configured):
+        scenario, _configuration = configured
+        report = apply_model("content-full", configured, peer_fraction=0.5)
+        for peer_id in report.peer_ids:
+            documents = scenario.network.peer(peer_id).documents
+            assert {doc.category for doc in documents} == {report.category}
+
+    def test_fraction_update_mixes_categories(self, configured):
+        scenario, _configuration = configured
+        report = apply_model("content-fraction", configured, fraction=0.5)
+        peer_id = report.peer_ids[0]
+        categories = {doc.category for doc in scenario.network.peer(peer_id).documents}
+        assert report.category in categories
+
+
+class TestChurn:
+    def test_departure_count(self, configured):
+        scenario, configuration = configured
+        population = len(scenario.network)
+        report = apply_model("churn", configured, departures=3)
+        assert report.num_peers == 3
+        assert len(scenario.network) == population - 3
+        for peer_id in report.peer_ids:
+            assert peer_id not in configuration
+
+    def test_departure_fraction(self, configured):
+        scenario, _configuration = configured
+        population = len(scenario.network)
+        report = apply_model("churn", configured, departure_fraction=0.25)
+        assert report.num_peers == int(round(0.25 * population))
+
+    def test_zero_departures_is_a_noop(self, configured):
+        assert apply_model("churn", configured, departures=0) is None
+
+    def test_churn_works_without_scenario_data(self, configured):
+        scenario, configuration = configured
+        model = build_drift_model("churn", departures=1)
+        rng = random.Random(3)
+        model.prepare(None, rng)  # churn does not need the corpus generator
+        report = model.apply(scenario.network, configuration, 0, rng)
+        assert report.num_peers == 1
+
+
+class TestCompositeAndNone:
+    def test_composite_applies_in_order(self, configured):
+        report = apply_model(
+            "composite",
+            configured,
+            models=[
+                {"model": "workload-full", "options": {"peer_fraction": 0.5}},
+                {"model": "churn", "options": {"departures": 1}},
+            ],
+        )
+        assert report.model == "composite"
+        assert [part.model for part in report.parts] == ["workload-full", "churn"]
+        assert report.num_peers == report.parts[0].num_peers + 1
+
+    def test_composite_of_noops_is_a_noop(self, configured):
+        assert (
+            apply_model("composite", configured, models=[{"model": "none"}]) is None
+        )
+
+    def test_composite_needs_submodels(self):
+        with pytest.raises(ConfigurationError):
+            build_drift_model("composite", models=[])
+
+    def test_none_is_a_noop(self, configured):
+        scenario, _configuration = configured
+        before = len(scenario.network)
+        assert apply_model("none", configured) is None
+        assert len(scenario.network) == before
+
+
+class TestDriftReport:
+    def test_to_dict_is_json_serialisable(self, configured):
+        report = apply_model(
+            "composite",
+            configured,
+            models=[
+                {"model": "workload-fraction", "options": {"fraction": 0.5}},
+                {"model": "churn", "options": {"departures": 2}},
+            ],
+        )
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["model"] == "composite"
+        assert payload["parts"][0]["fraction"] == 0.5
+        assert len(payload["parts"][1]["peer_ids"]) == 2

@@ -81,3 +81,32 @@ class TestRun:
         loop = make_loop(scenario)
         loop.run(2)
         assert sorted(loop.configuration.peer_ids()) == scenario.peer_ids()
+
+
+class TestScheduledDynamics:
+    def test_loop_applies_a_bound_schedule_and_emits_drift_events(self, scenario):
+        from repro.dynamics.schedule import DynamicsSchedule
+
+        schedule = DynamicsSchedule.from_dict(
+            {"model": "workload-full", "options": {"peer_fraction": 1.0}, "start": 1}
+        ).bind(data=scenario, seed=3)
+        loop = make_loop(scenario, schedule=schedule)
+        events = []
+        loop.hooks.on_drift_applied(events.append)
+        records = loop.run(2)
+        assert [event.period for event in events] == [1]
+        assert events[0].report.model == "workload-full"
+        assert records[1].social_cost_before > records[0].social_cost_after
+
+    def test_schedule_and_callback_updates_compose(self, scenario):
+        from repro.dynamics.schedule import DynamicsSchedule
+
+        schedule = DynamicsSchedule.from_dict(
+            {"model": "churn", "options": {"departures": 1}}
+        ).bind(data=scenario, seed=3)
+        loop = make_loop(scenario, schedule=schedule)
+        population = len(scenario.network)
+        calls = []
+        loop.run_period(lambda network, configuration: calls.append(len(network)))
+        # the schedule fires first, then the explicit callback sees the result
+        assert calls == [population - 1]

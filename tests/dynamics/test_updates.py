@@ -75,6 +75,7 @@ class TestWorkloadUpdates:
             _other_category(scenario, peer_id),
             scenario.generator,
             0.0,
+            rng=random.Random(7),
         )
         assert scenario.network.peer(peer_id).workload == before
 
@@ -86,11 +87,41 @@ class TestWorkloadUpdates:
                 "cat01",
                 scenario.generator,
                 1.5,
+                rng=random.Random(8),
             )
 
     def test_unknown_peer_rejected(self, scenario):
         with pytest.raises(DatasetError):
-            update_workload_full(scenario.network, ["ghost"], "cat01", scenario.generator)
+            update_workload_full(
+                scenario.network, ["ghost"], "cat01", scenario.generator,
+                rng=random.Random(9),
+            )
+
+    def test_explicit_rng_is_required(self, scenario):
+        """Drift must be reproducible: rng=None is rejected, not defaulted."""
+        peer_id = scenario.peer_ids()[0]
+        with pytest.raises(DatasetError, match="explicit rng"):
+            update_workload_full(
+                scenario.network, [peer_id], "cat01", scenario.generator, rng=None
+            )
+
+    def test_same_rng_seed_reproduces_the_same_update(self):
+        from tests.conftest import make_small_scenario
+
+        results = []
+        for _attempt in range(2):
+            data = make_small_scenario()
+            peer_id = data.peer_ids()[0]
+            update_workload_full(
+                data.network,
+                [peer_id],
+                _other_category(data, peer_id),
+                data.generator,
+                rng=random.Random(123),
+            )
+            workload = data.network.peer(peer_id).workload
+            results.append(sorted((repr(q), c) for q, c in workload.items()))
+        assert results[0] == results[1]
 
 
 class TestContentUpdates:

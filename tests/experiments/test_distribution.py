@@ -1,0 +1,98 @@
+"""Distribution-level acceptance checks: the paper's qualitative claims across seeds.
+
+A single seed can always get lucky; these tests run the Table 1 protocol
+through ``run_table1_sweep`` over five spawned seed streams and assert the
+paper's *orderings* hold at the distribution level, using
+:func:`repro.analysis.reporting.summary_statistics` confidence intervals —
+not just the point estimates of seed 7.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import summary_statistics
+from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY, SCENARIO_UNIFORM
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.table1 import run_table1_sweep
+
+#: Five independent seeds (>= 5 per the ROADMAP's acceptance-check item).
+SEEDS = (7, 11, 13, 17, 23)
+STRATEGIES = ("selfish", "altruistic")
+
+
+@pytest.fixture(scope="module")
+def sweep_results():
+    """One Table 1 per seed: 2 scenarios x singletons x 2 strategies x 5 seeds."""
+    return run_table1_sweep(
+        ExperimentConfig.quick(),
+        seeds=SEEDS,
+        scenarios=(SCENARIO_SAME_CATEGORY, SCENARIO_UNIFORM),
+        initial_kinds=("singletons",),
+        strategies=STRATEGIES,
+        workers=2,
+    )
+
+
+def rows_for(sweep_results, scenario, strategy):
+    rows = [
+        row
+        for result in sweep_results.values()
+        for row in result.rows_for(scenario)
+        if row.strategy == strategy
+    ]
+    assert len(rows) == len(SEEDS)
+    return rows
+
+
+class TestQualitativeOrderingAcrossSeeds:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_structure_beats_no_structure_with_ci_separation(
+        self, sweep_results, strategy
+    ):
+        """Same-category clustering ends cheaper than the uniform scenario —
+        with non-overlapping 95% CIs, so the ordering is not a seed artefact."""
+        same = summary_statistics(
+            [row.social_cost for row in rows_for(sweep_results, SCENARIO_SAME_CATEGORY, strategy)]
+        )
+        uniform = summary_statistics(
+            [row.social_cost for row in rows_for(sweep_results, SCENARIO_UNIFORM, strategy)]
+        )
+        assert same.ci_high < uniform.ci_low
+
+    def test_same_category_discovery_converges_for_every_seed(self, sweep_results):
+        for strategy in STRATEGIES:
+            rows = rows_for(sweep_results, SCENARIO_SAME_CATEGORY, strategy)
+            assert all(row.converged for row in rows)
+
+    def test_selfish_recovers_the_ground_truth_clusters(self, sweep_results):
+        """From singletons, selfish discovery ends near M clusters with high
+        purity, across the whole seed distribution."""
+        config = ExperimentConfig.quick()
+        rows = rows_for(sweep_results, SCENARIO_SAME_CATEGORY, "selfish")
+        purity = summary_statistics([row.purity for row in rows])
+        clusters = summary_statistics([float(row.clusters) for row in rows])
+        assert purity.ci_low > 0.8
+        assert abs(clusters.mean - config.scenario.num_categories) <= 2.0
+
+    def test_workload_cost_tracks_social_cost_ordering(self, sweep_results):
+        """The paper's WCost column shows the same scenario ordering as SCost."""
+        for strategy in STRATEGIES:
+            same = summary_statistics(
+                [
+                    row.workload_cost
+                    for row in rows_for(sweep_results, SCENARIO_SAME_CATEGORY, strategy)
+                ]
+            )
+            uniform = summary_statistics(
+                [
+                    row.workload_cost
+                    for row in rows_for(sweep_results, SCENARIO_UNIFORM, strategy)
+                ]
+            )
+            assert same.mean < uniform.mean
+
+    def test_per_seed_results_are_complete_tables(self, sweep_results):
+        assert set(sweep_results) == set(SEEDS)
+        for result in sweep_results.values():
+            assert len(result.rows) == 2 * len(STRATEGIES)

@@ -93,6 +93,48 @@ class TestExactParity:
             exact_model.social_cost(configuration, normalized=True), abs=1e-9
         )
 
+    @pytest.mark.parametrize("scenario_name", SCENARIOS)
+    @pytest.mark.parametrize("initial", ["singletons", "random", "category"])
+    def test_workload_cost_matches_exact_reference(self, scenario_name, initial):
+        """The vectorized CV-based workload cost == the per-peer reference loop."""
+        if scenario_name == SCENARIO_UNIFORM and initial == "category":
+            pytest.skip("uniform scenario has no per-peer categories")
+        data, configuration, fast_model, exact_model = build_setup(scenario_name, initial)
+        kernel = BestResponseKernel(fast_model, configuration)
+        for normalized in (False, True):
+            assert kernel.workload_cost(normalized=normalized) == pytest.approx(
+                exact_model.workload_cost(configuration, normalized=normalized), abs=1e-9
+            )
+
+    def test_workload_cost_stays_exact_across_incremental_moves(self):
+        """CV is maintained through moves; the cost never drifts from the reference."""
+        data, configuration, fast_model, exact_model = build_setup(SCENARIO_SAME_CATEGORY)
+        kernel = BestResponseKernel(fast_model, configuration)
+        rng = random.Random(7)
+        peers = list(configuration.peer_ids())
+        for _step in range(25):
+            peer_id = rng.choice(peers)
+            source = next(iter(configuration.clusters_of(peer_id)))
+            targets = [c for c in configuration.cluster_ids() if c != source]
+            configuration.move(peer_id, source, rng.choice(targets))
+            assert kernel.workload_cost(normalized=True) == pytest.approx(
+                exact_model.workload_cost(configuration, normalized=True), abs=1e-9
+            )
+
+    def test_workload_cost_falls_back_outside_the_single_cluster_regime(self):
+        data, configuration, fast_model, exact_model = build_setup(SCENARIO_SAME_CATEGORY)
+        kernel = BestResponseKernel(fast_model, configuration)
+        peer_id = configuration.peer_ids()[0]
+        other = [
+            c
+            for c in configuration.cluster_ids()
+            if c not in configuration.clusters_of(peer_id)
+        ][0]
+        configuration.assign(peer_id, other)  # multi-membership: vector path is off
+        assert kernel.workload_cost(normalized=True) == pytest.approx(
+            fast_model.workload_cost(configuration, normalized=True), abs=1e-12
+        )
+
     def test_kernel_table_matches_reference_table_path(self):
         """Kernel cost table == the legacy rebuild-everything matrix path."""
         data, configuration, fast_model, _ = build_setup(SCENARIO_SAME_CATEGORY)

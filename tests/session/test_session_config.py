@@ -87,3 +87,24 @@ class TestConstructors:
     def test_to_dict_is_json_serialisable(self):
         config = SessionConfig(scale="quick", theta_options={"slope": 2.0})
         json.dumps(config.to_dict())
+
+
+class TestDynamicsField:
+    SPEC = {
+        "model": "workload-full",
+        "options": {"peer_fraction": 0.4},
+        "start": 1,
+        "ramp": {"option": "peer_fraction", "values": [0.2, 0.4]},
+    }
+
+    def test_dynamics_round_trips_through_json(self):
+        config = SessionConfig(scale="quick", dynamics=self.SPEC)
+        payload = json.loads(json.dumps(config.to_dict()))  # via real JSON
+        restored = SessionConfig.from_dict(payload)
+        assert restored == config
+        assert restored.dynamics == self.SPEC
+
+    def test_dynamics_defaults_to_none(self):
+        config = SessionConfig()
+        assert config.dynamics is None
+        assert SessionConfig.from_dict(config.to_dict()).dynamics is None

@@ -150,7 +150,8 @@ class TestMaintenanceRuns:
             for peer_id in list(configuration.members(second)):
                 configuration.move(peer_id, second, first)
 
-        result = simulation.run_maintenance(2, updates=[None, merge_first_two])
+        with pytest.warns(DeprecationWarning, match="updates"):
+            result = simulation.run_maintenance(2, updates=[None, merge_first_two])
         counts = result.cluster_count_trace
         assert len(counts) == 2
         # Period 0 keeps the ground-truth clustering; period 1 starts with one
@@ -168,7 +169,8 @@ class TestMaintenanceRuns:
             members = sorted(configuration.members(cluster_id), key=repr)
             update_workload_full(network, members[:2], categories[-1], data.generator, rng=rng)
 
-        result = simulation.run_maintenance(2, updates=[None, drift])
+        with pytest.warns(DeprecationWarning, match="updates"):
+            result = simulation.run_maintenance(2, updates=[None, drift])
         assert result.num_periods == 2
         # the drift perturbs the cost before period 1's maintenance pass
         assert result.periods[1].social_cost_before >= result.periods[0].social_cost_after
@@ -178,6 +180,62 @@ class TestMaintenanceRuns:
 
         with pytest.raises(ConfigurationError):
             self._simulation().run_maintenance(-1)
+
+
+class TestDeclarativeDynamics:
+    DRIFT = {
+        "model": "workload-full",
+        "options": {"peer_fraction": 0.5},
+        "start": 1,
+    }
+
+    def _simulation(self, **overrides):
+        return Simulation.from_config(
+            QUICK.with_options(initial="category", dynamics=self.DRIFT, **overrides)
+        )
+
+    def test_config_dynamics_drive_the_maintenance_run(self):
+        simulation = self._simulation()
+        events = []
+        simulation.on_drift_applied(events.append)
+        result = simulation.run_maintenance(3)
+        assert [event.period for event in events] == [1, 2]
+        assert all(event.report.model == "workload-full" for event in events)
+        # the drift perturbs the cost before period 1's maintenance pass
+        assert result.periods[1].social_cost_before > result.periods[0].social_cost_after
+        assert [entry["period"] for entry in result.extras["drift"]] == [1, 2]
+        json.dumps(result.to_dict())
+
+    def test_dynamics_argument_overrides_the_config(self):
+        simulation = self._simulation()
+        events = []
+        simulation.on_drift_applied(events.append)
+        simulation.run_maintenance(2, dynamics={"model": "churn", "options": {"departures": 1}})
+        assert {event.report.model for event in events} == {"churn"}
+
+    def test_prebuilt_schedule_is_accepted(self):
+        from repro.dynamics import DynamicsSchedule
+
+        simulation = Simulation.from_config(QUICK.with_options(initial="category"))
+        schedule = DynamicsSchedule.from_dict({"model": "churn", "options": {"departures": 2}})
+        result = simulation.run_maintenance(1, schedule=schedule)
+        assert len(result.extras["drift"][0]["peer_ids"]) == 2
+
+    def test_updates_cannot_be_combined_with_dynamics(self):
+        from repro.errors import ConfigurationError
+
+        simulation = self._simulation()
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ConfigurationError, match="updates"):
+                simulation.run_maintenance(2, updates=[None, None])
+
+    def test_drift_is_reproducible_across_simulations(self):
+        costs = [self._simulation().run_maintenance(3).social_cost_trace for _ in range(2)]
+        assert costs[0] == costs[1]
+
+    def test_builder_dynamics_setter(self):
+        config = Simulation.builder().scale("quick").dynamics(self.DRIFT).config()
+        assert config.dynamics == self.DRIFT
 
 
 class TestBuilder:

@@ -148,3 +148,97 @@ class TestSweepCommand:
     def test_workers_flag_available_on_experiment_commands(self):
         arguments = build_parser().parse_args(["table1", "--workers", "4"])
         assert arguments.workers == 4
+
+
+class TestDynamicsFlags:
+    def test_maintain_accepts_an_inline_dynamics_spec(self, capsys):
+        assert (
+            main(
+                [
+                    "maintain",
+                    "--scale",
+                    "quick",
+                    "--periods",
+                    "2",
+                    "--dynamics",
+                    '{"model": "churn", "options": {"departures": 2}}',
+                ]
+            )
+            == 0
+        )
+        assert "SCost before" in capsys.readouterr().out
+
+    def test_maintain_rejects_malformed_dynamics_json(self, capsys):
+        assert main(["maintain", "--scale", "quick", "--dynamics", "{nope"]) == 2
+        assert "--dynamics expects inline JSON" in capsys.readouterr().err
+
+    def test_missing_dynamics_file_reports_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["maintain", "--scale", "quick", "--dynamics", f"@{missing}"]) == 2
+        assert "--dynamics expects inline JSON" in capsys.readouterr().err
+
+    def test_malformed_dynamics_file_reports_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope", encoding="utf-8")
+        assert main(["maintain", "--scale", "quick", "--dynamics", f"@{bad}"]) == 2
+        assert "--dynamics expects inline JSON" in capsys.readouterr().err
+
+    def test_maintain_reports_unknown_drift_models_cleanly(self, capsys):
+        assert (
+            main(["maintain", "--scale", "quick", "--dynamics", '{"model": "quantum"}'])
+            == 2
+        )
+        assert "drift model" in capsys.readouterr().err
+
+    def test_sweep_dynamics_axis_with_maintain_runner(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--runner",
+                    "maintain",
+                    "--runner-options",
+                    '{"periods": 1}',
+                    "--seeds",
+                    "7",
+                    "--dynamics",
+                    '{"model": "workload-full", "options": {"peer_fraction": 0.5}}',
+                    "--dynamics",
+                    '{"model": "none"}',
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "sweep finished" not in output  # --no-progress suppresses it
+        assert "final_social_cost" in output
+
+    def test_sweep_dynamics_from_file(self, tmp_path, capsys):
+        import json
+
+        spec_file = tmp_path / "drift.json"
+        spec_file.write_text(
+            json.dumps({"model": "churn", "options": {"departures": 1}}),
+            encoding="utf-8",
+        )
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--runner",
+                    "maintain",
+                    "--seeds",
+                    "7",
+                    "--dynamics",
+                    f"@{spec_file}",
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        assert "final_social_cost" in capsys.readouterr().out
