@@ -16,6 +16,10 @@ different cluster.  It provides:
 * the parallel sweep engine: ``SweepSpec`` / ``run_sweep`` / ``SweepResult``
   (``repro.sweep``) fanning replicated experiments out over a process pool
   with deterministic per-task seed streams,
+* the event-driven query-traffic simulator: ``TrafficSimulator`` /
+  ``TrafficReport`` / registered arrival workloads (``repro.traffic``)
+  replaying hundreds of thousands of queries against a clustering and
+  reporting latency/hops/bandwidth/recall distributions,
 * dataset generators, dynamics, baselines, analysis utilities and the
   experiment drivers that regenerate every table and figure of the paper.
 
@@ -30,7 +34,8 @@ Quickstart::
 
 Every component is selected by registry name; plug in your own with the
 ``repro.registry`` decorators (``@register_strategy``, ``@register_theta``,
-``@register_scenario``, ``@register_router``, ``@register_initializer``)
+``@register_scenario``, ``@register_router``, ``@register_initializer``,
+``@register_workload``)
 and they become usable from ``SessionConfig``, the CLI and the experiment
 drivers.  Subscribe to protocol events instead of post-hoc traces::
 
@@ -153,6 +158,17 @@ from repro.strategies import (
     SelfishStrategy,
     StrategyContext,
 )
+from repro.registry import register_workload
+from repro.traffic import (
+    LinkModel,
+    QueryEventStream,
+    TrafficLog,
+    TrafficReport,
+    TrafficSimulator,
+    WorkloadContext,
+    WorkloadGenerator,
+    build_workload,
+)
 
 #: Kept in sync with ``pyproject.toml``.
 __version__ = "1.1.0"
@@ -178,6 +194,16 @@ __all__ = [
     "register_initializer",
     "register_runner",
     "register_drift",
+    "register_workload",
+    # traffic
+    "TrafficSimulator",
+    "TrafficReport",
+    "TrafficLog",
+    "QueryEventStream",
+    "LinkModel",
+    "WorkloadContext",
+    "WorkloadGenerator",
+    "build_workload",
     # dynamics
     "DriftModel",
     "DriftReport",

@@ -1,9 +1,11 @@
-"""Plain-text reporting helpers for tables and series.
+"""Plain-text reporting helpers for tables, series and distributions.
 
 The benchmark harness prints the rows and series the paper reports (Table 1
 and Figures 1-4).  These helpers render them as aligned plain-text tables /
 two-column series so the output is readable both on a terminal and in
-``EXPERIMENTS.md``.
+``EXPERIMENTS.md``.  :class:`DistributionSummary` condenses a large sample
+(e.g. the per-query latencies of a :class:`repro.traffic` run) into
+percentiles plus a fixed-bin histogram, all JSON-safe.
 """
 
 from __future__ import annotations
@@ -11,7 +13,7 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import List
+from typing import Any, Dict, List, Tuple
 
 __all__ = [
     "format_table",
@@ -19,6 +21,8 @@ __all__ = [
     "format_markdown_table",
     "SummaryStats",
     "summary_statistics",
+    "DistributionSummary",
+    "distribution_summary",
 ]
 
 
@@ -82,6 +86,99 @@ class SummaryStats:
     def as_sequence(self) -> Sequence[object]:
         """``(n, mean, stddev, ci_low, ci_high)`` for tabular rendering."""
         return (self.count, self.mean, self.stddev, self.ci_low, self.ci_high)
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Percentile/histogram condensation of one metric over many observations.
+
+    Built by :func:`distribution_summary` from the raw per-event samples of a
+    traffic run; only scalars and plain lists, so it serialises as-is.
+    """
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+    #: ``len(bin_counts) + 1`` bin edges spanning ``[minimum, maximum]``.
+    bin_edges: Tuple[float, ...] = ()
+    bin_counts: Tuple[int, ...] = ()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable mapping mirroring the dataclass fields."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+            "bin_edges": list(self.bin_edges),
+            "bin_counts": list(self.bin_counts),
+        }
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "DistributionSummary":
+        """Rebuild a summary from its :meth:`to_dict` form."""
+        return cls(
+            count=int(mapping["count"]),
+            mean=float(mapping["mean"]),
+            minimum=float(mapping["min"]),
+            maximum=float(mapping["max"]),
+            p50=float(mapping["p50"]),
+            p95=float(mapping["p95"]),
+            p99=float(mapping["p99"]),
+            bin_edges=tuple(float(edge) for edge in mapping.get("bin_edges", ())),
+            bin_counts=tuple(int(count) for count in mapping.get("bin_counts", ())),
+        )
+
+    def as_row(self) -> Sequence[object]:
+        """``(n, mean, p50, p95, p99, max)`` for tabular rendering."""
+        return (self.count, self.mean, self.p50, self.p95, self.p99, self.maximum)
+
+
+def distribution_summary(values: Iterable[float], *, bins: int = 20) -> DistributionSummary:
+    """Summarise a sample as mean, p50/p95/p99 percentiles and a histogram.
+
+    Percentiles use numpy's default linear interpolation; the histogram has
+    *bins* equal-width bins over ``[min, max]`` (a single degenerate bin when
+    all values coincide).  Raises :class:`ValueError` on an empty sample.
+    """
+    import numpy as np
+
+    data = np.asarray(
+        values if isinstance(values, np.ndarray) else list(values), dtype=float
+    ).ravel()
+    if data.size == 0:
+        raise ValueError("distribution_summary requires at least one value")
+    if bins < 1:
+        raise ValueError(f"bins must be at least 1, got {bins}")
+    p50, p95, p99 = np.percentile(data, (50.0, 95.0, 99.0))
+    try:
+        counts, edges = np.histogram(data, bins=bins)
+    except ValueError:
+        # Near-constant data: the sample range is a few float ulps wide, so
+        # the equal bin width underflows the float spacing and numpy refuses.
+        # Treat it like the exactly-constant case numpy handles itself: widen
+        # the range by ±0.5 around the (degenerate) sample.
+        counts, edges = np.histogram(
+            data, bins=bins, range=(float(data.min()) - 0.5, float(data.max()) + 0.5)
+        )
+    return DistributionSummary(
+        count=int(data.size),
+        mean=float(data.mean()),
+        minimum=float(data.min()),
+        maximum=float(data.max()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        bin_edges=tuple(float(edge) for edge in edges),
+        bin_counts=tuple(int(count) for count in counts),
+    )
 
 
 #: z quantile for a two-sided 95% normal confidence interval.

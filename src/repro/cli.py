@@ -6,6 +6,8 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent)::
     repro maintain   --scale quick --periods 3
     repro maintain   --scale quick --periods 5 \
                      --dynamics '{"model": "churn", "options": {"departures": 2}}'
+    repro traffic    --scale quick --after discover --workload zipf \
+                     --num-events 200000 --router probe-k --router-options '{"k": 3}'
     repro table1     --scale benchmark --workers 4
     repro figure2    --scale quick
     repro report     --scale benchmark --output report.md
@@ -53,12 +55,15 @@ from repro.errors import ConfigurationError, ReproError
 from repro.experiments.table1 import run_table1
 from repro.registry import (
     initializer_registry,
+    router_registry,
     scenario_registry,
     strategy_registry,
     theta_registry,
+    workload_registry,
 )
 from repro.session import SessionConfig, Simulation
 from repro.sweep import SweepSpec, run_sweep
+import repro.traffic  # noqa: F401  (registers the built-in traffic workloads)
 
 __all__ = ["main", "build_parser"]
 
@@ -150,6 +155,77 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: workload-full on a quarter of the first cluster from period 1)",
     )
 
+    traffic = subparsers.add_parser(
+        "traffic",
+        help="serve a query workload against the clustered overlay and "
+        "report latency/hops/bandwidth/recall distributions",
+    )
+    _add_scale_argument(traffic)
+    traffic.add_argument(
+        "--scenario",
+        choices=scenario_registry.names(),
+        default=SCENARIO_SAME_CATEGORY,
+        help="data/query scenario (default: same-category)",
+    )
+    traffic.add_argument(
+        "--initial",
+        choices=initializer_registry.names(),
+        default="category",
+        help="cluster configuration the traffic hits (default: category)",
+    )
+    traffic.add_argument(
+        "--strategy",
+        choices=strategy_registry.names(),
+        default="selfish",
+        help="relocation strategy for --after discover/maintain",
+    )
+    traffic.add_argument(
+        "--after",
+        choices=("none", "discover", "maintain"),
+        default="none",
+        help="shape the clustering first: run the protocol to quiescence "
+        "(discover) or --periods maintenance periods (maintain)",
+    )
+    traffic.add_argument(
+        "--periods", type=int, default=1, help="maintenance periods for --after maintain"
+    )
+    traffic.add_argument(
+        "--router",
+        choices=router_registry.names(),
+        default=None,
+        help="query router (default: broadcast)",
+    )
+    traffic.add_argument(
+        "--router-options",
+        default=None,
+        help='JSON (or @file) router options, e.g. \'{"k": 3}\' for --router probe-k',
+    )
+    traffic.add_argument(
+        "--workload",
+        choices=workload_registry.names(),
+        default="uniform",
+        help="arrival-pattern generator (default: uniform)",
+    )
+    traffic.add_argument(
+        "--workload-options",
+        default=None,
+        help="JSON (or @file) generator options, "
+        'e.g. \'{"exponent": 1.4}\' for --workload zipf',
+    )
+    traffic.add_argument(
+        "--num-events", type=int, default=100_000, help="query events to serve"
+    )
+    traffic.add_argument(
+        "--horizon", type=float, default=1.0, help="simulated horizon in seconds"
+    )
+    traffic.add_argument(
+        "--link",
+        default=None,
+        help="JSON (or @file) LinkModel fields, "
+        'e.g. \'{"hop_latency_ms": 2.0, "query_bytes": 256}\'',
+    )
+    traffic.add_argument("--seed", type=int, default=None, help="traffic stream seed")
+
     for name in ("table1", "figure1", "figure2", "figure3", "figure4"):
         sub = subparsers.add_parser(name, help=f"regenerate {name} of the paper")
         _add_scale_argument(sub)
@@ -235,6 +311,19 @@ def build_parser() -> argparse.ArgumentParser:
         "repeat the flag for several grid points",
     )
     sweep.add_argument(
+        "--workload",
+        action="append",
+        default=None,
+        help="traffic workload axis (generator name, or JSON merged into the "
+        "task's traffic config); repeatable; use with --runner traffic",
+    )
+    sweep.add_argument(
+        "--metrics",
+        default=None,
+        help="comma-separated summary metrics (RunResult fields or runner "
+        "extras, e.g. latency_p95,bandwidth_p99,recall_mean)",
+    )
+    sweep.add_argument(
         "--output", default=None, help="persist the sweep as JSONL to this file"
     )
     sweep.add_argument(
@@ -298,6 +387,68 @@ def _command_maintain(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_traffic(arguments: argparse.Namespace) -> int:
+    workload_options = (
+        _parse_json_argument("--workload-options", arguments.workload_options)
+        if arguments.workload_options is not None
+        else None
+    )
+    router_options = (
+        _parse_json_argument("--router-options", arguments.router_options)
+        if arguments.router_options is not None
+        else {}
+    )
+    link = (
+        _parse_json_argument("--link", arguments.link)
+        if arguments.link is not None
+        else None
+    )
+    traffic_settings = {
+        "workload": arguments.workload,
+        "num_events": arguments.num_events,
+        "horizon": arguments.horizon,
+    }
+    if workload_options is not None:
+        traffic_settings["workload_options"] = workload_options
+    if link is not None:
+        traffic_settings["link"] = link
+    if arguments.seed is not None:
+        traffic_settings["seed"] = arguments.seed
+    simulation = Simulation.from_config(
+        SessionConfig(
+            scenario=arguments.scenario,
+            strategy=arguments.strategy,
+            scale=arguments.scale,
+            initial=arguments.initial,
+            router=arguments.router,
+            router_options=dict(router_options),
+            traffic=traffic_settings,
+        )
+    )
+    if arguments.after == "discover":
+        simulation.run()
+    elif arguments.after == "maintain":
+        simulation.run_maintenance(arguments.periods)
+    simulation.run_traffic()
+    report = simulation.last_traffic_report
+    assert report is not None
+    rows = [
+        ("workload", report.workload),
+        ("router", report.router),
+        ("events", report.events),
+        ("events / simulated second", round(report.qps, 1)),
+        ("clusters reached (messages)", report.query_messages),
+        ("result messages", report.result_messages),
+        ("result items", report.result_items),
+        ("total bandwidth (bytes)", int(report.total_bandwidth_bytes)),
+        ("wall seconds", round(report.wall_seconds, 3)),
+    ]
+    print(format_table(("metric", "value"), rows))
+    print()
+    print(report.summary_table())
+    return 0
+
+
 def _command_experiment(arguments: argparse.Namespace) -> int:
     config = ExperimentConfig.from_scale(arguments.scale)
     workers = arguments.workers
@@ -340,6 +491,10 @@ def _sweep_spec_from_arguments(arguments: argparse.Namespace) -> SweepSpec:
     dynamics = tuple(
         _parse_json_argument("--dynamics", value) for value in (arguments.dynamics or ())
     )
+    workloads = tuple(
+        _parse_json_argument("--workload", value) if value.lstrip().startswith(("{", "@")) else value
+        for value in (arguments.workload or ())
+    )
     runner_options = (
         _parse_json_argument("--runner-options", arguments.runner_options)
         if arguments.runner_options is not None
@@ -351,6 +506,7 @@ def _sweep_spec_from_arguments(arguments: argparse.Namespace) -> SweepSpec:
         strategies=tuple(arguments.strategy or ()),
         thetas=tuple(arguments.theta or ()),
         dynamics=dynamics,
+        workloads=workloads,
         scale=arguments.scale,
         seeds=seeds,
         replications=arguments.replications if arguments.replications is not None else 1,
@@ -381,7 +537,13 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         spec, workers=arguments.workers, hooks=hooks, jsonl_path=arguments.output
     )
     print()
-    print(result.summary_table())
+    if arguments.metrics:
+        metrics = tuple(
+            part.strip() for part in arguments.metrics.split(",") if part.strip()
+        )
+        print(result.summary_table(metrics=metrics))
+    else:
+        print(result.summary_table())
     if arguments.output:
         print(f"\nsweep persisted to {arguments.output}")
     return 0
@@ -393,6 +555,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     commands = {
         "discover": _command_discover,
         "maintain": _command_maintain,
+        "traffic": _command_traffic,
         "report": _command_report,
         "sweep": _command_sweep,
     }

@@ -13,6 +13,15 @@ events while they run:
   :class:`~repro.dynamics.schedule.DynamicsSchedule` applied at the start of
   a period, carrying the model's :class:`~repro.dynamics.models.DriftReport`.
 
+The traffic simulator (:mod:`repro.traffic`) publishes two events while it
+drains a query-event stream:
+
+* :data:`QUERY_ROUTED` — after every routed *batch* of query events (the
+  simulator is batched by design; per-event callbacks would dominate the
+  run), with the batch's aggregate messages/results and its time window;
+* :data:`TRAFFIC_SUMMARY` — once at the end of a run, carrying the final
+  :class:`~repro.traffic.report.TrafficReport`.
+
 The sweep engine (:mod:`repro.sweep`) publishes three more events from the
 coordinating process while a sweep runs:
 
@@ -54,6 +63,8 @@ __all__ = [
     "RELOCATION_GRANTED",
     "PERIOD_END",
     "DRIFT_APPLIED",
+    "QUERY_ROUTED",
+    "TRAFFIC_SUMMARY",
     "TASK_STARTED",
     "TASK_FINISHED",
     "SWEEP_END",
@@ -61,6 +72,8 @@ __all__ = [
     "RelocationGrantedEvent",
     "PeriodEndEvent",
     "DriftAppliedEvent",
+    "QueryRoutedEvent",
+    "TrafficSummaryEvent",
     "TaskStartedEvent",
     "TaskFinishedEvent",
     "SweepEndEvent",
@@ -72,6 +85,8 @@ ROUND_END = "round_end"
 RELOCATION_GRANTED = "relocation_granted"
 PERIOD_END = "period_end"
 DRIFT_APPLIED = "drift_applied"
+QUERY_ROUTED = "query_routed"
+TRAFFIC_SUMMARY = "traffic_summary"
 TASK_STARTED = "task_started"
 TASK_FINISHED = "task_finished"
 SWEEP_END = "sweep_end"
@@ -113,6 +128,31 @@ class DriftAppliedEvent:
 
     period: int
     report: "DriftReport"
+
+
+@dataclass(frozen=True)
+class QueryRoutedEvent:
+    """Published after the traffic simulator routed one batch of query events.
+
+    The simulator resolves whole batches against the recall matrix, so this
+    is the finest-grained signal it can emit without giving the vectorised
+    hot path back to Python; ``events`` counts the queries in the batch.
+    """
+
+    batch_index: int
+    events: int
+    time_start: float
+    time_end: float
+    query_messages: int
+    result_messages: int
+    result_items: int
+
+
+@dataclass(frozen=True)
+class TrafficSummaryEvent:
+    """Published once when a traffic run finished, with its final report."""
+
+    report: Any  # a repro.traffic.report.TrafficReport (Any avoids a runtime cycle)
 
 
 @dataclass(frozen=True)
@@ -186,6 +226,14 @@ class EventHooks:
     def on_drift_applied(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`DRIFT_APPLIED` (receives a :class:`DriftAppliedEvent`)."""
         return self.subscribe(DRIFT_APPLIED, callback)
+
+    def on_query_routed(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`QUERY_ROUTED` (receives a :class:`QueryRoutedEvent`)."""
+        return self.subscribe(QUERY_ROUTED, callback)
+
+    def on_traffic_summary(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`TRAFFIC_SUMMARY` (receives a :class:`TrafficSummaryEvent`)."""
+        return self.subscribe(TRAFFIC_SUMMARY, callback)
 
     def on_task_started(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`TASK_STARTED` (receives a :class:`TaskStartedEvent`)."""

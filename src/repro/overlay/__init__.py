@@ -1,4 +1,13 @@
-"""Overlay substrate: topologies, messages, routing and the period simulator."""
+"""Overlay substrate: topologies, messages, routing and the period simulator.
+
+The routers defined here serve two consumers: the per-query observation
+path in this package (:class:`OverlaySimulator`, one Python call per routed
+query, feeding :class:`~repro.peers.statistics.PeerStatistics`) and the
+batched replay path in :mod:`repro.traffic`, which resolves whole event
+batches against a router's :meth:`~repro.overlay.routing.QueryRouter.target_clusters`
+through recall-matrix products.  Both paths share the message accounting
+conventions of :class:`MessageBus`, so their totals agree query for query.
+"""
 
 from repro.overlay.messages import (
     GainReportMessage,

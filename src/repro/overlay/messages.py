@@ -12,6 +12,12 @@ cost, so :class:`MessageBus` records every message by type.  The simulator
 and the protocol both publish to a bus, and the experiment layer reads the
 per-type counters when reporting overheads (an ablation bench compares the
 protocol's traffic with the global re-clustering baseline).
+
+The bus counts one :class:`QueryMessage` per reached cluster and one
+:class:`ResultMessage` per provider holding results.  The batched
+:class:`~repro.traffic.simulator.TrafficSimulator` reproduces exactly these
+conventions vectorised (its totals match a :meth:`MessageBus.snapshot` of
+the same replay), so message studies can move between the two paths freely.
 """
 
 from __future__ import annotations

@@ -19,13 +19,20 @@ Two routers are provided:
 
 Both routers return :class:`AnnotatedResult` records and publish query /
 result messages to an optional :class:`~repro.overlay.messages.MessageBus`.
+
+:meth:`QueryRouter.route` evaluates one query at a time — the observation
+path of :class:`~repro.overlay.simulator.OverlaySimulator`.  For serving
+whole workloads, :class:`~repro.traffic.simulator.TrafficSimulator` reuses
+only :meth:`QueryRouter.target_clusters` (once per issuer cluster when the
+router declares :attr:`QueryRouter.cluster_invariant`) and resolves the
+providers vectorised; custom routers work on both paths automatically.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.queries import Query
 from repro.overlay.messages import MessageBus, QueryMessage, ResultMessage
@@ -59,9 +66,39 @@ class AnnotatedResult:
 class QueryRouter:
     """Base class for routing a query from its issuer over the clustered overlay."""
 
+    #: Whether :meth:`target_clusters` depends only on the issuer's *cluster*
+    #: (not on the issuer's identity or the query).  Both built-in routers
+    #: qualify; the traffic simulator uses the flag to collapse its routing
+    #: tables to one row per cluster instead of one per peer.
+    cluster_invariant = False
+
     def __init__(self, network: PeerNetwork, bus: Optional[MessageBus] = None) -> None:
         self.network = network
         self.bus = bus
+        self._peer_rank: Dict[PeerId, int] = {}
+
+    def _ordered_members(self, members: List[PeerId]) -> List[PeerId]:
+        """Sort *members* by the network's stable peer order without repr calls.
+
+        ``network.peer_ids()`` is already repr-sorted, so ranking by its
+        cached index array reproduces the historical ``sorted(members,
+        key=repr)`` order while costing one dict lookup per member instead of
+        a repr per comparison (this loop runs once per cluster per query).
+        The rank cache rebuilds lazily when it meets a member it has never
+        seen (churn); members missing from the network fall back to the repr
+        sort.
+        """
+        rank = self._peer_rank
+        try:
+            return sorted(members, key=rank.__getitem__)
+        except KeyError:
+            self._peer_rank = rank = {
+                peer_id: position for position, peer_id in enumerate(self.network.peer_ids())
+            }
+            try:
+                return sorted(members, key=rank.__getitem__)
+            except KeyError:
+                return sorted(members, key=repr)
 
     def target_clusters(
         self, issuer: PeerId, configuration: ClusterConfiguration
@@ -85,7 +122,7 @@ class QueryRouter:
                         target_cluster=cluster_id,
                     )
                 )
-            for provider in sorted(members, key=repr):
+            for provider in self._ordered_members(members):
                 count = self.network.peer(provider).result_count(query)
                 if count == 0:
                     continue
@@ -126,6 +163,8 @@ class QueryRouter:
 class BroadcastRouter(QueryRouter):
     """Route every query to every non-empty cluster (exact cluster recall)."""
 
+    cluster_invariant = True
+
     def target_clusters(
         self, issuer: PeerId, configuration: ClusterConfiguration
     ) -> List[ClusterId]:
@@ -135,6 +174,8 @@ class BroadcastRouter(QueryRouter):
 @register_router("probe-k", aliases=("probe",))
 class ProbeKRouter(QueryRouter):
     """Route a query to the issuer's cluster plus the ``k - 1`` largest other clusters."""
+
+    cluster_invariant = True
 
     def __init__(
         self, network: PeerNetwork, k: int, bus: Optional[MessageBus] = None

@@ -12,6 +12,13 @@ exact cost model (the broadcast router makes the observed statistics equal to
 the exact quantities anyway); the simulator exists so that the observation-
 driven path of the paper can be exercised end-to-end and compared with the
 oracle path (there is a dedicated integration test and an ablation bench).
+
+This is the *reference* path: one Python call per routed query.  For load
+studies — hundreds of thousands of events with latency/bandwidth/recall
+distributions — use the batched :class:`~repro.traffic.simulator.TrafficSimulator`,
+which reproduces this simulator's message accounting and (under a broadcast
+router and a ``replay`` workload) its observed recall exactly, orders of
+magnitude faster.
 """
 
 from __future__ import annotations

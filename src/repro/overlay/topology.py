@@ -8,7 +8,8 @@ many hops a query travels inside a cluster, so each topology exposes both:
 
 * :meth:`ClusterTopology.theta` — the matching membership cost function,
 * :meth:`ClusterTopology.lookup_hops` — expected intra-cluster hops to reach
-  all members (used for the message accounting of the simulator),
+  all members (used for the message accounting of the simulator and for the
+  per-query hop/latency charges of :mod:`repro.traffic`),
 * :meth:`ClusterTopology.maintenance_messages` — messages needed per
   join/leave event.
 """

@@ -48,6 +48,7 @@ __all__ = [
     "initializer_registry",
     "runner_registry",
     "drift_registry",
+    "workload_registry",
     "register_strategy",
     "register_theta",
     "register_scenario",
@@ -55,6 +56,7 @@ __all__ = [
     "register_initializer",
     "register_runner",
     "register_drift",
+    "register_workload",
 ]
 
 
@@ -180,6 +182,13 @@ runner_registry = ComponentRegistry("sweep runner")
 #: and are constructible from a plain dict of strings/numbers, so dynamics
 #: specs round-trip through JSON like every other component reference.
 drift_registry = ComponentRegistry("drift model")
+#: Traffic workload generators (``uniform``, ``zipf``, ``flash-crowd``,
+#: ``replay``, plugins).  A workload generator is a factory/class whose
+#: instances implement the :class:`~repro.traffic.workloads.WorkloadGenerator`
+#: protocol (``streams(context) -> [QueryEventStream, ...]``) and are
+#: constructible from a plain dict of strings/numbers, so arrival patterns
+#: sweep and JSON-round-trip like every other component reference.
+workload_registry = ComponentRegistry("traffic workload")
 
 
 def register_strategy(
@@ -227,6 +236,19 @@ def register_drift(
     implementing the :class:`~repro.dynamics.models.DriftModel` protocol.
     """
     return drift_registry.register(name, aliases=aliases, replace=replace)
+
+
+def register_workload(
+    name: str, *, aliases: Sequence[str] = (), replace: bool = False
+) -> Callable[[Any], Any]:
+    """Class/factory decorator registering a traffic workload generator under *name*.
+
+    The registered component is called with the generator's plain-dict
+    options (``workload_registry.create(name, **options)``) and must return
+    an object implementing the
+    :class:`~repro.traffic.workloads.WorkloadGenerator` protocol.
+    """
+    return workload_registry.register(name, aliases=aliases, replace=replace)
 
 
 def register_runner(

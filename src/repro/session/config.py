@@ -69,6 +69,12 @@ class SessionConfig:
     #: drift.  Like every other field this is a plain bag of strings/numbers,
     #: so drifting sessions sweep and JSON-round-trip like static ones.
     dynamics: Optional[Dict[str, Any]] = None
+    #: Declarative query-traffic settings for :meth:`Simulation.run_traffic`:
+    #: a plain mapping of its keyword arguments (``workload``,
+    #: ``workload_options``, ``num_events``, ``horizon``, ``link``,
+    #: ``batch_size``, ``seed``).  ``None`` = the traffic defaults.  Kept as a
+    #: plain bag so traffic runs sweep and JSON-round-trip like the rest.
+    traffic: Optional[Dict[str, Any]] = None
     #: Field overrides applied to the preset's :class:`ScenarioConfig`.
     scenario_overrides: Dict[str, Any] = field(default_factory=dict)
     #: Discovery-run protocol knobs (the paper's Section 4.1 defaults).
@@ -180,4 +186,6 @@ class SessionConfig:
         values = asdict(self)
         if self.base is None:
             values.pop("base")
+        if self.traffic is None:
+            values.pop("traffic")
         return values

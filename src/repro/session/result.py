@@ -2,9 +2,10 @@
 
 :class:`RunResult` normalises the outcome of a discovery run (one
 reformulation protocol execution), a maintenance run (several periods of the
-periodic loop) or any mix, into one structure with a JSON-safe
-:meth:`RunResult.to_dict` — the shape the CLI, experiment reports and
-external tooling consume.
+periodic loop), a traffic run (a query-event replay over the clustered
+overlay; its latency/hops/bandwidth/recall scalars land in ``extras``) or
+any mix, into one structure with a JSON-safe :meth:`RunResult.to_dict` — the
+shape the CLI, experiment reports and external tooling consume.
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ __all__ = ["RunResult"]
 #: ``RunResult.kind`` values.
 KIND_DISCOVERY = "discovery"
 KIND_MAINTENANCE = "maintenance"
+KIND_TRAFFIC = "traffic"
 
 
 @dataclass

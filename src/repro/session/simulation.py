@@ -52,9 +52,16 @@ from repro.peers.configuration import ClusterConfiguration
 from repro.peers.network import PeerNetwork
 from repro.protocol.reformulation import ProtocolResult, ReformulationProtocol
 from repro.session.config import SessionConfig
-from repro.session.result import KIND_DISCOVERY, KIND_MAINTENANCE, RunResult
+from repro.session.result import (
+    KIND_DISCOVERY,
+    KIND_MAINTENANCE,
+    KIND_TRAFFIC,
+    RunResult,
+)
 from repro.strategies import build_strategy
 from repro.strategies.base import RelocationStrategy
+from repro.traffic.report import TrafficReport
+from repro.traffic.simulator import TrafficSimulator
 
 __all__ = ["Simulation", "SimulationBuilder"]
 
@@ -95,6 +102,8 @@ class Simulation:
         self.last_protocol: Optional[ReformulationProtocol] = None
         #: The maintenance loop of the most recent :meth:`run_maintenance` call.
         self.last_loop: Optional[PeriodicMaintenanceLoop] = None
+        #: The full report of the most recent :meth:`run_traffic` call.
+        self.last_traffic_report: Optional[TrafficReport] = None
 
     # -- constructors ------------------------------------------------------------
 
@@ -193,6 +202,14 @@ class Simulation:
     def on_drift_applied(self, callback: Callable[[Any], None]) -> Callable[[], None]:
         """Subscribe to applied-drift events; returns an unsubscribe function."""
         return self.hooks.on_drift_applied(callback)
+
+    def on_query_routed(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Subscribe to traffic batch-routed events; returns an unsubscribe function."""
+        return self.hooks.on_query_routed(callback)
+
+    def on_traffic_summary(self, callback: Callable[[Any], None]) -> Callable[[], None]:
+        """Subscribe to traffic run-summary events; returns an unsubscribe function."""
+        return self.hooks.on_traffic_summary(callback)
 
     # -- running -----------------------------------------------------------------
 
@@ -392,6 +409,86 @@ class Simulation:
             result.extras["drift"] = [report.to_dict() for report in drift_reports]
         return result
 
+    def run_traffic(self, **overrides: Any) -> RunResult:
+        """Serve a query workload against the session's current configuration.
+
+        Replays an event stream through the
+        :class:`~repro.traffic.simulator.TrafficSimulator` — typically after
+        :meth:`run` or :meth:`run_maintenance` has shaped the clustering —
+        and reports what the overlay delivered: latency, hops, bandwidth and
+        recall distributions plus message totals.
+
+        Settings come from the config's ``traffic`` mapping, overridden by
+        keyword arguments: ``workload`` (registered generator name, default
+        ``uniform``), ``workload_options``, ``num_events``, ``horizon``,
+        ``link`` (a :class:`~repro.traffic.link.LinkModel` or mapping),
+        ``batch_size``, ``keep_log`` and ``seed`` (defaults to the session
+        seed, so traffic replays are as reproducible as everything else).
+        The run uses the session's configured router (broadcast by default).
+
+        The returned :class:`RunResult` has ``kind="traffic"``; the report's
+        flat scalars (``latency_p50``, ``bandwidth_p99``, ...) land in
+        ``extras`` so they work directly as sweep metrics, and the full
+        :class:`~repro.traffic.report.TrafficReport` is kept on
+        :attr:`last_traffic_report`.
+        """
+        settings: Dict[str, Any] = dict(self.config.traffic or {})
+        settings.update(overrides)
+        if "num_queries" in settings:  # accepted alias
+            settings.setdefault("num_events", settings.pop("num_queries"))
+        unknown = sorted(
+            set(settings)
+            - {
+                "workload",
+                "workload_options",
+                "num_events",
+                "horizon",
+                "link",
+                "batch_size",
+                "keep_log",
+                "seed",
+            }
+        )
+        if unknown:
+            raise ConfigurationError(
+                f"unknown traffic settings {unknown}; valid keys: "
+                "['batch_size', 'horizon', 'keep_log', 'link', 'num_events', "
+                "'seed', 'workload', 'workload_options']"
+            )
+        factory = self.router_factory()
+        simulator = TrafficSimulator(
+            self.network,
+            self.configuration,
+            router=factory(self.network) if factory is not None else None,
+            link=settings.get("link"),
+            hooks=self.hooks,
+            batch_size=int(settings.get("batch_size", 8192)),
+            keep_log=bool(settings.get("keep_log", False)),
+        )
+        seed = settings.get("seed")
+        if seed is None:
+            seed = self.experiment_config.seed + 29  # distinct traffic stream
+        report = simulator.run(
+            num_events=int(settings.get("num_events", 10_000)),
+            workload=settings.get("workload", "uniform"),
+            workload_options=settings.get("workload_options"),
+            seed=int(seed),
+            horizon=float(settings.get("horizon", 1.0)),
+        )
+        self.last_traffic_report = report
+        result = RunResult(
+            kind=KIND_TRAFFIC,
+            converged=True,
+            cluster_count=self.configuration.num_nonempty_clusters(),
+            message_counts=report.message_counts,
+            purity=self._purity(),
+            queries_routed=report.events,
+            config=self.config.to_dict(),
+        )
+        result.extras.update(report.flat_metrics())
+        result.extras["traffic"] = report.to_dict()
+        return result
+
     def __repr__(self) -> str:
         return (
             f"Simulation(scenario={self.config.scenario!r}, "
@@ -482,6 +579,18 @@ class SimulationBuilder:
         self._values["dynamics"] = dict(spec)
         return self
 
+    def traffic(self, workload: Optional[str] = None, **settings: Any) -> "SimulationBuilder":
+        """Declare the query-traffic settings for :meth:`Simulation.run_traffic`.
+
+        Example: ``.traffic("zipf", num_events=100_000, link={"hop_latency_ms": 2})``.
+        """
+        merged = dict(self._values.get("traffic", {}))
+        if workload is not None:
+            merged["workload"] = workload
+        merged.update(settings)
+        self._values["traffic"] = merged
+        return self
+
     # -- scalar knobs ------------------------------------------------------------
 
     def alpha(self, value: float) -> "SimulationBuilder":
@@ -563,6 +672,16 @@ class SimulationBuilder:
     def on_period_end(self, callback: Callable[[Any], None]) -> "SimulationBuilder":
         """Subscribe *callback* to period-end events of the built simulation."""
         self._subscriptions.append(("on_period_end", callback))
+        return self
+
+    def on_query_routed(self, callback: Callable[[Any], None]) -> "SimulationBuilder":
+        """Subscribe *callback* to traffic batch-routed events of the built simulation."""
+        self._subscriptions.append(("on_query_routed", callback))
+        return self
+
+    def on_traffic_summary(self, callback: Callable[[Any], None]) -> "SimulationBuilder":
+        """Subscribe *callback* to traffic run-summary events of the built simulation."""
+        self._subscriptions.append(("on_traffic_summary", callback))
         return self
 
     # -- materialisation ---------------------------------------------------------

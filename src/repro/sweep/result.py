@@ -29,7 +29,31 @@ DEFAULT_SUMMARY_METRICS: Tuple[str, ...] = (
     "cluster_count",
 )
 #: Config fields a summary groups by (seeds within a group are aggregated).
-DEFAULT_GROUP_FIELDS: Tuple[str, ...] = ("scenario", "initial", "strategy")
+#: ``dynamics`` and ``traffic`` keep drift/workload variants of an otherwise
+#: identical configuration apart — without them a drift or traffic-workload
+#: sweep would pool its grid points into one row.
+DEFAULT_GROUP_FIELDS: Tuple[str, ...] = (
+    "scenario",
+    "initial",
+    "strategy",
+    "dynamics",
+    "traffic",
+)
+
+
+def _group_value(value: Any) -> Any:
+    """A hashable, stable form of one group-key config value.
+
+    Dynamics specs (and any other mapping/list-valued field, e.g.
+    ``traffic``) are unhashable dicts; render them as compact, key-sorted
+    JSON so equal specs pool and different specs stay apart.  ``None`` —
+    the field is absent — becomes ``"-"`` for clean table rows.
+    """
+    if value is None:
+        return "-"
+    if isinstance(value, (dict, list)):
+        return json.dumps(value, sort_keys=True, separators=(",", ":"))
+    return value
 
 
 @dataclass
@@ -118,7 +142,9 @@ class SweepResult:
         """
         grouped: Dict[Tuple[Any, ...], List[RunResult]] = {}
         for task, result in zip(self.tasks, self.results):
-            key = tuple(task.config.get(field_name) for field_name in group_by)
+            key = tuple(
+                _group_value(task.config.get(field_name)) for field_name in group_by
+            )
             grouped.setdefault(key, []).append(result)
         summary: Dict[Tuple[Any, ...], Dict[str, SummaryStats]] = {}
         for key, results in grouped.items():

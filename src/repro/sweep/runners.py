@@ -6,7 +6,7 @@ what to do with the assembled simulation.  Runners are plain callables
 :data:`repro.registry.runner_registry`, so tasks reference them as strings
 and serialize cleanly across process boundaries.
 
-Two generic runners ship here:
+Three generic runners ship here:
 
 * ``discover`` — run the reformulation protocol to quiescence
   (:meth:`Simulation.run`);
@@ -16,17 +16,27 @@ Two generic runners ship here:
   ``options["dynamics"]``, which overrides it) is a
   :class:`~repro.dynamics.schedule.DynamicsSchedule` spec naming registered
   drift models — plain JSON, so drift studies sweep like everything else.
+* ``traffic`` — optionally shape the clustering first (``options["after"]``
+  = ``"discover"`` or ``"maintain"``), then serve a query workload through
+  the event-driven traffic simulator (:meth:`Simulation.run_traffic`);
+  latency/hops/bandwidth/recall percentiles become sweep metrics.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, Optional
 
+from repro.errors import ConfigurationError
 from repro.registry import register_runner, runner_registry
 from repro.session.result import RunResult
 from repro.session.simulation import Simulation
 
-__all__ = ["resolve_runner", "run_discovery", "run_maintenance_periods"]
+__all__ = [
+    "resolve_runner",
+    "run_discovery",
+    "run_maintenance_periods",
+    "run_traffic_workload",
+]
 
 #: The runner callable protocol.
 Runner = Callable[[Simulation, Dict[str, Any]], RunResult]
@@ -75,3 +85,57 @@ def run_maintenance_periods(simulation: Simulation, options: Dict[str, Any]) -> 
     return simulation.run_maintenance(
         periods, max_rounds_per_period=max_rounds, dynamics=dynamics
     )
+
+
+@register_runner("traffic", mutates_scenario=True)
+def run_traffic_workload(simulation: Simulation, options: Dict[str, Any]) -> RunResult:
+    """Serve a query workload, optionally after shaping the clustering first.
+
+    Options: ``after`` — ``"none"`` (default; traffic hits the initial
+    configuration), ``"discover"`` (run the protocol to quiescence first) or
+    ``"maintain"`` (run ``periods`` maintenance periods first) — plus
+    ``periods`` / ``max_rounds_per_period`` / ``dynamics`` for the shaping
+    phase and every :meth:`Simulation.run_traffic` setting (``workload``,
+    ``num_events``, ``link``, ...), which override the task config's
+    ``traffic`` mapping.
+
+    The returned result is the traffic run's (latency/hops/bandwidth/recall
+    scalars in ``extras``, directly usable as sweep metrics) with the shaping
+    phase's cost fields grafted on, so one sweep row answers both "what did
+    the clustering cost" and "what did it deliver".
+
+    Registered as scenario-mutating: an ``after="maintain"`` phase may drift
+    the network, so tasks get a private copy of any cached scenario.
+    """
+    options = dict(options)
+    after = str(options.pop("after", "none"))
+    periods = int(options.pop("periods", 1))
+    max_rounds = options.pop("max_rounds_per_period", None)
+    dynamics = options.pop("dynamics", None)
+    prior: Optional[RunResult] = None
+    if after in ("discover", "discovery"):
+        prior = simulation.run()
+    elif after in ("maintain", "maintenance"):
+        prior = simulation.run_maintenance(
+            periods, max_rounds_per_period=max_rounds, dynamics=dynamics
+        )
+    elif after != "none":
+        raise ConfigurationError(
+            f"unknown traffic runner phase {after!r}; "
+            "valid values: ['discover', 'maintain', 'none']"
+        )
+    result = simulation.run_traffic(**options)
+    if prior is not None:
+        result.converged = prior.converged
+        result.cycle_detected = prior.cycle_detected
+        result.rounds = prior.rounds
+        result.moves = prior.moves
+        result.final_social_cost = prior.final_social_cost
+        result.final_workload_cost = prior.final_workload_cost
+        result.social_cost_trace = list(prior.social_cost_trace)
+        result.workload_cost_trace = list(prior.workload_cost_trace)
+        result.cluster_count_trace = list(prior.cluster_count_trace)
+        result.extras.update(
+            {key: value for key, value in prior.extras.items() if key not in result.extras}
+        )
+    return result

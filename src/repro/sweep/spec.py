@@ -1,8 +1,9 @@
 """Declarative sweep specifications.
 
 A :class:`SweepSpec` declares a grid over scenarios × initial configurations
-× strategies × theta functions × seeds (plus an explicit task list for
-non-grid shapes), and expands deterministically into a flat, ordered list of
+× strategies × theta functions × dynamics × traffic workloads × seeds (plus
+an explicit task list for non-grid shapes), and expands deterministically
+into a flat, ordered list of
 :class:`SweepTask`\\ s.  Every pluggable part is referenced *by registry
 name*, so a spec — and every task derived from it — is a plain bag of
 strings/numbers that round-trips through JSON and crosses process boundaries
@@ -46,6 +47,7 @@ from repro.registry import (
     scenario_registry,
     strategy_registry,
     theta_registry,
+    workload_registry,
 )
 from repro.session.config import SessionConfig
 
@@ -158,6 +160,12 @@ class SweepSpec:
     #: is how the paper's Section 4.2 drift grids sweep: e.g. one
     #: ``workload-full`` spec per ``peer_fraction`` value x the seed stream.
     dynamics: Tuple[Any, ...] = ()
+    #: Workload axis for traffic runs: registered arrival-generator names
+    #: (``"zipf"``) or mappings merged into the task's ``traffic`` config
+    #: (``{"workload": "flash-crowd", "workload_options": {...}}``), one grid
+    #: point each; empty = the config's ``traffic`` field (or no traffic).
+    #: Only meaningful with the ``traffic`` runner, which reads the field.
+    workloads: Tuple[Any, ...] = ()
     #: Scale preset applied to every grid task (``quick``/``benchmark``/``paper``).
     scale: Optional[str] = None
     #: Extra :class:`SessionConfig` fields applied to every grid task.
@@ -181,6 +189,7 @@ class SweepSpec:
         object.__setattr__(self, "strategies", _as_tuple(self.strategies))
         object.__setattr__(self, "thetas", _as_tuple(self.thetas))
         object.__setattr__(self, "dynamics", _as_tuple(self.dynamics))
+        object.__setattr__(self, "workloads", _as_tuple(self.workloads))
         if self.seeds is not None:
             object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
         object.__setattr__(self, "tasks", tuple(self.tasks))
@@ -212,7 +221,15 @@ class SweepSpec:
         values = dict(mapping)
         if "seeds" in values and values["seeds"] is not None:
             values["seeds"] = tuple(int(seed) for seed in values["seeds"])
-        for axis in ("scenarios", "initials", "strategies", "thetas", "dynamics", "tasks"):
+        for axis in (
+            "scenarios",
+            "initials",
+            "strategies",
+            "thetas",
+            "dynamics",
+            "workloads",
+            "tasks",
+        ):
             if axis in values and values[axis] is not None:
                 values[axis] = tuple(values[axis])
         return cls(**values)
@@ -225,6 +242,10 @@ class SweepSpec:
             "strategies": list(self.strategies),
             "thetas": list(self.thetas),
             "dynamics": [dict(spec) for spec in self.dynamics],
+            "workloads": [
+                dict(entry) if isinstance(entry, Mapping) else entry
+                for entry in self.workloads
+            ],
             "scale": self.scale,
             "overrides": dict(self.overrides),
             "seeds": list(self.seeds) if self.seeds is not None else None,
@@ -272,12 +293,21 @@ class SweepSpec:
             ("strategy", self.strategies or (None,), defaults.strategy),
             ("theta", self.thetas or (None,), None),
             ("dynamics", self.dynamics or (None,), None),
+            ("traffic", self.workloads or (None,), None),
         ]
         configs: List[Dict[str, Any]] = []
         for combo in itertools.product(*(values for _field, values, _default in axes)):
             config = self._base_config()
             for (field_name, _values, default), value in zip(axes, combo):
-                if value is not None:
+                if field_name == "traffic":
+                    if value is not None:
+                        # A bare name selects the generator; a mapping merges
+                        # over any spec-wide traffic settings from `overrides`.
+                        entry = (
+                            dict(value) if isinstance(value, Mapping) else {"workload": value}
+                        )
+                        config["traffic"] = {**dict(config.get("traffic") or {}), **entry}
+                elif value is not None:
                     config[field_name] = value
                 elif default is not None:
                     config.setdefault(field_name, default)
@@ -357,6 +387,7 @@ class SweepSpec:
             or self.strategies
             or self.thetas
             or self.dynamics
+            or self.workloads
         )
 
     # -- validation ----------------------------------------------------------------
@@ -389,6 +420,10 @@ class SweepSpec:
                 ExperimentConfig.from_scale(config.scale)
             if config.dynamics is not None:
                 DynamicsSchedule.from_dict(config.dynamics).validate()
+            if config.traffic is not None and config.traffic.get("workload") is not None:
+                import repro.traffic  # noqa: F401  (registers built-in workloads)
+
+                workload_registry.canonical_name(config.traffic["workload"])
             if "dynamics" in task.options and task.options["dynamics"] is not None:
                 DynamicsSchedule.from_dict(task.options["dynamics"]).validate()
             resolve_runner(task.runner)

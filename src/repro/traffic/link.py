@@ -1,0 +1,76 @@
+"""The pluggable link model: what a hop and a byte cost.
+
+The paper reports communication overhead in messages; a traffic simulator
+additionally needs to charge *time* and *bytes* per message so latency and
+bandwidth become first-class metrics.  :class:`LinkModel` holds those unit
+costs.  It is deliberately deterministic (no jitter): traffic runs must be
+byte-identical across worker counts, so all randomness lives in the workload
+generators, never in the links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Mapping, Optional, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinkModel"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Per-hop latency and per-message byte costs of the overlay links."""
+
+    #: One-way latency of a single overlay hop, in milliseconds.
+    hop_latency_ms: float = 5.0
+    #: Serialisation delay charged per returned result item, in milliseconds.
+    result_latency_ms: float = 0.02
+    #: Size of one query message, in bytes.
+    query_bytes: int = 128
+    #: Fixed size of one result message (header), in bytes.
+    result_message_bytes: int = 64
+    #: Size of one result item inside a result message, in bytes.
+    result_item_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        for name in (
+            "hop_latency_ms",
+            "result_latency_ms",
+            "query_bytes",
+            "result_message_bytes",
+            "result_item_bytes",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(
+                    f"LinkModel.{name} must be non-negative, got {getattr(self, name)}"
+                )
+
+    @classmethod
+    def from_options(
+        cls, value: Optional[Union["LinkModel", Mapping[str, Any]]]
+    ) -> "LinkModel":
+        """Coerce *value* (``None``, LinkModel or plain mapping) to a link model.
+
+        Unknown mapping keys raise :class:`~repro.errors.ConfigurationError`
+        listing the valid field names, mirroring ``SessionConfig.from_dict``.
+        """
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            known = set(cls().to_dict())
+            unknown = sorted(set(value) - known)
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown link model keys {unknown}; valid keys: {sorted(known)}"
+                )
+            return cls(**dict(value))
+        raise ConfigurationError(
+            f"expected a LinkModel, mapping or None, got {type(value).__name__}"
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-serialisable mapping that round-trips through :meth:`from_options`."""
+        return asdict(self)

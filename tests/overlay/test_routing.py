@@ -70,3 +70,43 @@ class TestProbeKRouter:
         broadcast_pairs = {(result.provider, result.result_count) for result in broadcast}
         probed_pairs = {(result.provider, result.result_count) for result in probed}
         assert probed_pairs <= broadcast_pairs
+
+    def test_equal_size_clusters_tie_break_by_repr(self, tiny_network):
+        # Three singleton clusters: every "other" cluster ties on size, so
+        # the deterministic (-size, repr) order decides which ones k probes.
+        from repro.peers.configuration import ClusterConfiguration
+
+        singletons = ClusterConfiguration(
+            ["c3", "c2", "c1"], {"alice": "c3", "bob": "c2", "carol": "c1"}
+        )
+        router = ProbeKRouter(tiny_network, k=2)
+        assert router.target_clusters("alice", singletons) == ["c3", "c1"]
+        assert router.target_clusters("carol", singletons) == ["c1", "c2"]
+        assert ProbeKRouter(tiny_network, k=3).target_clusters("alice", singletons) == [
+            "c3",
+            "c1",
+            "c2",
+        ]
+
+    def test_larger_clusters_win_over_repr(self, tiny_network, tiny_configuration):
+        # c1 (two members) outranks the repr-smaller singleton c2.
+        router = ProbeKRouter(tiny_network, k=2)
+        assert router.target_clusters("bob", tiny_configuration) == ["c2", "c1"]
+
+
+class TestOrderedMembers:
+    def test_route_order_matches_the_historical_repr_sort(
+        self, tiny_network, tiny_configuration
+    ):
+        router = BroadcastRouter(tiny_network)
+        results = router.route("bob", Query(["music"]), tiny_configuration)
+        providers = [result.provider for result in results]
+        assert providers == sorted(providers, key=repr)
+
+    def test_rank_cache_rebuilds_after_churn(self, tiny_network, tiny_configuration):
+        router = BroadcastRouter(tiny_network)
+        router.route("bob", Query(["music"]), tiny_configuration)  # warm the cache
+        members = ["carol", "alice", "bob"]
+        assert router._ordered_members(members) == ["alice", "bob", "carol"]
+        # A member the network has never seen falls back to the repr sort.
+        assert router._ordered_members(["zed", "alice"]) == ["alice", "zed"]

@@ -1,0 +1,87 @@
+"""Tests for sweep summary grouping: dynamics and traffic variants stay apart."""
+
+from __future__ import annotations
+
+from repro.session.result import RunResult
+from repro.sweep import SweepSpec
+from repro.sweep.result import DEFAULT_GROUP_FIELDS, SweepResult, _group_value
+from repro.sweep.spec import SweepTask
+
+
+def make_result(cost: float) -> RunResult:
+    return RunResult(kind="discovery", converged=True, final_social_cost=cost)
+
+
+def make_sweep(configs, costs) -> SweepResult:
+    tasks = [
+        SweepTask(index=index, config=dict(config))
+        for index, config in enumerate(configs)
+    ]
+    return SweepResult(
+        spec=SweepSpec(),
+        tasks=tasks,
+        results=[make_result(cost) for cost in costs],
+    )
+
+
+class TestGroupValue:
+    def test_none_renders_as_a_dash(self):
+        assert _group_value(None) == "-"
+
+    def test_mappings_become_key_sorted_json(self):
+        assert _group_value({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+        assert _group_value({"a": 2, "b": 1}) == _group_value({"b": 1, "a": 2})
+
+    def test_scalars_pass_through(self):
+        assert _group_value("zipf") == "zipf"
+        assert _group_value(3) == 3
+
+
+class TestSummaryGrouping:
+    def test_dynamics_and_traffic_are_group_fields(self):
+        assert "dynamics" in DEFAULT_GROUP_FIELDS
+        assert "traffic" in DEFAULT_GROUP_FIELDS
+
+    def test_dynamics_variants_get_separate_rows(self):
+        base = {"scenario": "same_category", "initial": "singletons", "strategy": "selfish"}
+        drift = {**base, "dynamics": {"drift": "churn", "rate": 0.1}}
+        sweep = make_sweep([base, base, drift], [1.0, 3.0, 7.0])
+        groups = sweep.summarize(metrics=("final_social_cost",))
+        assert len(groups) == 2
+        pooled = groups[("same_category", "singletons", "selfish", "-", "-")]
+        assert pooled["final_social_cost"].count == 2
+        assert pooled["final_social_cost"].mean == 2.0
+        drifted_key = (
+            "same_category",
+            "singletons",
+            "selfish",
+            '{"drift":"churn","rate":0.1}',
+            "-",
+        )
+        assert groups[drifted_key]["final_social_cost"].mean == 7.0
+
+    def test_traffic_workload_variants_get_separate_rows(self):
+        base = {"scenario": "uniform", "initial": "random", "strategy": "selfish"}
+        uniform = {**base, "traffic": {"workload": "uniform"}}
+        zipf = {**base, "traffic": {"workload": "zipf"}}
+        sweep = make_sweep([uniform, zipf], [1.0, 2.0])
+        assert len(sweep.summarize(metrics=("final_social_cost",))) == 2
+
+    def test_equal_specs_pool_regardless_of_key_order(self):
+        base = {"scenario": "uniform", "initial": "random", "strategy": "selfish"}
+        first = {**base, "dynamics": {"a": 1, "b": 2}}
+        second = {**base, "dynamics": {"b": 2, "a": 1}}
+        sweep = make_sweep([first, second], [1.0, 3.0])
+        groups = sweep.summarize(metrics=("final_social_cost",))
+        assert len(groups) == 1
+        (stats,) = groups.values()
+        assert stats["final_social_cost"].count == 2
+
+    def test_summary_table_renders_the_group_columns(self):
+        base = {"scenario": "uniform", "initial": "random", "strategy": "selfish"}
+        sweep = make_sweep(
+            [{**base, "traffic": {"workload": "zipf"}}], [1.0]
+        )
+        table = sweep.summary_table(metrics=("final_social_cost",))
+        assert "traffic" in table.splitlines()[0]
+        assert '{"workload":"zipf"}' in table

@@ -1,0 +1,136 @@
+"""Tests for query event streams, stream merging and the indexed traffic log."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.events import QueryEvent, QueryEventStream, TrafficLog, merge_streams
+
+
+def make_stream(times, issuers, queries, label="events"):
+    return QueryEventStream(
+        np.asarray(times, dtype=float),
+        np.asarray(issuers, dtype=np.int64),
+        np.asarray(queries, dtype=np.int64),
+        label=label,
+    )
+
+
+class TestQueryEventStream:
+    def test_length_and_dtypes(self):
+        stream = make_stream([0.1, 0.2, 0.3], [0, 1, 0], [2, 0, 1])
+        assert len(stream) == 3
+        assert stream.times.dtype == np.float64
+        assert stream.issuers.dtype == np.int64
+        assert stream.queries.dtype == np.int64
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            make_stream([0.1, 0.2], [0], [1, 2])
+
+    def test_multidimensional_arrays_rejected(self):
+        square = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="one-dimensional"):
+            QueryEventStream(square, square.astype(np.int64), square.astype(np.int64))
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ValueError, match="not sorted"):
+            make_stream([0.2, 0.1], [0, 1], [0, 1], label="bad")
+
+    def test_event_materialises_against_context_orders(self):
+        stream = make_stream([0.5], [1], [0])
+        event = stream.event(0, ["alice", "bob"], ["q0", "q1"])
+        assert event == QueryEvent(time=0.5, issuer="bob", query="q0")
+
+    def test_equal_timestamps_are_allowed(self):
+        stream = make_stream([0.1, 0.1, 0.1], [0, 1, 2], [0, 0, 0])
+        assert len(stream) == 3
+
+
+class TestMergeStreams:
+    def test_merge_is_globally_time_sorted(self):
+        first = make_stream([0.1, 0.4], [0, 0], [0, 0])
+        second = make_stream([0.2, 0.3], [1, 1], [1, 1])
+        merged = merge_streams([first, second])
+        assert merged.times.tolist() == [0.1, 0.2, 0.3, 0.4]
+        assert merged.issuers.tolist() == [0, 1, 1, 0]
+
+    def test_ties_resolve_by_stream_order(self):
+        # Both streams fire at t=0.5; stream 0's event must come first.
+        first = make_stream([0.5], [7], [0])
+        second = make_stream([0.5], [9], [0])
+        merged = merge_streams([first, second])
+        assert merged.issuers.tolist() == [7, 9]
+
+    def test_empty_streams_are_skipped(self):
+        empty = make_stream([], [], [])
+        events = make_stream([0.2], [3], [1])
+        merged = merge_streams([empty, events])
+        assert len(merged) == 1
+        assert merged.issuers.tolist() == [3]
+
+    def test_merging_nothing_yields_an_empty_stream(self):
+        merged = merge_streams([])
+        assert len(merged) == 0
+        assert merged.label == "merged"
+
+
+class TestTrafficLog:
+    def test_append_returns_the_assigned_id_range(self):
+        log = TrafficLog()
+        first = log.append_batch(
+            np.array([0.1, 0.2]), np.array([0, 1]), np.array([0, 0])
+        )
+        second = log.append_batch(np.array([0.3]), np.array([0]), np.array([1]))
+        assert first == (0, 2)
+        assert second == (2, 3)
+        assert len(log) == 3
+
+    def test_indexes_stay_in_lockstep_with_appends(self):
+        log = TrafficLog()
+        log.append_batch(np.array([0.1, 0.2]), np.array([0, 1]), np.array([5, 5]))
+        # The very same call updated both secondary indexes: no flush needed.
+        assert log.event_ids_for_issuer(0).tolist() == [0]
+        assert log.event_ids_for_issuer(1).tolist() == [1]
+        assert log.event_ids_for_query(5).tolist() == [0, 1]
+        log.append_batch(np.array([0.3]), np.array([0]), np.array([7]))
+        assert log.event_ids_for_issuer(0).tolist() == [0, 2]
+        assert log.event_ids_for_query(7).tolist() == [2]
+
+    def test_unknown_keys_read_empty(self):
+        log = TrafficLog()
+        assert log.event_ids_for_issuer(42).size == 0
+        assert log.event_ids_for_query(42).size == 0
+
+    def test_issuer_counts_come_from_the_live_index(self):
+        log = TrafficLog()
+        log.append_batch(
+            np.array([0.1, 0.2, 0.3]), np.array([1, 0, 1]), np.array([0, 1, 2])
+        )
+        assert log.issuer_counts() == {0: 1, 1: 2}
+
+    def test_append_order_is_preserved_in_column_reads(self):
+        log = TrafficLog()
+        log.append_batch(np.array([0.1]), np.array([2]), np.array([4]))
+        log.append_batch(np.array([0.2, 0.3]), np.array([0, 1]), np.array([3, 4]))
+        assert log.times().tolist() == [0.1, 0.2, 0.3]
+        assert log.issuers().tolist() == [2, 0, 1]
+        assert log.queries().tolist() == [4, 3, 4]
+
+    def test_empty_batch_is_a_noop(self):
+        log = TrafficLog()
+        assert log.append_batch(np.array([]), np.array([]), np.array([])) == (0, 0)
+        assert len(log) == 0
+        assert not log.has_new()
+
+    def test_consume_new_drains_the_trigger_buffer(self):
+        log = TrafficLog()
+        log.append_batch(np.array([0.1]), np.array([0]), np.array([0]))
+        log.append_batch(np.array([0.2]), np.array([1]), np.array([1]))
+        assert log.has_new()
+        assert log.consume_new().tolist() == [0, 1]
+        assert not log.has_new()
+        assert log.consume_new().size == 0
+        log.append_batch(np.array([0.3]), np.array([0]), np.array([0]))
+        assert log.consume_new().tolist() == [2]

@@ -1,0 +1,228 @@
+"""Tests for the batched traffic simulator: parity, invariance and accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.scenarios import (
+    SCENARIO_DIFFERENT_CATEGORY,
+    SCENARIO_SAME_CATEGORY,
+    SCENARIO_UNIFORM,
+    ScenarioConfig,
+    build_scenario,
+    initial_configuration,
+)
+from repro.errors import ConfigurationError
+from repro.events import EventHooks
+from repro.overlay.routing import BroadcastRouter, ProbeKRouter
+from repro.overlay.simulator import OverlaySimulator
+from repro.traffic.simulator import TrafficSimulator
+from repro.traffic.workloads import ReplayWorkload
+
+#: Small enough that a broadcast replay runs in milliseconds per scenario.
+PARITY_CONFIG = ScenarioConfig(
+    num_peers=12,
+    num_categories=3,
+    documents_per_peer=4,
+    terms_per_document=3,
+    category_vocabulary_size=15,
+    queries_per_peer=3,
+    seed=9,
+)
+
+
+class TestBroadcastReplayParity:
+    """Satellite acceptance: simulator recall == exact model recall at 1e-9."""
+
+    @pytest.mark.parametrize(
+        "scenario, initial",
+        [
+            (SCENARIO_SAME_CATEGORY, "category"),
+            (SCENARIO_DIFFERENT_CATEGORY, "category"),
+            (SCENARIO_UNIFORM, "random"),  # uniform data has no categories
+        ],
+    )
+    def test_observed_recall_matches_covered_weight(self, scenario, initial):
+        data = build_scenario(scenario, PARITY_CONFIG)
+        configuration = initial_configuration(data, initial)
+        report = TrafficSimulator(data.network, configuration).run(workload="replay")
+        matrix = data.network.recall_matrix()
+        for peer_id in data.network.peer_ids():
+            observed = report.observed_cluster_recall(peer_id)
+            for cluster_id in report.cluster_order:
+                exact = matrix.covered_weight(
+                    peer_id, configuration.members(cluster_id)
+                )
+                assert observed[cluster_id] == pytest.approx(exact, abs=1e-9)
+
+    def test_parity_survives_multiple_passes(self, tiny_network, tiny_configuration):
+        report = TrafficSimulator(tiny_network, tiny_configuration).run(
+            workload="replay", workload_options={"passes": 3}
+        )
+        matrix = tiny_network.recall_matrix()
+        observed = report.observed_cluster_recall("alice")
+        assert observed["c2"] == pytest.approx(
+            matrix.covered_weight("alice", tiny_configuration.members("c2")), abs=1e-12
+        )
+
+
+class TestLegacyMessageParity:
+    """The vectorised accounting reproduces the per-query MessageBus totals."""
+
+    def test_tiny_network_replay_matches_run_period(
+        self, tiny_network, tiny_configuration
+    ):
+        legacy = OverlaySimulator(tiny_network, tiny_configuration)
+        period = legacy.run_period()
+        report = TrafficSimulator(tiny_network, tiny_configuration).run(
+            workload="replay"
+        )
+        assert report.events == period.queries_routed
+        assert report.message_counts == period.messages
+        assert report.result_items == period.results_returned
+
+    def test_scenario_replay_matches_run_period(self, small_scenario):
+        configuration = initial_configuration(small_scenario, "category")
+        legacy = OverlaySimulator(small_scenario.network, configuration)
+        period = legacy.run_period()
+        report = TrafficSimulator(small_scenario.network, configuration).run(
+            workload="replay"
+        )
+        assert report.events == period.queries_routed
+        assert report.message_counts == period.messages
+        assert report.result_items == period.results_returned
+
+    def test_probe_k_message_parity(self, small_scenario):
+        configuration = initial_configuration(small_scenario, "category")
+        legacy = OverlaySimulator(
+            small_scenario.network,
+            configuration,
+            router=ProbeKRouter(small_scenario.network, k=2),
+        )
+        period = legacy.run_period()
+        report = TrafficSimulator(
+            small_scenario.network,
+            configuration,
+            router=ProbeKRouter(small_scenario.network, k=2),
+        ).run(workload="replay")
+        assert report.message_counts == period.messages
+        assert report.result_items == period.results_returned
+
+
+class TestBatchInvariance:
+    def test_metrics_are_independent_of_batch_size(
+        self, tiny_network, tiny_configuration
+    ):
+        payloads = []
+        for batch_size in (7, 100_000):
+            report = TrafficSimulator(
+                tiny_network, tiny_configuration, batch_size=batch_size
+            ).run(workload="flash-crowd", num_events=500, seed=5)
+            payload = report.to_dict()
+            payload.pop("batches")  # the only batch-size-dependent field
+            payloads.append(payload)
+        assert payloads[0] == payloads[1]
+
+    def test_batch_size_must_be_positive(self, tiny_network, tiny_configuration):
+        with pytest.raises(ConfigurationError, match="batch_size"):
+            TrafficSimulator(tiny_network, tiny_configuration, batch_size=0)
+
+
+class TestEventLoop:
+    def test_multi_stream_drain_preserves_global_time_order(
+        self, tiny_network, tiny_configuration
+    ):
+        simulator = TrafficSimulator(
+            tiny_network, tiny_configuration, batch_size=16, keep_log=True
+        )
+        report = simulator.run(workload="flash-crowd", num_events=400, seed=2)
+        assert report.events == 400
+        times = simulator.log.times()
+        assert times.size == 400
+        assert np.all(np.diff(times) >= 0)
+
+    def test_log_indexes_agree_with_the_report(self, tiny_network, tiny_configuration):
+        simulator = TrafficSimulator(tiny_network, tiny_configuration, keep_log=True)
+        report = simulator.run(num_events=200, seed=4)
+        counts = simulator.log.issuer_counts()
+        for row, peer_id in enumerate(report.peer_order):
+            assert counts.get(row, 0) == int(report.issuer_event_counts[row])
+
+    def test_keep_log_false_skips_the_log(self, tiny_network, tiny_configuration):
+        simulator = TrafficSimulator(tiny_network, tiny_configuration, keep_log=False)
+        simulator.run(num_events=50)
+        assert simulator.log is None
+
+    def test_zero_events_yield_an_empty_report(self, tiny_network, tiny_configuration):
+        report = TrafficSimulator(tiny_network, tiny_configuration).run(num_events=0)
+        assert report.events == 0
+        assert report.batches == 0
+        assert report.latency_ms.count == 0
+        assert report.qps == 0.0
+
+
+class TestRouters:
+    def test_probe_k_never_beats_broadcast_recall(self, small_scenario):
+        configuration = initial_configuration(small_scenario, "category")
+        broadcast = TrafficSimulator(small_scenario.network, configuration).run(
+            workload="replay"
+        )
+        probed = TrafficSimulator(
+            small_scenario.network,
+            configuration,
+            router=ProbeKRouter(small_scenario.network, k=2),
+        ).run(workload="replay")
+        assert probed.recall.mean <= broadcast.recall.mean + 1e-12
+        assert probed.query_messages < broadcast.query_messages
+
+    def test_non_invariant_router_falls_back_to_per_peer_groups(
+        self, tiny_network, tiny_configuration
+    ):
+        class OpaqueBroadcast(BroadcastRouter):
+            """Same targets, but hides the cluster-invariance contract."""
+
+            cluster_invariant = False
+
+        fast = TrafficSimulator(tiny_network, tiny_configuration).run(
+            workload="replay"
+        )
+        slow = TrafficSimulator(
+            tiny_network, tiny_configuration, router=OpaqueBroadcast(tiny_network)
+        ).run(workload="replay")
+        fast_payload, slow_payload = fast.to_dict(), slow.to_dict()
+        fast_payload.pop("router")
+        slow_payload.pop("router")
+        assert fast_payload == slow_payload
+
+
+class TestHooks:
+    def test_query_routed_fires_per_batch_and_summary_once(
+        self, tiny_network, tiny_configuration
+    ):
+        hooks = EventHooks()
+        routed, summaries = [], []
+        hooks.on_query_routed(routed.append)
+        hooks.on_traffic_summary(summaries.append)
+        report = TrafficSimulator(
+            tiny_network, tiny_configuration, hooks=hooks, batch_size=64
+        ).run(num_events=300, seed=1)
+        assert len(routed) == report.batches > 1
+        assert sum(event.events for event in routed) == report.events == 300
+        assert [event.batch_index for event in routed] == list(range(len(routed)))
+        assert len(summaries) == 1
+        assert summaries[0].report is report
+
+
+class TestRunValidation:
+    def test_generator_instance_refuses_options(self, tiny_network, tiny_configuration):
+        simulator = TrafficSimulator(tiny_network, tiny_configuration)
+        with pytest.raises(ConfigurationError, match="workload_options"):
+            simulator.run(workload=ReplayWorkload(), workload_options={"passes": 2})
+
+    def test_generator_instance_is_accepted(self, tiny_network, tiny_configuration):
+        report = TrafficSimulator(tiny_network, tiny_configuration).run(
+            workload=ReplayWorkload(passes=2)
+        )
+        assert report.workload == "replay"
+        assert report.events == 8  # 4 recorded occurrences x 2 passes
