@@ -117,6 +117,8 @@ from repro.events import (
     RoundEndEvent,
     SweepEndEvent,
     TaskFinishedEvent,
+    TaskLoadedEvent,
+    TaskSkippedEvent,
     TaskStartedEvent,
 )
 from repro.experiments import (
@@ -142,6 +144,7 @@ from repro.protocol import ProtocolResult, ReformulationProtocol
 from repro.registry import (
     ComponentRegistry,
     register_drift,
+    register_executor,
     register_initializer,
     register_router,
     register_runner,
@@ -150,7 +153,16 @@ from repro.registry import (
     register_theta,
 )
 from repro.session import RunResult, SessionConfig, Simulation, SimulationBuilder
-from repro.sweep import SweepResult, SweepSpec, SweepTask, run_sweep
+from repro.sweep import (
+    ResultStore,
+    Runner,
+    SweepExecutor,
+    SweepResult,
+    SweepSpec,
+    SweepTask,
+    run_sweep,
+    task_hash,
+)
 from repro.strategies import (
     AltruisticStrategy,
     HybridStrategy,
@@ -185,6 +197,10 @@ __all__ = [
     "SweepTask",
     "SweepResult",
     "run_sweep",
+    "Runner",
+    "SweepExecutor",
+    "ResultStore",
+    "task_hash",
     # registries
     "ComponentRegistry",
     "register_strategy",
@@ -195,6 +211,7 @@ __all__ = [
     "register_runner",
     "register_drift",
     "register_workload",
+    "register_executor",
     # traffic
     "TrafficSimulator",
     "TrafficReport",
@@ -218,6 +235,8 @@ __all__ = [
     "DriftAppliedEvent",
     "TaskStartedEvent",
     "TaskFinishedEvent",
+    "TaskSkippedEvent",
+    "TaskLoadedEvent",
     "SweepEndEvent",
     "CostTraceRecorder",
     # core

@@ -13,7 +13,9 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent)::
     repro report     --scale benchmark --output report.md
     repro sweep      --scale quick --strategy selfish --strategy altruistic \
                      --replications 8 --workers 4 --output sweep.jsonl
-    repro sweep      --spec sweep.json --workers 8
+    repro sweep      --spec sweep.json --executor chunked-streaming \
+                     --executor-options '{"max_workers": 8, "window": 16}'
+    repro sweep      --spec sweep.json --workers 8 --store .sweep-store
     repro sweep      --scale quick --runner maintain --replications 5 \
                      --runner-options '{"periods": 3}' \
                      --dynamics '{"model": "workload-full", "options": {"peer_fraction": 0.2}}' \
@@ -22,8 +24,13 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent)::
 Every subcommand prints a plain-text table/series; ``report`` runs the whole
 suite and renders the markdown that EXPERIMENTS.md is derived from, and
 ``sweep`` fans a :class:`repro.sweep.SweepSpec` (from a JSON file or flags)
-out over a process pool, streaming per-task progress and printing
-mean/stddev/CI summaries over the replications.
+out over a pluggable executor (``--executor serial`` / ``process-pool`` /
+``chunked-streaming``; ``--workers N`` is shorthand for a process pool),
+streaming per-task progress and printing mean/stddev/CI summaries over the
+replications.  With ``--store DIR`` every finished task is persisted under
+the sha256 of its canonical config and re-runs skip what is already stored —
+killed or sharded sweeps resume instead of recomputing (``--no-resume``
+forces re-execution).
 
 The ``discover`` and ``maintain`` commands drive the :class:`repro.Simulation`
 facade, and the ``--strategy``/``--initial``/``--scenario`` choices are read
@@ -54,6 +61,7 @@ from repro.experiments.runner import render_report, run_all
 from repro.errors import ConfigurationError, ReproError
 from repro.experiments.table1 import run_table1
 from repro.registry import (
+    executor_registry,
     initializer_registry,
     router_registry,
     scenario_registry,
@@ -62,7 +70,8 @@ from repro.registry import (
     workload_registry,
 )
 from repro.session import SessionConfig, Simulation
-from repro.sweep import SweepSpec, run_sweep
+from repro.sweep import ResultStore, SweepSpec, run_sweep
+from repro.sweep.executors import executor_from_any
 import repro.traffic  # noqa: F401  (registers the built-in traffic workloads)
 
 __all__ = ["main", "build_parser"]
@@ -324,6 +333,33 @@ def build_parser() -> argparse.ArgumentParser:
         "extras, e.g. latency_p95,bandwidth_p99,recall_mean)",
     )
     sweep.add_argument(
+        "--executor",
+        choices=executor_registry.names(),
+        default=None,
+        help="sweep executor backend (overrides --workers); "
+        "default: serial, or process-pool when --workers > 1",
+    )
+    sweep.add_argument(
+        "--executor-options",
+        default=None,
+        help="JSON (or @file) options for --executor, "
+        'e.g. \'{"max_workers": 4, "window": 8}\' for chunked-streaming',
+    )
+    sweep.add_argument(
+        "--store",
+        default=None,
+        help="content-addressed result store directory: finished tasks are "
+        "persisted by config hash and already-stored tasks are skipped on "
+        "re-runs (resume)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="with --store: skip tasks whose results are already stored "
+        "(--no-resume re-executes everything, still persisting)",
+    )
+    sweep.add_argument(
         "--output", default=None, help="persist the sweep as JSONL to this file"
     )
     sweep.add_argument(
@@ -516,10 +552,29 @@ def _sweep_spec_from_arguments(arguments: argparse.Namespace) -> SweepSpec:
     )
 
 
+def _sweep_executor_from_arguments(arguments: argparse.Namespace):
+    """The executor object for ``--executor`` / ``--executor-options`` / ``--workers``."""
+    spec: Any = arguments.executor
+    if arguments.executor_options is not None:
+        if arguments.executor is None:
+            raise ConfigurationError("--executor-options requires --executor")
+        options = _parse_json_argument("--executor-options", arguments.executor_options)
+        spec = {"name": arguments.executor, "options": options}
+    return executor_from_any(spec, arguments.workers)
+
+
 def _command_sweep(arguments: argparse.Namespace) -> int:
     spec = _sweep_spec_from_arguments(arguments)
+    executor = _sweep_executor_from_arguments(arguments)
+    store = ResultStore.from_any(arguments.store)
     hooks = EventHooks()
     if not arguments.no_progress:
+        hooks.on_task_loaded(
+            lambda event: print(
+                f"[{event.completed}/{event.total}] {event.task.label()}: "
+                f"loaded from store ({event.task_hash[:12]})"
+            )
+        )
         hooks.on_task_finished(
             lambda event: print(
                 f"[{event.completed}/{event.total}] {event.task.label()}: "
@@ -529,12 +584,20 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         )
         hooks.on_sweep_end(
             lambda event: print(
-                f"sweep finished: {event.total} tasks in {event.duration:.2f}s "
-                f"({event.workers} worker{'s' if event.workers != 1 else ''})"
+                f"sweep finished: {event.total} tasks "
+                f"({event.executed} executed, {event.loaded} loaded) "
+                f"in {event.duration:.2f}s "
+                f"({event.workers} worker{'s' if event.workers != 1 else ''}, "
+                f"{event.executor})"
             )
         )
     result = run_sweep(
-        spec, workers=arguments.workers, hooks=hooks, jsonl_path=arguments.output
+        spec,
+        executor=executor,
+        hooks=hooks,
+        jsonl_path=arguments.output,
+        store=store,
+        resume=arguments.resume,
     )
     print()
     if arguments.metrics:
@@ -546,6 +609,8 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         print(result.summary_table())
     if arguments.output:
         print(f"\nsweep persisted to {arguments.output}")
+    if store is not None:
+        print(f"store {str(store.root)!r}: {len(store)} stored results")
     return 0
 
 

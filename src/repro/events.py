@@ -29,8 +29,15 @@ coordinating process while a sweep runs:
   ``workers > 1`` every task is submitted to the pool up front, so these
   arrive in a burst; it is not a worker-pickup signal);
 * :data:`TASK_FINISHED` — when a task's result arrives (in completion order,
-  which under ``workers > 1`` need not be task order);
-* :data:`SWEEP_END` — once, after every task completed.
+  which under a parallel executor need not be task order);
+* :data:`TASK_SKIPPED` — when resume finds a task's content hash already in
+  the result store and will not execute it;
+* :data:`TASK_LOADED` — immediately after ``task_skipped``, carrying the
+  stored :class:`~repro.session.result.RunResult` that replaces the run;
+* :data:`SWEEP_END` — once, after every task completed or loaded.
+
+The executor event ordering contract (which executor emits what, when) is
+documented in :mod:`repro.sweep.executors`.
 
 Instrumentation (cost traces, convergence analysis, benchmark probes)
 subscribes to these events instead of picking apart the post-hoc trace lists,
@@ -67,6 +74,8 @@ __all__ = [
     "TRAFFIC_SUMMARY",
     "TASK_STARTED",
     "TASK_FINISHED",
+    "TASK_SKIPPED",
+    "TASK_LOADED",
     "SWEEP_END",
     "RoundEndEvent",
     "RelocationGrantedEvent",
@@ -76,6 +85,8 @@ __all__ = [
     "TrafficSummaryEvent",
     "TaskStartedEvent",
     "TaskFinishedEvent",
+    "TaskSkippedEvent",
+    "TaskLoadedEvent",
     "SweepEndEvent",
     "EventHooks",
     "CostTraceRecorder",
@@ -89,6 +100,8 @@ QUERY_ROUTED = "query_routed"
 TRAFFIC_SUMMARY = "traffic_summary"
 TASK_STARTED = "task_started"
 TASK_FINISHED = "task_finished"
+TASK_SKIPPED = "task_skipped"
+TASK_LOADED = "task_loaded"
 SWEEP_END = "sweep_end"
 
 #: An event callback; receives the event dataclass as its only argument.
@@ -182,12 +195,41 @@ class TaskFinishedEvent:
 
 
 @dataclass(frozen=True)
+class TaskSkippedEvent:
+    """Published when resume found a task's hash in the store and skips it."""
+
+    index: int
+    task: Any  # a repro.sweep.spec.SweepTask
+    total: int
+    task_hash: str  # the task's sha256 content hash
+
+
+@dataclass(frozen=True)
+class TaskLoadedEvent:
+    """Published when a skipped task's stored result is loaded in place of a run."""
+
+    index: int
+    task: Any
+    result: Any  # the stored RunResult
+    total: int
+    completed: int
+    task_hash: str
+    duration: float  # worker seconds of the original run that produced the result
+
+
+@dataclass(frozen=True)
 class SweepEndEvent:
-    """Published once after the last task of a sweep completed."""
+    """Published once after the last task of a sweep completed (or was loaded)."""
 
     total: int
     duration: float  # coordinator wall-clock seconds for the whole sweep
     workers: int
+    #: Tasks actually executed this run (``total`` minus store loads).
+    executed: int = 0
+    #: Tasks whose results were loaded from the content-addressed store.
+    loaded: int = 0
+    #: ``describe()`` string of the executor that ran the sweep.
+    executor: str = "serial"
 
 
 class EventHooks:
@@ -242,6 +284,14 @@ class EventHooks:
     def on_task_finished(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`TASK_FINISHED` (receives a :class:`TaskFinishedEvent`)."""
         return self.subscribe(TASK_FINISHED, callback)
+
+    def on_task_skipped(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`TASK_SKIPPED` (receives a :class:`TaskSkippedEvent`)."""
+        return self.subscribe(TASK_SKIPPED, callback)
+
+    def on_task_loaded(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`TASK_LOADED` (receives a :class:`TaskLoadedEvent`)."""
+        return self.subscribe(TASK_LOADED, callback)
 
     def on_sweep_end(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`SWEEP_END` (receives a :class:`SweepEndEvent`)."""

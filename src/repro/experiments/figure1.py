@@ -11,7 +11,7 @@ rounds because the requests of the more demanding peers are granted first.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_series
 from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY
@@ -19,6 +19,7 @@ from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
 from repro.session import SessionConfig
 from repro.sweep.engine import run_sweep
+from repro.sweep.executors import executor_from_any
 from repro.sweep.spec import SweepSpec
 
 __all__ = ["Figure1Curve", "Figure1Result", "run_figure1"]
@@ -64,12 +65,14 @@ def run_figure1(
     strategies: Sequence[str] = ("selfish", "altruistic"),
     initial_kind: str = "random",
     workers: int = 1,
+    executor: Optional[Any] = None,
     hooks: Optional[EventHooks] = None,
 ) -> Figure1Result:
     """Regenerate Figure 1 (scenario 1, cost per protocol round).
 
-    One sweep-engine task per strategy; ``workers`` fans them out with
-    results identical to the serial run.
+    One sweep-engine task per strategy; ``workers`` fans them out — or pass
+    *executor* (name / spec / instance, taking precedence) to pick any
+    registered backend — with results identical to the serial run.
     """
     config = config if config is not None else ExperimentConfig.paper()
     tasks = []
@@ -81,7 +84,11 @@ def run_figure1(
             initial=initial_kind,
         )
         tasks.append({"config": session.to_dict()})
-    sweep = run_sweep(SweepSpec(tasks=tuple(tasks)), workers=workers, hooks=hooks)
+    sweep = run_sweep(
+        SweepSpec(tasks=tuple(tasks)),
+        executor=executor_from_any(executor, workers),
+        hooks=hooks,
+    )
     result = Figure1Result()
     for strategy_name, run in zip(strategies, sweep.results):
         result.curves[strategy_name] = Figure1Curve(

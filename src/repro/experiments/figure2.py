@@ -18,7 +18,7 @@ recovers the original (pre-update) social cost.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
@@ -37,6 +37,7 @@ def run_figure2(
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     strategies: Sequence[str] = ("selfish", "altruistic"),
     workers: int = 1,
+    executor: Optional[Any] = None,
     hooks: Optional[EventHooks] = None,
 ) -> MaintenanceResult:
     """Regenerate Figure 2 (workload updates)."""
@@ -46,5 +47,6 @@ def run_figure2(
         fractions=fractions,
         strategies=strategies,
         workers=workers,
+        executor=executor,
         hooks=hooks,
     )

@@ -13,7 +13,7 @@ motive to move because their own workload did not change.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from repro.events import EventHooks
 from repro.experiments.config import ExperimentConfig
@@ -32,6 +32,7 @@ def run_figure3(
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     strategies: Sequence[str] = ("selfish", "altruistic"),
     workers: int = 1,
+    executor: Optional[Any] = None,
     hooks: Optional[EventHooks] = None,
 ) -> MaintenanceResult:
     """Regenerate Figure 3 (content updates)."""
@@ -41,5 +42,6 @@ def run_figure3(
         fractions=fractions,
         strategies=strategies,
         workers=workers,
+        executor=executor,
         hooks=hooks,
     )

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.reporting import format_series
 from repro.datasets.scenarios import SCENARIO_SAME_CATEGORY
@@ -27,6 +27,7 @@ from repro.experiments.maintenance import DEFAULT_FRACTIONS
 from repro.registry import register_runner
 from repro.session import RunResult, SessionConfig, Simulation
 from repro.sweep.engine import run_sweep
+from repro.sweep.executors import executor_from_any
 from repro.sweep.spec import SweepSpec
 
 __all__ = ["Figure4Curve", "Figure4Result", "run_figure4", "run_figure4_point"]
@@ -139,13 +140,15 @@ def run_figure4(
     alphas: Sequence[float] = DEFAULT_ALPHAS,
     fractions: Sequence[float] = DEFAULT_FRACTIONS,
     workers: int = 1,
+    executor: Optional[Any] = None,
     hooks: Optional[EventHooks] = None,
 ) -> Figure4Result:
     """Regenerate Figure 4 (individual cost of a single selfish peer vs workload change).
 
     Every (alpha, fraction) point is one ``figure4-point`` task of the
-    sweep engine; ``workers > 1`` fans them out with results identical to
-    the serial run.
+    sweep engine; ``workers > 1`` fans them out — or pass *executor* (name /
+    spec / instance, taking precedence) for any registered backend — with
+    results identical to the serial run.
     """
     config = config if config is not None else ExperimentConfig.paper()
     tasks = []
@@ -167,7 +170,11 @@ def run_figure4(
                 }
             )
             keys.append(alpha)
-    sweep = run_sweep(SweepSpec(tasks=tuple(tasks)), workers=workers, hooks=hooks)
+    sweep = run_sweep(
+        SweepSpec(tasks=tuple(tasks)),
+        executor=executor_from_any(executor, workers),
+        hooks=hooks,
+    )
 
     result = Figure4Result()
     curves: Dict[float, Figure4Curve] = {}

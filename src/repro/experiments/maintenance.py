@@ -40,6 +40,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.registry import register_runner
 from repro.session import RunResult, SessionConfig, Simulation
 from repro.sweep.engine import run_sweep
+from repro.sweep.executors import executor_from_any
 from repro.sweep.spec import SweepSpec
 
 __all__ = [
@@ -199,6 +200,7 @@ def run_maintenance_experiment(
     strategies: Sequence[str] = ("selfish", "altruistic"),
     update_kinds: Sequence[str] = ("updated-peers", "updated-degree"),
     workers: int = 1,
+    executor: Optional[Any] = None,
     hooks: Optional[EventHooks] = None,
 ) -> MaintenanceResult:
     """Run the Figure 2 (``update_target="workload"``) or Figure 3 (``"content"``) experiment.
@@ -209,7 +211,8 @@ def run_maintenance_experiment(
     (see :func:`drift_spec`) — each task rebuilds the scenario from the same
     seed so every measurement perturbs an identical starting state, which
     also makes the points embarrassingly parallel: ``workers > 1`` fans them
-    out with results identical to the serial run.
+    out — or pass *executor* (name / spec / instance, taking precedence) for
+    any registered backend — with results identical to the serial run.
     """
     if update_target not in {"workload", "content"}:
         raise ValueError(f"update_target must be 'workload' or 'content', got {update_target!r}")
@@ -244,7 +247,11 @@ def run_maintenance_experiment(
                     }
                 )
                 keys.append((update_kind, strategy_name))
-    sweep = run_sweep(SweepSpec(tasks=tuple(tasks)), workers=workers, hooks=hooks)
+    sweep = run_sweep(
+        SweepSpec(tasks=tuple(tasks)),
+        executor=executor_from_any(executor, workers),
+        hooks=hooks,
+    )
 
     result = MaintenanceResult(figure=figure_name)
     curves: Dict[tuple, MaintenanceCurve] = {}

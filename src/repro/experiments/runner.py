@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import argparse
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.analysis.reporting import format_markdown_table
 from repro.experiments.config import ExperimentConfig
@@ -37,20 +37,25 @@ class ExperimentSuiteResult:
 
 
 def run_all(
-    config: Optional[ExperimentConfig] = None, *, workers: int = 1
+    config: Optional[ExperimentConfig] = None,
+    *,
+    workers: int = 1,
+    executor: Optional[Any] = None,
 ) -> ExperimentSuiteResult:
     """Run Table 1 and Figures 1-4 with the given configuration.
 
     ``workers > 1`` fans each driver's replications out over the sweep
-    engine's process pool; the results are identical to the serial run.
+    engine's process pool — or pass *executor* (name / spec / instance,
+    taking precedence over *workers*) to pick any registered sweep
+    executor; the results are identical to the serial run.
     """
     config = config if config is not None else ExperimentConfig.benchmark()
     return ExperimentSuiteResult(
-        table1=run_table1(config, workers=workers),
-        figure1=run_figure1(config, workers=workers),
-        figure2=run_figure2(config, workers=workers),
-        figure3=run_figure3(config, workers=workers),
-        figure4=run_figure4(config, workers=workers),
+        table1=run_table1(config, workers=workers, executor=executor),
+        figure1=run_figure1(config, workers=workers, executor=executor),
+        figure2=run_figure2(config, workers=workers, executor=executor),
+        figure3=run_figure3(config, workers=workers, executor=executor),
+        figure4=run_figure4(config, workers=workers, executor=executor),
     )
 
 
@@ -132,9 +137,14 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument(
         "--workers", type=int, default=1, help="process count for the sweep engine"
     )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        help="sweep executor name (overrides --workers), e.g. chunked-streaming",
+    )
     arguments = parser.parse_args(argv)
     config = ExperimentConfig.from_scale(arguments.scale)
-    results = run_all(config, workers=arguments.workers)
+    results = run_all(config, workers=arguments.workers, executor=arguments.executor)
     report = render_report(results, config=config)
     if arguments.output:
         with open(arguments.output, "w", encoding="utf-8") as handle:

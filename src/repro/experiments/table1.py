@@ -29,6 +29,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.registry import scenario_registry
 from repro.session import RunResult, SessionConfig
 from repro.sweep.engine import run_sweep
+from repro.sweep.executors import executor_from_any
 from repro.sweep.spec import SweepSpec
 
 __all__ = [
@@ -144,18 +145,26 @@ def run_table1(
     initial_kinds: Sequence[str] = DEFAULT_INITIAL_KINDS,
     strategies: Sequence[str] = ("selfish", "altruistic"),
     workers: int = 1,
+    executor: Optional[Any] = None,
     hooks: Optional[EventHooks] = None,
 ) -> Table1Result:
     """Regenerate Table 1 for the requested scenarios / initial configurations / strategies.
 
     The cells run through the sweep engine (:mod:`repro.sweep`):
-    ``workers > 1`` fans them out over a process pool with results
-    identical to the serial run, and *hooks* receives the engine's
-    ``task_started`` / ``task_finished`` / ``sweep_end`` progress events.
+    ``workers > 1`` fans them out over a process pool, or pass *executor*
+    (a name, spec or :class:`~repro.sweep.executors.SweepExecutor`, taking
+    precedence over *workers*) to pick any registered backend — results are
+    identical to the serial run either way, and *hooks* receives the
+    engine's ``task_started`` / ``task_finished`` / ``sweep_end`` progress
+    events.
     """
     config = config if config is not None else ExperimentConfig.paper()
     tasks, keys = _table1_tasks(config, scenarios, initial_kinds, strategies)
-    sweep = run_sweep(SweepSpec(tasks=tuple(tasks)), workers=workers, hooks=hooks)
+    sweep = run_sweep(
+        SweepSpec(tasks=tuple(tasks)),
+        executor=executor_from_any(executor, workers),
+        hooks=hooks,
+    )
     result = Table1Result()
     result.rows = [_row_from_result(key, run) for key, run in zip(keys, sweep.results)]
     return result
@@ -169,6 +178,7 @@ def run_table1_sweep(
     initial_kinds: Sequence[str] = DEFAULT_INITIAL_KINDS,
     strategies: Sequence[str] = ("selfish", "altruistic"),
     workers: int = 1,
+    executor: Optional[Any] = None,
     hooks: Optional[EventHooks] = None,
 ) -> Dict[int, Table1Result]:
     """Regenerate Table 1 once per seed, fanned out over *workers* processes.
@@ -177,13 +187,16 @@ def run_table1_sweep(
     returned mapping gives, per seed, exactly the :class:`Table1Result` the
     serial driver produces for an :class:`ExperimentConfig` carrying that
     seed (both the master seed and the scenario build seed) — seed for seed,
-    independent of the worker count.
+    independent of the worker count or *executor* backend (*executor* takes
+    precedence over *workers* when both are given).
     """
     config = config if config is not None else ExperimentConfig.paper()
     tasks, keys = _table1_tasks(config, scenarios, initial_kinds, strategies)
     seed_list = [int(seed) for seed in seeds]
     sweep = run_sweep(
-        SweepSpec(tasks=tuple(tasks), seeds=tuple(seed_list)), workers=workers, hooks=hooks
+        SweepSpec(tasks=tuple(tasks), seeds=tuple(seed_list)),
+        executor=executor_from_any(executor, workers),
+        hooks=hooks,
     )
     results: Dict[int, Table1Result] = {seed: Table1Result() for seed in seed_list}
     # Expansion order: base tasks outer, seeds inner (replications adjacent).

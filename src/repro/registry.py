@@ -49,6 +49,7 @@ __all__ = [
     "runner_registry",
     "drift_registry",
     "workload_registry",
+    "executor_registry",
     "register_strategy",
     "register_theta",
     "register_scenario",
@@ -57,6 +58,7 @@ __all__ = [
     "register_runner",
     "register_drift",
     "register_workload",
+    "register_executor",
 ]
 
 
@@ -189,6 +191,14 @@ drift_registry = ComponentRegistry("drift model")
 #: constructible from a plain dict of strings/numbers, so arrival patterns
 #: sweep and JSON-round-trip like every other component reference.
 workload_registry = ComponentRegistry("traffic workload")
+#: Sweep executors (``serial``, ``process-pool``, ``chunked-streaming``,
+#: plugins).  An executor is a factory/class whose instances implement the
+#: :class:`~repro.sweep.executors.SweepExecutor` protocol (``run(tasks,
+#: context) -> iterator of task outcomes``) and are constructible from a
+#: plain dict of strings/numbers, so execution backends are selected by name
+#: or JSON spec like every other component — a distributed backend is a
+#: drop-in registration away.
+executor_registry = ComponentRegistry("sweep executor")
 
 
 def register_strategy(
@@ -249,6 +259,18 @@ def register_workload(
     :class:`~repro.traffic.workloads.WorkloadGenerator` protocol.
     """
     return workload_registry.register(name, aliases=aliases, replace=replace)
+
+
+def register_executor(
+    name: str, *, aliases: Sequence[str] = (), replace: bool = False
+) -> Callable[[Any], Any]:
+    """Class/factory decorator registering a sweep executor under *name*.
+
+    The registered component is called with the executor's plain-dict options
+    (``executor_registry.create(name, **options)``) and must return an object
+    implementing the :class:`~repro.sweep.executors.SweepExecutor` protocol.
+    """
+    return executor_registry.register(name, aliases=aliases, replace=replace)
 
 
 def register_runner(

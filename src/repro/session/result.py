@@ -11,10 +11,11 @@ shape the CLI, experiment reports and external tooling consume.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.dynamics.periodic import PeriodRecord
+from repro.errors import ConfigurationError
 from repro.protocol.reformulation import ProtocolResult
 
 __all__ = ["RunResult"]
@@ -95,6 +96,53 @@ class RunResult:
             "config": dict(self.config),
             "extras": dict(self.extras),
         }
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a result from its :meth:`to_dict` form.
+
+        The inverse of :meth:`to_dict` up to the deliberately unserialised
+        ``protocol_result`` (always ``None`` on the rebuilt object):
+        ``RunResult.from_dict(r.to_dict()).to_dict() == r.to_dict()`` holds
+        exactly, which is what lets the sweep result store hand back results
+        byte-identical to a fresh run.  Unknown keys raise
+        :class:`~repro.errors.ConfigurationError` listing the valid fields.
+        """
+        known = {spec.name for spec in fields(cls)} - {"protocol_result"}
+        unknown = sorted(set(mapping) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown run result keys {unknown}; valid keys: {sorted(known)}"
+            )
+        values = dict(mapping)
+        values["periods"] = [
+            PeriodRecord(**dict(record)) for record in values.get("periods", ())
+        ]
+        return cls(**values)
+
+    def merge_prior(self, prior: "RunResult") -> "RunResult":
+        """Graft an earlier phase's convergence/cost outcome onto this result.
+
+        Used by two-phase runners (e.g. the ``traffic`` runner's optional
+        ``discover``/``maintain`` shaping phase): this result keeps its own
+        ``kind`` and measurements, but takes *prior*'s convergence flags,
+        round/move counts, final costs and cost traces, and adopts every
+        *prior* extra whose key this result does not already define (its own
+        extras win).  Returns ``self`` for chaining.
+        """
+        self.converged = prior.converged
+        self.cycle_detected = prior.cycle_detected
+        self.rounds = prior.rounds
+        self.moves = prior.moves
+        self.final_social_cost = prior.final_social_cost
+        self.final_workload_cost = prior.final_workload_cost
+        self.social_cost_trace = list(prior.social_cost_trace)
+        self.workload_cost_trace = list(prior.workload_cost_trace)
+        self.cluster_count_trace = list(prior.cluster_count_trace)
+        self.extras.update(
+            {key: value for key, value in prior.extras.items() if key not in self.extras}
+        )
+        return self
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         """The :meth:`to_dict` summary rendered as JSON."""

@@ -1,17 +1,19 @@
-"""Parallel sweep engine with deterministic seed streams.
+"""Parallel sweep engine with deterministic seed streams and resume.
 
 The paper's numbers are statements about *distributions* of equilibria; this
 package is the layer that produces those distributions fast.  A
 :class:`~repro.sweep.spec.SweepSpec` declares a grid over scenarios ×
-initial configurations × strategies × thetas × seeds (plus explicit task
-lists), :func:`~repro.sweep.engine.run_sweep` fans the tasks out over a
-process pool, and :class:`~repro.sweep.result.SweepResult` aggregates the
+initial configurations × strategies × thetas × dynamics × workloads × seeds
+(plus explicit task lists), :func:`~repro.sweep.engine.run_sweep` hands the
+tasks to a pluggable :class:`~repro.sweep.executors.SweepExecutor`
+(``serial`` / ``process-pool`` / ``chunked-streaming``, or any registered
+backend), and :class:`~repro.sweep.result.SweepResult` aggregates the
 per-task :class:`~repro.session.result.RunResult`\\ s (JSONL persistence,
 mean/stddev/CI summaries).
 
 Determinism is the design center: per-task seeds derive from
 ``numpy.random.SeedSequence.spawn`` as a pure function of the spec, so a
-sweep is byte-identical for any worker count, including 1::
+sweep is byte-identical for every executor and worker count::
 
     from repro.sweep import SweepSpec, run_sweep
 
@@ -21,13 +23,32 @@ sweep is byte-identical for any worker count, including 1::
         scale="quick",
         replications=8,
     )
-    result = run_sweep(spec, workers=4)
+    result = run_sweep(
+        spec,
+        executor={"name": "process-pool", "options": {"max_workers": 4}},
+        store=".sweep-store",  # content-addressed results: killed sweeps resume
+    )
     print(result.summary_table())
 
+With a :class:`~repro.sweep.store.ResultStore` (the ``store=`` argument),
+every finished task is persisted under the sha256 of its canonical config —
+re-running a spec (or any spec containing the same tasks) skips the stored
+subset and executes only what is missing, which is how preempted and
+CI-sharded grids grow incrementally.
+
 Progress streams through ``repro.events`` (``task_started`` /
-``task_finished`` / ``sweep_end``); the ``repro sweep`` CLI subcommand
-drives all of this from a JSON spec or flags.
+``task_finished`` / ``task_skipped`` / ``task_loaded`` / ``sweep_end``); the
+``repro sweep`` CLI subcommand drives all of this from a JSON spec or flags
+(``--executor``, ``--store``, ``--resume``).
+
+Public typing surface: :data:`~repro.sweep.runners.Runner` (the runner
+callable protocol) and :class:`~repro.sweep.executors.SweepExecutor` (the
+executor base class) are importable from here; ``execute_task`` is a
+deprecated internal (use ``run_sweep`` with the ``serial`` executor, or
+reach for ``repro.sweep.executors.execute_task`` explicitly).
 """
+
+import warnings as _warnings
 
 from repro.sweep.cache import (
     clear_scenario_cache,
@@ -35,19 +56,37 @@ from repro.sweep.cache import (
     scenario_cache_info,
     scenario_data_for,
 )
-from repro.sweep.engine import execute_task, run_sweep
+from repro.sweep.engine import run_sweep
+from repro.sweep.executors import (
+    ChunkedStreamingExecutor,
+    ExecutorContext,
+    ProcessPoolSweepExecutor,
+    SerialExecutor,
+    SweepExecutor,
+    resolve_executor,
+)
 from repro.sweep.result import SweepResult, read_jsonl
-from repro.sweep.runners import resolve_runner
+from repro.sweep.runners import Runner, resolve_runner
 from repro.sweep.spec import DEFAULT_RUNNER, SweepSpec, SweepTask, derive_seeds
+from repro.sweep.store import ResultStore, StoredResult, task_hash
 
 __all__ = [
     "SweepSpec",
     "SweepTask",
     "SweepResult",
     "run_sweep",
-    "execute_task",
     "read_jsonl",
+    "Runner",
     "resolve_runner",
+    "SweepExecutor",
+    "ExecutorContext",
+    "SerialExecutor",
+    "ProcessPoolSweepExecutor",
+    "ChunkedStreamingExecutor",
+    "resolve_executor",
+    "ResultStore",
+    "StoredResult",
+    "task_hash",
     "derive_seeds",
     "DEFAULT_RUNNER",
     "scenario_data_for",
@@ -55,3 +94,22 @@ __all__ = [
     "scenario_cache_info",
     "clear_scenario_cache",
 ]
+
+#: Names still importable from here for compatibility, but deprecated: they
+#: are execution internals now owned by :mod:`repro.sweep.executors`.
+_DEPRECATED_INTERNALS = {"execute_task"}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED_INTERNALS:
+        _warnings.warn(
+            f"importing {name!r} from repro.sweep is deprecated; it is an "
+            "execution internal — run tasks through run_sweep(executor=...) "
+            f"or import repro.sweep.executors.{name} explicitly",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from repro.sweep import executors as _executors
+
+        return getattr(_executors, name)
+    raise AttributeError(f"module 'repro.sweep' has no attribute {name!r}")

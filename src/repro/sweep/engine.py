@@ -1,129 +1,174 @@
-"""The process-pool sweep executor.
+"""The sweep engine: expansion, resume, executor dispatch and aggregation.
 
 :func:`run_sweep` expands a :class:`~repro.sweep.spec.SweepSpec` into its
-ordered task list, fans the tasks out over a ``concurrent.futures``
-process pool (``workers=1`` runs inline in the coordinating process — same
-code path, no pool) and collects one
-:class:`~repro.session.result.RunResult` per task, re-ordered by task index
-so the outcome is independent of completion order.
+ordered task list, skips every task whose content hash already has a result
+in the (optional) :class:`~repro.sweep.store.ResultStore` — **resume** —
+and hands the remaining tasks to a pluggable
+:class:`~repro.sweep.executors.SweepExecutor` (``serial``, ``process-pool``,
+``chunked-streaming``, or any registered/constructed executor).  Outcomes
+are re-ordered by task index, so the final :class:`SweepResult` is
+independent of executor choice, worker count, completion order and of how
+many tasks were loaded versus executed.
 
 Determinism: every task carries its own seed (derived in the spec, never
 here), each worker builds its simulation from the task's plain-dict config,
-and nothing about scheduling feeds back into the tasks — so any worker
-count produces byte-identical results.
+and nothing about scheduling feeds back into the tasks — so any executor
+produces byte-identical results, and a resumed sweep's merged result is
+byte-identical to one uninterrupted run.
 
-Progress streams through :class:`~repro.events.EventHooks`:
-``task_started`` when a task is submitted (under ``workers > 1`` every task
-is submitted up front, so these arrive in a burst), ``task_finished`` when
-its result arrives (completion order), ``sweep_end`` once at the end.
+Progress streams through :class:`~repro.events.EventHooks`: ``task_started``
+when the executor admits a task to its in-flight window (see
+:mod:`repro.sweep.executors` for the per-executor ordering contract),
+``task_finished`` when its result arrives (completion order),
+``task_skipped`` + ``task_loaded`` for store hits (before any execution
+starts, in task order) and ``sweep_end`` once at the end.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Dict, List, Optional, Tuple
+import warnings
+from typing import Any, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.events import (
     SWEEP_END,
     TASK_FINISHED,
+    TASK_LOADED,
+    TASK_SKIPPED,
     TASK_STARTED,
     EventHooks,
     SweepEndEvent,
     TaskFinishedEvent,
+    TaskLoadedEvent,
+    TaskSkippedEvent,
     TaskStartedEvent,
 )
 from repro.session.result import RunResult
-from repro.session.simulation import Simulation
+from repro.sweep.executors import (
+    ExecutorContext,
+    SweepExecutor,
+    execute_task,
+    resolve_executor,
+)
 from repro.sweep.result import SweepResult
 from repro.sweep.spec import SweepSpec, SweepTask
+from repro.sweep.store import ResultStore, task_hash
 
 __all__ = ["run_sweep", "execute_task"]
-
-
-def execute_task(task: SweepTask, *, scenario_cache: bool = True) -> Tuple[RunResult, float]:
-    """Run one sweep task to completion; returns ``(result, seconds)``.
-
-    This is the whole per-worker protocol: materialise the task's
-    :class:`~repro.session.config.SessionConfig`, fetch (or build) the
-    scenario data through the per-worker memo, assemble a
-    :class:`~repro.session.simulation.Simulation`, hand it to the task's
-    registered runner, and return the runner's JSON-exportable
-    :class:`RunResult`.  The raw ``protocol_result`` is dropped — it is not
-    part of the exportable surface and would dominate pickling cost.
-
-    With ``scenario_cache=True`` (the default) tasks sharing a
-    ``(scenario, ScenarioConfig)`` key reuse one built
-    :class:`~repro.datasets.scenarios.ScenarioData` per process; runners
-    registered as scenario-mutating get a private deep copy (copy-on-write),
-    so results are byte-identical with and without the cache.
-    """
-    from repro.sweep.cache import (
-        runner_mutates_scenario,
-        scenario_cache_enabled,
-        scenario_data_for,
-    )
-    from repro.sweep.runners import resolve_runner
-
-    runner = resolve_runner(task.runner)
-    started = time.perf_counter()
-    config = task.session_config()
-    data = None
-    if scenario_cache and scenario_cache_enabled():
-        data = scenario_data_for(config, mutates=runner_mutates_scenario(runner))
-    simulation = Simulation.from_config(config, data=data)
-    result = runner(simulation, dict(task.options))
-    result.protocol_result = None
-    return result, time.perf_counter() - started
-
-
-def _execute_payload(
-    payload: Dict[str, object], scenario_cache: bool = True
-) -> Tuple[RunResult, float]:
-    """Process-pool entry point: rebuild the task from its dict form and run it."""
-    return execute_task(SweepTask.from_dict(payload), scenario_cache=scenario_cache)
 
 
 def run_sweep(
     spec: SweepSpec,
     *,
-    workers: int = 1,
+    executor: Optional[Any] = None,
+    workers: Optional[int] = None,
     hooks: Optional[EventHooks] = None,
     jsonl_path: Optional[str] = None,
     scenario_cache: bool = True,
+    store: Optional[Any] = None,
+    resume: bool = True,
 ) -> SweepResult:
     """Run every task of *spec* and aggregate the results.
 
     Parameters
     ----------
+    executor:
+        How tasks execute: a registered executor name (``"serial"``,
+        ``"process-pool"``, ``"chunked-streaming"``), a JSON-style spec
+        (``{"name": "process-pool", "options": {"max_workers": 8}}``) or a
+        :class:`~repro.sweep.executors.SweepExecutor` instance.  Default:
+        the serial executor.  Results are identical for every executor.
     workers:
-        Process count.  ``1`` executes inline (deterministic reference
-        path, easiest to debug); ``> 1`` fans out over a
-        :class:`~concurrent.futures.ProcessPoolExecutor`.  Results are
-        identical either way.
+        Deprecated alias for ``executor``: ``1`` maps to ``serial``,
+        ``N > 1`` to ``process-pool`` with ``N`` workers.  Mutually
+        exclusive with ``executor``.
     hooks:
         Event hub receiving ``task_started`` / ``task_finished`` /
-        ``sweep_end``; a private one is created when omitted.
+        ``task_skipped`` / ``task_loaded`` / ``sweep_end``; a private one is
+        created when omitted.
     jsonl_path:
         When given, the finished sweep is persisted there as JSONL
         (see :meth:`~repro.sweep.result.SweepResult.write_jsonl`).
     scenario_cache:
         Memoise built scenarios per worker process (copy-on-write for
         mutating runners).  On by default; results do not depend on it.
+    store:
+        A :class:`~repro.sweep.store.ResultStore` (or its root path).  Every
+        finished task is persisted under its content hash as it completes,
+        and built scenario data is shared across workers and cold starts
+        through the store's scenario tier.
+    resume:
+        With a store: skip every task whose content hash already has a
+        stored result, loading it instead (default).  ``resume=False``
+        re-executes everything (and refreshes the store).  The merged
+        result is byte-identical either way.
     """
-    if workers < 1:
-        raise ConfigurationError(f"workers must be at least 1, got {workers}")
+    if workers is not None:
+        warnings.warn(
+            "run_sweep(workers=N) is deprecated; pass executor='process-pool' "
+            "(or an executor spec with max_workers) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {workers}")
+    executor_obj: SweepExecutor = resolve_executor(executor, workers=workers)
     hooks = hooks if hooks is not None else EventHooks()
+    result_store = ResultStore.from_any(store)
     tasks = spec.validate()
     total = len(tasks)
     sweep_started = time.perf_counter()
     results: List[Optional[RunResult]] = [None] * total
     durations: List[float] = [0.0] * total
     completed = 0
+    loaded = 0
 
-    def finish(task: SweepTask, result: RunResult, duration: float) -> None:
-        nonlocal completed
+    # -- resume: load stored results, collect what is left to run ------------------
+    pending: List[SweepTask]
+    if result_store is not None and resume:
+        pending = []
+        for task in tasks:
+            hash_hex = task_hash(task)
+            stored = result_store.get(hash_hex)
+            if stored is None:
+                pending.append(task)
+                continue
+            results[task.index] = stored.result
+            durations[task.index] = stored.duration
+            completed += 1
+            loaded += 1
+            hooks.emit(
+                TASK_SKIPPED,
+                TaskSkippedEvent(
+                    index=task.index, task=task, total=total, task_hash=hash_hex
+                ),
+            )
+            hooks.emit(
+                TASK_LOADED,
+                TaskLoadedEvent(
+                    index=task.index,
+                    task=task,
+                    result=stored.result,
+                    total=total,
+                    completed=completed,
+                    task_hash=hash_hex,
+                    duration=stored.duration,
+                ),
+            )
+    else:
+        pending = list(tasks)
+
+    # -- execute what remains through the executor ---------------------------------
+    def on_started(task: SweepTask) -> None:
+        hooks.emit(TASK_STARTED, TaskStartedEvent(index=task.index, task=task, total=total))
+
+    context = ExecutorContext(
+        scenario_cache=scenario_cache,
+        store_path=str(result_store.root) if result_store is not None else None,
+        on_started=on_started,
+    )
+    for task, result, duration in executor_obj.run(pending, context):
         results[task.index] = result
         durations[task.index] = duration
         completed += 1
@@ -139,29 +184,18 @@ def run_sweep(
             ),
         )
 
-    if workers == 1 or total <= 1:
-        for task in tasks:
-            hooks.emit(TASK_STARTED, TaskStartedEvent(index=task.index, task=task, total=total))
-            result, duration = execute_task(task, scenario_cache=scenario_cache)
-            finish(task, result, duration)
-    else:
-        with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
-            pending = {}
-            for task in tasks:
-                hooks.emit(
-                    TASK_STARTED, TaskStartedEvent(index=task.index, task=task, total=total)
-                )
-                pending[pool.submit(_execute_payload, task.to_dict(), scenario_cache)] = task
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = pending.pop(future)
-                    result, duration = future.result()
-                    finish(task, result, duration)
-
     sweep_duration = time.perf_counter() - sweep_started
+    executed = total - loaded
     hooks.emit(
-        SWEEP_END, SweepEndEvent(total=total, duration=sweep_duration, workers=workers)
+        SWEEP_END,
+        SweepEndEvent(
+            total=total,
+            duration=sweep_duration,
+            workers=executor_obj.workers,
+            executed=executed,
+            loaded=loaded,
+            executor=executor_obj.describe(),
+        ),
     )
     sweep_result = SweepResult(
         spec=spec,
@@ -169,7 +203,10 @@ def run_sweep(
         results=[result for result in results if result is not None],
         task_durations=durations,
         duration=sweep_duration,
-        workers=workers,
+        workers=executor_obj.workers,
+        executor=executor_obj.describe(),
+        executed=executed,
+        loaded=loaded,
     )
     if len(sweep_result.results) != total:  # pragma: no cover - defensive
         raise RuntimeError("sweep finished with missing task results")

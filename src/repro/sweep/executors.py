@@ -1,0 +1,407 @@
+"""Pluggable sweep executors: where and how sweep tasks run.
+
+:func:`~repro.sweep.engine.run_sweep` no longer hard-wires a local process
+pool — it hands the pending task list to a :class:`SweepExecutor`, an object
+that schedules tasks and streams back one :class:`TaskOutcome` per task, in
+whatever order they complete.  Executors are registered components
+(:data:`repro.registry.executor_registry`), selected by name, JSON spec or
+instance::
+
+    run_sweep(spec, executor="serial")
+    run_sweep(spec, executor={"name": "process-pool", "options": {"max_workers": 8}})
+    run_sweep(spec, executor=ChunkedStreamingExecutor(max_workers=8, window=32))
+
+Three executors ship here:
+
+* ``serial`` — every task inline in the coordinating process, in task order.
+  The deterministic reference path and the default.
+* ``process-pool`` — every task submitted to a
+  :class:`concurrent.futures.ProcessPoolExecutor` up front; results stream
+  back in completion order.  ``run_sweep(workers=N)`` is a deprecated alias
+  for this executor.
+* ``chunked-streaming`` — a process pool with a *bounded in-flight window*:
+  at most ``window`` tasks are submitted-but-unfinished at any moment, and a
+  new task is submitted as each one completes.  For very large grids this
+  keeps coordinator memory (futures, pickled payloads) proportional to the
+  window, not the grid.
+
+Event ordering contract (all executors)
+---------------------------------------
+
+The engine emits ``task_started`` from the executor's ``on_started``
+callback and ``task_finished`` as outcomes arrive.  Every executor must
+guarantee, and the built-ins do:
+
+1. every task yields exactly one ``task_started`` and one ``task_finished``;
+2. a task's ``task_started`` precedes its ``task_finished``;
+3. ``task_started`` events are emitted in task-index order;
+4. ``task_started`` marks *submission into the executor's in-flight window*
+   — serial's window is 1 (strict start/finish interleave, task order),
+   process-pool's is unbounded (all starts burst before the first finish),
+   chunked-streaming's is ``window`` (at most ``window`` started-but-
+   unfinished tasks at any moment);
+5. per-task ``duration`` is measured worker-side around the task's actual
+   execution (:func:`execute_task`), identically for every executor.
+
+Determinism: executors only schedule — every task carries its own seed and
+nothing about placement or completion order feeds back into a task — so all
+executors, at any worker count, produce byte-identical results (the engine
+re-orders outcomes by task index).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, NamedTuple, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.registry import executor_registry, register_executor
+from repro.session.result import RunResult
+from repro.session.simulation import Simulation
+from repro.sweep.spec import SweepTask
+
+__all__ = [
+    "SweepExecutor",
+    "ExecutorContext",
+    "TaskOutcome",
+    "SerialExecutor",
+    "ProcessPoolSweepExecutor",
+    "ChunkedStreamingExecutor",
+    "resolve_executor",
+    "executor_from_any",
+    "execute_task",
+]
+
+
+class TaskOutcome(NamedTuple):
+    """One finished task as streamed back by an executor."""
+
+    task: SweepTask
+    result: RunResult
+    #: Worker-side wall-clock seconds for this task.
+    duration: float
+
+
+@dataclass(frozen=True)
+class ExecutorContext:
+    """What the engine hands an executor besides the tasks themselves.
+
+    ``on_started`` must be called exactly once per task, at the moment the
+    task enters the executor's in-flight window (see the module docstring's
+    ordering contract); the engine turns it into the ``task_started`` event.
+    ``store_path`` is the content-addressed result store the workers persist
+    into (and read cached scenario data from), or ``None``.
+    """
+
+    scenario_cache: bool = True
+    store_path: Optional[str] = None
+    on_started: Callable[[SweepTask], None] = field(default=lambda task: None)
+
+
+def execute_task(
+    task: SweepTask, *, scenario_cache: bool = True, store: Optional[Any] = None
+) -> Tuple[RunResult, float]:
+    """Run one sweep task to completion; returns ``(result, seconds)``.
+
+    This is the whole per-worker protocol: materialise the task's
+    :class:`~repro.session.config.SessionConfig`, fetch (or build) the
+    scenario data through the per-worker memo (backed by the store's
+    scenario tier when one is given), assemble a
+    :class:`~repro.session.simulation.Simulation`, hand it to the task's
+    registered runner, and return the runner's JSON-exportable
+    :class:`RunResult`.  The raw ``protocol_result`` is dropped — it is not
+    part of the exportable surface and would dominate pickling cost.
+
+    With ``scenario_cache=True`` (the default) tasks sharing a
+    ``(scenario, ScenarioConfig)`` key reuse one built
+    :class:`~repro.datasets.scenarios.ScenarioData` per process; runners
+    registered as scenario-mutating get a private deep copy (copy-on-write),
+    so results are byte-identical with and without the cache.
+
+    When *store* (a :class:`~repro.sweep.store.ResultStore` or its root
+    path) is given, the finished result is persisted under the task's
+    content hash *before* returning — so a killed sweep keeps every task
+    that completed, which is what makes resume work.
+    """
+    from repro.sweep.cache import (
+        runner_mutates_scenario,
+        scenario_cache_enabled,
+        scenario_data_for,
+    )
+    from repro.sweep.runners import resolve_runner
+    from repro.sweep.store import ResultStore
+
+    store_obj = ResultStore.from_any(store)
+    runner = resolve_runner(task.runner)
+    started = time.perf_counter()
+    config = task.session_config()
+    data = None
+    if scenario_cache and scenario_cache_enabled():
+        data = scenario_data_for(
+            config, mutates=runner_mutates_scenario(runner), store=store_obj
+        )
+    simulation = Simulation.from_config(config, data=data)
+    result = runner(simulation, dict(task.options))
+    result.protocol_result = None
+    duration = time.perf_counter() - started
+    if store_obj is not None:
+        store_obj.put(task, result, duration)
+    return result, duration
+
+
+def _execute_payload(
+    payload: Dict[str, object],
+    scenario_cache: bool = True,
+    store_path: Optional[str] = None,
+) -> Tuple[RunResult, float]:
+    """Process-pool entry point: rebuild the task from its dict form and run it."""
+    return execute_task(
+        SweepTask.from_dict(payload), scenario_cache=scenario_cache, store=store_path
+    )
+
+
+class SweepExecutor(ABC):
+    """The executor protocol: schedule tasks, stream back outcomes.
+
+    Implementations receive the *pending* task list (resume already removed
+    tasks with stored results) and an :class:`ExecutorContext`, and yield one
+    :class:`TaskOutcome` per task in any order.  They must honour the event
+    ordering contract documented in the module docstring, run every task
+    through :func:`execute_task` (or :func:`_execute_payload` across a
+    process boundary) so durations and store persistence behave identically
+    everywhere, and never let scheduling feed back into task inputs.
+    """
+
+    #: Registered name, for display and the ``SweepResult.executor`` field.
+    name: str = "?"
+
+    @abstractmethod
+    def run(
+        self, tasks: Iterable[SweepTask], context: ExecutorContext
+    ) -> Iterator[TaskOutcome]:
+        """Execute *tasks*, yielding a :class:`TaskOutcome` per task."""
+
+    @property
+    def workers(self) -> int:
+        """Informational worker count (results never depend on it)."""
+        return 1
+
+    def describe(self) -> str:
+        """A short human-readable identifier for logs and JSONL headers."""
+        return self.name
+
+
+@register_executor("serial", aliases=("inline",))
+class SerialExecutor(SweepExecutor):
+    """Run every task inline in the coordinating process, in task order.
+
+    The deterministic reference path: in-flight window of 1, so
+    ``task_started`` / ``task_finished`` strictly interleave.
+    """
+
+    name = "serial"
+
+    def run(
+        self, tasks: Iterable[SweepTask], context: ExecutorContext
+    ) -> Iterator[TaskOutcome]:
+        for task in tasks:
+            context.on_started(task)
+            result, duration = execute_task(
+                task, scenario_cache=context.scenario_cache, store=context.store_path
+            )
+            yield TaskOutcome(task, result, duration)
+
+
+def _effective_workers(max_workers: Optional[int], total: int) -> int:
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(f"max_workers must be at least 1, got {max_workers}")
+    limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    return max(1, min(limit, total))
+
+
+@register_executor("process-pool", aliases=("pool",))
+class ProcessPoolSweepExecutor(SweepExecutor):
+    """Fan tasks out over a ``concurrent.futures`` process pool.
+
+    Every task is submitted up front (``task_started`` bursts), outcomes
+    stream back in completion order.  ``max_workers=None`` uses the CPU
+    count; with one worker (or one task) it degrades to the serial path —
+    same results, no pool overhead.
+    """
+
+    name = "process-pool"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers must be at least 1, got {max_workers}")
+        self.max_workers = max_workers
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+
+    def describe(self) -> str:
+        return f"{self.name}({self.workers})"
+
+    def run(
+        self, tasks: Iterable[SweepTask], context: ExecutorContext
+    ) -> Iterator[TaskOutcome]:
+        tasks = list(tasks)
+        workers = _effective_workers(self.max_workers, len(tasks))
+        if workers == 1 or len(tasks) <= 1:
+            yield from SerialExecutor().run(tasks, context)
+            return
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending = {}
+            for task in tasks:
+                context.on_started(task)
+                future = pool.submit(
+                    _execute_payload,
+                    task.to_dict(),
+                    context.scenario_cache,
+                    context.store_path,
+                )
+                pending[future] = task
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = pending.pop(future)
+                    result, duration = future.result()
+                    yield TaskOutcome(task, result, duration)
+
+
+@register_executor("chunked-streaming", aliases=("chunked",))
+class ChunkedStreamingExecutor(SweepExecutor):
+    """A process pool with a bounded in-flight window, for very large grids.
+
+    At most ``window`` tasks (default: ``2 * max_workers``, never below the
+    worker count) are submitted-but-unfinished at any moment; each completion
+    refills the window from the task iterator.  Coordinator-side memory —
+    futures, pickled task payloads — stays proportional to the window rather
+    than the grid, which is what lets a million-task spec stream through a
+    box that could never hold a million futures.
+    """
+
+    name = "chunked-streaming"
+
+    def __init__(
+        self, max_workers: Optional[int] = None, window: Optional[int] = None
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(f"max_workers must be at least 1, got {max_workers}")
+        if window is not None and window < 1:
+            raise ConfigurationError(f"window must be at least 1, got {window}")
+        self.max_workers = max_workers
+        self._window = window
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+
+    def window_size(self, workers: int) -> int:
+        """The in-flight window for *workers* pool processes."""
+        if self._window is not None:
+            return max(self._window, workers)
+        return 2 * workers
+
+    def describe(self) -> str:
+        return f"{self.name}({self.workers}, window={self.window_size(self.workers)})"
+
+    def run(
+        self, tasks: Iterable[SweepTask], context: ExecutorContext
+    ) -> Iterator[TaskOutcome]:
+        # Deliberately no list(tasks): the iterator is consumed lazily so a
+        # huge grid is never fully materialised on the coordinator.  The
+        # worker count falls back to the configured/CPU limit (the total is
+        # unknown up front) and the pool drains naturally when fewer tasks
+        # than workers exist.
+        iterator = iter(tasks)
+        workers = _effective_workers(self.max_workers, self.workers)
+        window = self.window_size(workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            pending: Dict[Any, SweepTask] = {}
+
+            def submit_next() -> bool:
+                task = next(iterator, None)
+                if task is None:
+                    return False
+                context.on_started(task)
+                future = pool.submit(
+                    _execute_payload,
+                    task.to_dict(),
+                    context.scenario_cache,
+                    context.store_path,
+                )
+                pending[future] = task
+                return True
+
+            while len(pending) < window and submit_next():
+                pass
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    task = pending.pop(future)
+                    result, duration = future.result()
+                    yield TaskOutcome(task, result, duration)
+                    submit_next()
+
+
+def resolve_executor(
+    executor: Optional[Any] = None, *, workers: Optional[int] = None
+) -> SweepExecutor:
+    """The :class:`SweepExecutor` for an ``executor=`` / ``workers=`` pair.
+
+    *executor* may be an executor instance (returned as-is), a registered
+    name (``"serial"``, ``"process-pool"``, ``"chunked-streaming"``) or a
+    JSON-style spec ``{"name": ..., "options": {...}}``.  *workers* is the
+    legacy knob: ``None``/``1`` resolve to the serial executor, ``N > 1`` to
+    a process pool with ``N`` workers.  Giving both is ambiguous and raises.
+    """
+    if executor is not None and workers is not None:
+        raise ConfigurationError(
+            "executor= and workers= are mutually exclusive; "
+            "pass the worker count inside the executor spec, e.g. "
+            '{"name": "process-pool", "options": {"max_workers": N}}'
+        )
+    if executor is None:
+        if workers is None or workers == 1:
+            return SerialExecutor()
+        if workers < 1:
+            raise ConfigurationError(f"workers must be at least 1, got {workers}")
+        return ProcessPoolSweepExecutor(max_workers=workers)
+    if isinstance(executor, SweepExecutor):
+        return executor
+    if isinstance(executor, str):
+        return executor_registry.create(executor)
+    if isinstance(executor, Mapping):
+        extra = sorted(set(executor) - {"name", "options"})
+        if extra:
+            raise ConfigurationError(
+                f"unknown executor spec keys {extra}; valid keys: ['name', 'options']"
+            )
+        if "name" not in executor:
+            raise ConfigurationError("an executor spec needs a 'name' key")
+        options = dict(executor.get("options") or {})
+        return executor_registry.create(executor["name"], **options)
+    raise ConfigurationError(
+        "expected an executor name, spec mapping or SweepExecutor instance, "
+        f"got {type(executor).__name__}"
+    )
+
+
+def executor_from_any(
+    executor: Optional[Any] = None, workers: Optional[int] = None
+) -> SweepExecutor:
+    """Like :func:`resolve_executor`, but *executor* wins when both are given.
+
+    The experiment drivers keep their long-standing ``workers=N`` parameter
+    as a convenience and additionally accept ``executor=``; this helper
+    implements that precedence without tripping the mutual-exclusion check.
+    """
+    if executor is not None:
+        return resolve_executor(executor)
+    return resolve_executor(workers=workers)

@@ -69,9 +69,64 @@ class SweepResult:
     duration: float = 0.0
     #: Worker count the sweep ran with (informational; results don't depend on it).
     workers: int = 1
+    #: ``describe()`` string of the executor that ran the sweep (informational).
+    executor: str = "serial"
+    #: Tasks actually executed this run (``len(tasks)`` minus store loads).
+    executed: int = 0
+    #: Tasks whose results were loaded from the content-addressed store.
+    loaded: int = 0
 
     def __len__(self) -> int:
         return len(self.results)
+
+    # -- store views ---------------------------------------------------------------
+
+    @classmethod
+    def from_store(cls, spec: SweepSpec, store: Any) -> "SweepResult":
+        """Assemble a finished sweep purely from stored results — no execution.
+
+        Expands and validates *spec*, looks every task up in *store* (a
+        :class:`~repro.sweep.store.ResultStore` or its root path) by content
+        hash and merges the stored results into one :class:`SweepResult`,
+        byte-identical to what ``run_sweep(spec, store=...)`` would return
+        once everything has run.  This is the merge step for sharded grids:
+        N shards each fill part of one store, then the full spec is loaded
+        back here.  Missing tasks raise
+        :class:`~repro.errors.ConfigurationError` naming how many are absent.
+        """
+        from repro.sweep.store import ResultStore, task_hash
+
+        store_obj = ResultStore.from_any(store)
+        if store_obj is None:
+            raise ConfigurationError("SweepResult.from_store needs a store")
+        tasks = spec.validate()
+        results: List[RunResult] = []
+        durations: List[float] = []
+        missing: List[int] = []
+        for task in tasks:
+            stored = store_obj.get(task_hash(task))
+            if stored is None:
+                missing.append(task.index)
+            else:
+                results.append(stored.result)
+                durations.append(stored.duration)
+        if missing:
+            preview = ", ".join(str(index) for index in missing[:10])
+            raise ConfigurationError(
+                f"store {str(store_obj.root)!r} is missing {len(missing)} of "
+                f"{len(tasks)} tasks (task indexes {preview}"
+                f"{', ...' if len(missing) > 10 else ''}); "
+                "run run_sweep(spec, store=...) to fill in the gaps"
+            )
+        return cls(
+            spec=spec,
+            tasks=tasks,
+            results=results,
+            task_durations=durations,
+            executor="store",
+            executed=0,
+            loaded=len(tasks),
+        )
 
     # -- record views --------------------------------------------------------------
 
@@ -102,6 +157,9 @@ class SweepResult:
             "num_tasks": len(self.tasks),
             "duration": self.duration,
             "workers": self.workers,
+            "executor": self.executor,
+            "executed": self.executed,
+            "loaded": self.loaded,
         }
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(header, sort_keys=True) + "\n")

@@ -26,19 +26,24 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, UnknownComponentError
 from repro.registry import register_runner, runner_registry
 from repro.session.result import RunResult
 from repro.session.simulation import Simulation
 
 __all__ = [
+    "Runner",
     "resolve_runner",
     "run_discovery",
     "run_maintenance_periods",
     "run_traffic_workload",
 ]
 
-#: The runner callable protocol.
+#: The runner callable protocol: ``(simulation, options) -> RunResult``.
+#: Anything satisfying this signature can be registered with
+#: :func:`repro.registry.register_runner` and referenced by name from sweep
+#: tasks; it is part of the public typing surface
+#: (``from repro.sweep import Runner``).
 Runner = Callable[[Simulation, Dict[str, Any]], RunResult]
 
 
@@ -113,29 +118,26 @@ def run_traffic_workload(simulation: Simulation, options: Dict[str, Any]) -> Run
     max_rounds = options.pop("max_rounds_per_period", None)
     dynamics = options.pop("dynamics", None)
     prior: Optional[RunResult] = None
-    if after in ("discover", "discovery"):
-        prior = simulation.run()
-    elif after in ("maintain", "maintenance"):
-        prior = simulation.run_maintenance(
-            periods, max_rounds_per_period=max_rounds, dynamics=dynamics
-        )
-    elif after != "none":
-        raise ConfigurationError(
-            f"unknown traffic runner phase {after!r}; "
-            "valid values: ['discover', 'maintain', 'none']"
-        )
+    if after != "none":
+        # Resolve the phase through the runner registry so every registered
+        # alias ("discovery", "maintenance", ...) works without hand-rolled
+        # string lists here.
+        try:
+            phase = runner_registry.canonical_name(after)
+        except UnknownComponentError:
+            phase = None
+        if phase == "discover":
+            prior = simulation.run()
+        elif phase == "maintain":
+            prior = simulation.run_maintenance(
+                periods, max_rounds_per_period=max_rounds, dynamics=dynamics
+            )
+        else:
+            raise ConfigurationError(
+                f"unknown traffic runner phase {after!r}; "
+                "valid values: ['discover', 'maintain', 'none']"
+            )
     result = simulation.run_traffic(**options)
     if prior is not None:
-        result.converged = prior.converged
-        result.cycle_detected = prior.cycle_detected
-        result.rounds = prior.rounds
-        result.moves = prior.moves
-        result.final_social_cost = prior.final_social_cost
-        result.final_workload_cost = prior.final_workload_cost
-        result.social_cost_trace = list(prior.social_cost_trace)
-        result.workload_cost_trace = list(prior.workload_cost_trace)
-        result.cluster_count_trace = list(prior.cluster_count_trace)
-        result.extras.update(
-            {key: value for key, value in prior.extras.items() if key not in result.extras}
-        )
+        result.merge_prior(prior)
     return result

@@ -34,7 +34,7 @@ so replications genuinely resample the world.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -44,6 +44,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.registry import (
     initializer_registry,
     router_registry,
+    runner_registry,
     scenario_registry,
     strategy_registry,
     theta_registry,
@@ -111,6 +112,41 @@ class SweepTask:
             options=dict(mapping.get("options", {})),
             seed=mapping.get("seed"),
         )
+
+    def canonical_key(self) -> Dict[str, Any]:
+        """The task's identity material for content addressing.
+
+        A pure function of what the task *runs* — the session config with
+        every component reference resolved to its registry-canonical name,
+        the fully resolved :class:`~repro.datasets.scenarios.ScenarioConfig`
+        (scale preset + overrides + seed material), the canonical runner
+        name, the runner options and the applied seed — and never of the
+        task's position in a grid (``index``) or of any executor/placement
+        detail.  Two tasks with equal canonical keys perform identical work,
+        even across differently shaped specs, which is exactly the sharing
+        :func:`repro.sweep.store.task_hash` builds on.
+        """
+        # Imported lazily: repro.sweep.runners registers the built-in runners
+        # and importing it at module scope would be cyclic.
+        from repro.sweep.runners import resolve_runner
+
+        resolve_runner(self.runner)  # ensure runners are registered; fail fast
+        config = self.session_config()
+        config_dict = config.to_dict()
+        config_dict["scenario"] = scenario_registry.canonical_name(config.scenario)
+        config_dict["strategy"] = strategy_registry.canonical_name(config.strategy)
+        config_dict["initial"] = initializer_registry.canonical_name(config.initial)
+        if config.theta is not None:
+            config_dict["theta"] = theta_registry.canonical_name(config.theta)
+        if config.router is not None:
+            config_dict["router"] = router_registry.canonical_name(config.router)
+        return {
+            "config": config_dict,
+            "scenario_config": asdict(config.experiment_config().scenario),
+            "runner": runner_registry.canonical_name(self.runner),
+            "options": dict(self.options),
+            "seed": self.seed,
+        }
 
     def label(self) -> str:
         """A short human-readable identifier for progress displays."""

@@ -1,0 +1,220 @@
+"""On-disk content-addressed store for sweep results and scenario data.
+
+Every :class:`~repro.sweep.spec.SweepTask` has a deterministic identity: the
+sha256 of its canonical JSON (:meth:`SweepTask.canonical_key` — resolved
+session config, resolved :class:`~repro.datasets.scenarios.ScenarioConfig`,
+canonical runner name, options and seed material).  :class:`ResultStore`
+keys everything by that hash:
+
+* ``<root>/tasks/<hh>/<hash>.json`` — one finished task each: the canonical
+  key, the task's dict form, the :class:`~repro.session.result.RunResult`
+  dict and the worker-side duration.  Written atomically (temp file +
+  ``os.replace``) by whichever worker finishes the task, so concurrent
+  workers, CI shards and repeated runs can all share one store directory —
+  equal hashes mean equal work, so last-writer-wins is harmless.
+* ``<root>/scenarios/<hh>/<hash>.pkl`` — built
+  :class:`~repro.datasets.scenarios.ScenarioData`, keyed by the sha256 of
+  ``(scenario name, resolved ScenarioConfig)``.  The per-worker in-memory
+  scenario memo (:mod:`repro.sweep.cache`) consults this tier on a miss, so
+  scenario construction survives worker restarts, cold starts and crosses
+  CI runs.
+
+The two-level ``<hh>/`` fan-out (first two hex digits) keeps directories
+small on million-task grids.  Corrupt or unreadable entries are treated as
+missing — resume then simply re-runs the task — never as errors.
+
+This is what makes **sweep resume** work: :func:`~repro.sweep.engine.run_sweep`
+with a store skips every task whose hash already has a stored result,
+loading it instead, so an interrupted (or deliberately sharded) grid
+finishes by re-running only what is missing, with results byte-identical to
+one uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.session.result import RunResult
+from repro.sweep.spec import SweepTask
+
+__all__ = ["ResultStore", "StoredResult", "task_hash", "canonical_json"]
+
+
+def canonical_json(value: Any) -> str:
+    """The canonical JSON rendering hashes are computed over.
+
+    Key-sorted, separator-minimal and ASCII-only, so the byte stream — and
+    therefore every hash — is identical across processes, platforms and
+    Python versions.
+    """
+    return json.dumps(value, sort_keys=True, separators=(",", ":"), ensure_ascii=True)
+
+
+def _sha256(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def task_hash(task: SweepTask) -> str:
+    """The sha256 content hash of *task*'s canonical key (hex, 64 chars)."""
+    return _sha256(canonical_json(task.canonical_key()))
+
+
+def scenario_hash(scenario: str, scenario_config: Any) -> str:
+    """The sha256 content hash of a ``(scenario name, ScenarioConfig)`` pair."""
+    key = {"scenario": scenario, "config": asdict(scenario_config)}
+    return _sha256(canonical_json(key))
+
+
+@dataclass(frozen=True)
+class StoredResult:
+    """One task's stored outcome, as loaded back from the store."""
+
+    task_hash: str
+    task: Dict[str, Any]
+    result: RunResult
+    #: Worker-side wall-clock seconds of the run that produced the result.
+    duration: float
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write *payload* to *path* atomically (visible fully written or not at all)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="wb", dir=path.parent, prefix=f".{path.name}.", delete=False
+    )
+    try:
+        with handle:
+            handle.write(payload)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """A content-addressed store rooted at one directory (created lazily)."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    @classmethod
+    def from_any(cls, value: Optional[Any]) -> Optional["ResultStore"]:
+        """Coerce *value* (None, path string/Path or ResultStore) to a store."""
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, (str, Path)):
+            return cls(value)
+        raise ConfigurationError(
+            f"expected a store path or ResultStore, got {type(value).__name__}"
+        )
+
+    def __repr__(self) -> str:
+        return f"ResultStore(root={str(self.root)!r})"
+
+    # -- paths ---------------------------------------------------------------------
+
+    def task_path(self, hash_hex: str) -> Path:
+        """Where the result for content hash *hash_hex* lives."""
+        return self.root / "tasks" / hash_hex[:2] / f"{hash_hex}.json"
+
+    def scenario_path(self, hash_hex: str) -> Path:
+        """Where the scenario data for content hash *hash_hex* lives."""
+        return self.root / "scenarios" / hash_hex[:2] / f"{hash_hex}.pkl"
+
+    # -- task results --------------------------------------------------------------
+
+    def put(self, task: SweepTask, result: RunResult, duration: float) -> str:
+        """Persist *task*'s finished *result*; returns the content hash."""
+        hash_hex = task_hash(task)
+        record = {
+            "kind": "sweep-task-result",
+            "hash": hash_hex,
+            "key": task.canonical_key(),
+            "task": task.to_dict(),
+            "result": result.to_dict(),
+            "duration": duration,
+        }
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        _atomic_write_bytes(self.task_path(hash_hex), payload)
+        return hash_hex
+
+    def get(self, task_or_hash: Union[SweepTask, str]) -> Optional[StoredResult]:
+        """The stored outcome for a task (or bare content hash), or ``None``.
+
+        Unreadable or corrupt entries count as missing: resume re-runs the
+        task rather than failing the sweep on a half-written file.
+        """
+        hash_hex = (
+            task_hash(task_or_hash)
+            if isinstance(task_or_hash, SweepTask)
+            else str(task_or_hash)
+        )
+        path = self.task_path(hash_hex)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            result = RunResult.from_dict(record["result"])
+            return StoredResult(
+                task_hash=hash_hex,
+                task=dict(record.get("task", {})),
+                result=result,
+                duration=float(record.get("duration", 0.0)),
+            )
+        except (OSError, ValueError, KeyError, TypeError, ConfigurationError):
+            return None
+
+    def __contains__(self, task_or_hash: object) -> bool:
+        if isinstance(task_or_hash, SweepTask):
+            return self.task_path(task_hash(task_or_hash)).exists()
+        return self.task_path(str(task_or_hash)).exists()
+
+    def task_hashes(self) -> Iterator[str]:
+        """Every stored task hash (no particular order)."""
+        tasks_root = self.root / "tasks"
+        if not tasks_root.is_dir():
+            return
+        for path in sorted(tasks_root.glob("*/*.json")):
+            yield path.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.task_hashes())
+
+    # -- scenario data -------------------------------------------------------------
+
+    def load_scenario(self, scenario: str, scenario_config: Any) -> Optional[Any]:
+        """The stored :class:`ScenarioData` for the pair, or ``None``.
+
+        Corrupt/unreadable pickles count as missing (the scenario is then
+        rebuilt and re-stored).
+        """
+        path = self.scenario_path(scenario_hash(scenario, scenario_config))
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, AttributeError, EOFError, ImportError):
+            return None
+
+    def save_scenario(self, scenario: str, scenario_config: Any, data: Any) -> str:
+        """Persist built scenario *data* for the pair; returns the content hash.
+
+        The pickle is taken from a deep copy: the network's ``__deepcopy__``
+        drops its derived-model caches, so what lands on disk is exactly the
+        freshly built state — a loaded scenario behaves byte-identically to
+        a rebuilt one.
+        """
+        hash_hex = scenario_hash(scenario, scenario_config)
+        payload = pickle.dumps(copy.deepcopy(data), protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(self.scenario_path(hash_hex), payload)
+        return hash_hex

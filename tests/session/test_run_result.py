@@ -1,0 +1,124 @@
+"""Unit tests for RunResult serialisation (from_dict) and phase merging
+(merge_prior), the pieces the result store and the traffic runner build on."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.dynamics.periodic import PeriodRecord
+from repro.errors import ConfigurationError
+from repro.session.result import RunResult
+
+
+def discovery_result(**overrides) -> RunResult:
+    values = dict(
+        kind="discovery",
+        converged=True,
+        cycle_detected=False,
+        rounds=5,
+        moves=12,
+        final_social_cost=0.25,
+        final_workload_cost=0.3,
+        cluster_count=4,
+        social_cost_trace=[0.5, 0.4, 0.25],
+        workload_cost_trace=[0.6, 0.45, 0.3],
+        cluster_count_trace=[8, 6, 4],
+        message_counts={"relocation": 12},
+        purity=0.9,
+        queries_routed=7,
+        config={"scenario": "same-category"},
+        extras={"phase": "shape"},
+    )
+    values.update(overrides)
+    return RunResult(**values)
+
+
+class TestFromDict:
+    def test_round_trips_exactly(self):
+        result = discovery_result()
+        rebuilt = RunResult.from_dict(result.to_dict())
+        assert rebuilt.to_dict() == result.to_dict()
+        assert rebuilt.protocol_result is None
+
+    def test_round_trips_periods_as_records(self):
+        record = PeriodRecord(
+            period=1,
+            social_cost_before=0.5,
+            social_cost_after=0.4,
+            workload_cost_after=0.5,
+            moves=2,
+            rounds=3,
+            converged=True,
+            queries_routed=4,
+        )
+        result = discovery_result(kind="maintenance", periods=[record])
+        rebuilt = RunResult.from_dict(result.to_dict())
+        assert rebuilt.periods == [record]
+        assert isinstance(rebuilt.periods[0], PeriodRecord)
+
+    def test_unknown_keys_raise(self):
+        payload = discovery_result().to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(ConfigurationError, match="surprise"):
+            RunResult.from_dict(payload)
+
+    def test_protocol_result_is_not_accepted(self):
+        payload = discovery_result().to_dict()
+        payload["protocol_result"] = None
+        with pytest.raises(ConfigurationError, match="protocol_result"):
+            RunResult.from_dict(payload)
+
+    def test_nan_costs_survive_the_round_trip(self):
+        result = discovery_result(
+            final_social_cost=float("nan"), final_workload_cost=float("nan")
+        )
+        rebuilt = RunResult.from_dict(result.to_dict())
+        assert math.isnan(rebuilt.final_social_cost)
+        assert math.isnan(rebuilt.final_workload_cost)
+
+
+class TestMergePrior:
+    def test_adopts_the_prior_phase_outcome(self):
+        traffic = RunResult(
+            kind="traffic",
+            converged=False,
+            extras={"latency_p95": 4.2},
+            config={"scenario": "same-category"},
+        )
+        prior = discovery_result()
+        returned = traffic.merge_prior(prior)
+        assert returned is traffic
+        assert traffic.kind == "traffic"  # keeps its own identity
+        assert traffic.converged is True
+        assert traffic.cycle_detected is False
+        assert traffic.rounds == 5
+        assert traffic.moves == 12
+        assert traffic.final_social_cost == 0.25
+        assert traffic.final_workload_cost == 0.3
+        assert traffic.social_cost_trace == [0.5, 0.4, 0.25]
+        assert traffic.workload_cost_trace == [0.6, 0.45, 0.3]
+        assert traffic.cluster_count_trace == [8, 6, 4]
+
+    def test_traces_are_copied_not_shared(self):
+        traffic = RunResult(kind="traffic", converged=False)
+        prior = discovery_result()
+        traffic.merge_prior(prior)
+        traffic.social_cost_trace.append(0.0)
+        assert prior.social_cost_trace == [0.5, 0.4, 0.25]
+
+    def test_own_extras_win_over_prior_extras(self):
+        traffic = RunResult(
+            kind="traffic", converged=False, extras={"phase": "traffic", "hops": 2}
+        )
+        traffic.merge_prior(discovery_result(extras={"phase": "shape", "pre_cost": 0.5}))
+        assert traffic.extras == {"phase": "traffic", "hops": 2, "pre_cost": 0.5}
+
+    def test_own_measurements_are_kept(self):
+        traffic = RunResult(
+            kind="traffic", converged=False, cluster_count=9, queries_routed=100
+        )
+        traffic.merge_prior(discovery_result())
+        assert traffic.cluster_count == 9
+        assert traffic.queries_routed == 100

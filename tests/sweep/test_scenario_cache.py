@@ -45,7 +45,7 @@ class TestMemoisation:
         second = scenario_data_for(tiny_config(), mutates=False)
         assert second is first
         info = scenario_cache_info()
-        assert info == {"size": 1, "hits": 1, "misses": 1, "copies": 0}
+        assert info == {"size": 1, "hits": 1, "misses": 1, "copies": 0, "store_hits": 0}
 
     def test_scenario_aliases_share_an_entry(self):
         first = scenario_data_for(tiny_config(scenario="same-category"), mutates=False)

@@ -1,0 +1,362 @@
+"""Tests for the content-addressed result store: hashing, round-trips,
+resume after an interrupted sweep, and JSONL-vs-store equality."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.events import EventHooks
+from repro.sweep import ResultStore, SweepResult, SweepSpec, read_jsonl, run_sweep
+from repro.sweep.cache import clear_scenario_cache, scenario_cache_info, scenario_data_for
+from repro.sweep.executors import (
+    ChunkedStreamingExecutor,
+    ProcessPoolSweepExecutor,
+    SerialExecutor,
+)
+from repro.sweep.spec import SweepTask
+from repro.sweep.store import StoredResult, canonical_json, task_hash
+
+TINY_SCENARIO = {
+    "num_peers": 12,
+    "num_categories": 3,
+    "documents_per_peer": 4,
+    "terms_per_document": 3,
+    "category_vocabulary_size": 15,
+    "queries_per_peer": 3,
+}
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    values = {
+        "strategies": ("selfish", "altruistic"),
+        "scale": "quick",
+        "overrides": {"scenario_overrides": dict(TINY_SCENARIO)},
+        "seeds": (7, 11),
+    }
+    values.update(overrides)
+    return SweepSpec(**values)
+
+
+class TestTaskHash:
+    def test_hash_is_hex_sha256(self):
+        digest = task_hash(tiny_spec().validate()[0])
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_hash_ignores_the_task_index(self):
+        task = tiny_spec().validate()[0]
+        renumbered = SweepTask(
+            index=99,
+            config=dict(task.config),
+            runner=task.runner,
+            options=dict(task.options),
+            seed=task.seed,
+        )
+        assert task_hash(renumbered) == task_hash(task)
+
+    def test_equal_work_hashes_equal_across_spec_shapes(self):
+        # The same (config, seed) reached through a 2-strategy grid and
+        # through a single-strategy grid is the same stored work.
+        full = tiny_spec().validate()
+        narrow = tiny_spec(strategies=("selfish",)).validate()
+        assert {task_hash(t) for t in narrow} <= {task_hash(t) for t in full}
+
+    def test_registry_aliases_hash_identically(self):
+        base = tiny_spec(strategies=("selfish",), seeds=(7,)).validate()[0]
+        aliased_config = dict(base.config)
+        aliased_config["scenario"] = "scenario1"  # alias of same-category
+        aliased = SweepTask(
+            index=0, config=aliased_config, runner="discovery", seed=base.seed
+        )
+        assert base.runner == "discover"
+        assert task_hash(aliased) == task_hash(base)
+
+    def test_different_seeds_hash_differently(self):
+        tasks = tiny_spec(strategies=("selfish",)).validate()
+        assert task_hash(tasks[0]) != task_hash(tasks[1])
+
+    def test_hash_is_stable_across_processes(self):
+        import os
+        from pathlib import Path
+
+        import repro
+
+        task = tiny_spec().validate()[0]
+        script = (
+            "import json, sys\n"
+            "from repro.sweep.spec import SweepTask\n"
+            "from repro.sweep.store import task_hash\n"
+            "task = SweepTask.from_dict(json.loads(sys.stdin.read()))\n"
+            "print(task_hash(task))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            part
+            for part in (
+                str(Path(repro.__file__).resolve().parents[1]),
+                env.get("PYTHONPATH"),
+            )
+            if part
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            input=json.dumps(task.to_dict()),
+            capture_output=True,
+            text=True,
+            check=True,
+            env=env,
+        )
+        assert completed.stdout.strip() == task_hash(task)
+
+    def test_canonical_json_is_key_sorted_and_ascii(self):
+        rendered = canonical_json({"b": 1, "a": "é"})
+        assert rendered == '{"a":"\\u00e9","b":1}'
+
+
+class TestRoundTrip:
+    def test_put_get_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec(strategies=("selfish",), seeds=(7,))
+        sweep = run_sweep(spec)
+        task = sweep.tasks[0]
+        digest = store.put(task, sweep.results[0], sweep.task_durations[0])
+        assert task in store
+        assert digest in store
+        assert len(store) == 1
+        assert list(store.task_hashes()) == [digest]
+        stored = store.get(task)
+        assert isinstance(stored, StoredResult)
+        assert stored.task_hash == digest
+        assert stored.result.to_dict() == sweep.results[0].to_dict()
+        assert stored.duration == sweep.task_durations[0]
+
+    def test_missing_and_corrupt_entries_read_as_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        task = tiny_spec().validate()[0]
+        assert store.get(task) is None
+        assert task not in store
+        path = store.task_path(task_hash(task))
+        path.parent.mkdir(parents=True)
+        path.write_text("{ half a record", encoding="utf-8")
+        assert store.get(task) is None
+
+    def test_from_any_coercions(self, tmp_path):
+        assert ResultStore.from_any(None) is None
+        store = ResultStore(tmp_path)
+        assert ResultStore.from_any(store) is store
+        assert ResultStore.from_any(str(tmp_path)).root == tmp_path
+        with pytest.raises(ConfigurationError):
+            ResultStore.from_any(42)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec(strategies=("selfish",), seeds=(7,))
+        run_sweep(spec, store=store)
+        leftovers = [
+            path
+            for path in (tmp_path / "store").rglob("*")
+            if path.is_file() and path.suffix not in {".json", ".pkl"}
+        ]
+        assert leftovers == []
+
+
+class TestResume:
+    @pytest.mark.parametrize(
+        "executor",
+        (
+            SerialExecutor(),
+            ProcessPoolSweepExecutor(max_workers=2),
+            ChunkedStreamingExecutor(max_workers=2, window=2),
+        ),
+        ids=lambda executor: executor.name,
+    )
+    def test_interrupted_sweep_resumes_exactly_the_missing_subset(
+        self, tmp_path, executor
+    ):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        uninterrupted = run_sweep(spec)  # reference, no store involved
+
+        # "Kill" the sweep half-way: only the selfish half of the grid ran.
+        partial = run_sweep(tiny_spec(strategies=("selfish",)), store=store)
+        assert partial.executed == 2
+
+        skipped, loaded_events = [], []
+        hooks = EventHooks()
+        hooks.on_task_skipped(lambda event: skipped.append(event.index))
+        hooks.on_task_loaded(lambda event: loaded_events.append(event))
+        resumed = run_sweep(spec, executor=executor, store=store, hooks=hooks)
+
+        assert resumed.loaded == 2
+        assert resumed.executed == 2
+        assert skipped == [
+            task.index for task in resumed.tasks if task.config["strategy"] == "selfish"
+        ]
+        assert len(loaded_events) == 2
+        assert [r.to_dict() for r in resumed.results] == [
+            r.to_dict() for r in uninterrupted.results
+        ]
+
+    def test_second_run_executes_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        first = run_sweep(spec, store=store)
+        assert first.executed == len(first) and first.loaded == 0
+        second = run_sweep(spec, store=store)
+        assert second.executed == 0 and second.loaded == len(second)
+        assert [r.to_dict() for r in second.results] == [
+            r.to_dict() for r in first.results
+        ]
+
+    def test_deleting_one_entry_reruns_exactly_that_task(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        first = run_sweep(spec, store=store)
+        victim = first.tasks[2]
+        store.task_path(task_hash(victim)).unlink()
+        second = run_sweep(spec, store=store)
+        assert second.executed == 1 and second.loaded == len(second) - 1
+        assert [r.to_dict() for r in second.results] == [
+            r.to_dict() for r in first.results
+        ]
+
+    def test_no_resume_reexecutes_but_still_persists(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec(strategies=("selfish",), seeds=(7,))
+        run_sweep(spec, store=store)
+        again = run_sweep(spec, store=store, resume=False)
+        assert again.executed == len(again) and again.loaded == 0
+        assert len(store) == 1
+
+    def test_loaded_counts_keep_the_completed_counter_monotone(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        run_sweep(tiny_spec(strategies=("selfish",)), store=store)
+        completed = []
+        hooks = EventHooks()
+        hooks.on_task_loaded(lambda event: completed.append(event.completed))
+        hooks.on_task_finished(lambda event: completed.append(event.completed))
+        result = run_sweep(spec, store=store, hooks=hooks)
+        assert completed == list(range(1, len(result) + 1))
+
+    def test_sweep_end_event_reports_executed_and_loaded(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        run_sweep(tiny_spec(strategies=("altruistic",)), store=store)
+        captured = []
+        hooks = EventHooks()
+        hooks.on_sweep_end(lambda event: captured.append(event))
+        run_sweep(spec, store=store, hooks=hooks)
+        (event,) = captured
+        assert event.total == 4
+        assert event.loaded == 2
+        assert event.executed == 2
+        assert event.executor == "serial"
+
+
+class TestJsonlVsStore:
+    def test_store_backed_run_writes_identical_task_records(self, tmp_path):
+        spec = tiny_spec()
+        plain_path = tmp_path / "plain.jsonl"
+        stored_path = tmp_path / "stored.jsonl"
+        run_sweep(spec, jsonl_path=str(plain_path))
+        run_sweep(spec, jsonl_path=str(stored_path), store=str(tmp_path / "store"))
+
+        plain_spec, plain_records = read_jsonl(str(plain_path))
+        stored_spec, stored_records = read_jsonl(str(stored_path))
+        assert plain_spec == stored_spec
+
+        def strip_durations(records):
+            return [
+                {key: value for key, value in record.items() if key != "duration"}
+                for record in records
+            ]
+
+        assert strip_durations(stored_records) == strip_durations(plain_records)
+
+    def test_resumed_jsonl_equals_uninterrupted_jsonl(self, tmp_path):
+        spec = tiny_spec()
+        store = str(tmp_path / "store")
+        reference_path = tmp_path / "reference.jsonl"
+        resumed_path = tmp_path / "resumed.jsonl"
+        run_sweep(spec, jsonl_path=str(reference_path))
+        run_sweep(tiny_spec(seeds=(7,)), store=store)  # interrupted half
+        run_sweep(spec, store=store, jsonl_path=str(resumed_path))
+        _, reference_records = read_jsonl(str(reference_path))
+        _, resumed_records = read_jsonl(str(resumed_path))
+        assert [record["result"] for record in resumed_records] == [
+            record["result"] for record in reference_records
+        ]
+        assert [record["task"] for record in resumed_records] == [
+            record["task"] for record in reference_records
+        ]
+
+    def test_from_store_merges_a_fully_sharded_grid(self, tmp_path):
+        store = str(tmp_path / "store")
+        spec = tiny_spec()
+        # Two "shards", each half of the grid, filling one shared store.
+        run_sweep(tiny_spec(strategies=("selfish",)), store=store)
+        run_sweep(tiny_spec(strategies=("altruistic",)), store=store)
+        merged = SweepResult.from_store(spec, store)
+        reference = run_sweep(spec)
+        assert merged.loaded == len(merged) == 4
+        assert merged.executed == 0
+        assert [r.to_dict() for r in merged.results] == [
+            r.to_dict() for r in reference.results
+        ]
+
+    def test_from_store_names_missing_tasks(self, tmp_path):
+        store = str(tmp_path / "store")
+        run_sweep(tiny_spec(strategies=("selfish",)), store=store)
+        with pytest.raises(ConfigurationError, match="missing 2 of 4"):
+            SweepResult.from_store(tiny_spec(), store)
+
+    def test_from_store_requires_a_store(self):
+        with pytest.raises(ConfigurationError, match="needs a store"):
+            SweepResult.from_store(tiny_spec(), None)
+
+
+class TestScenarioTier:
+    def _config(self):
+        return tiny_spec(strategies=("selfish",), seeds=(7,)).validate()[0].session_config()
+
+    def test_store_round_trips_scenario_data(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        clear_scenario_cache()
+        try:
+            built = scenario_data_for(self._config(), mutates=False, store=store)
+            clear_scenario_cache()
+            loaded = scenario_data_for(self._config(), mutates=False, store=store)
+            assert scenario_cache_info()["store_hits"] == 1
+            assert loaded is not built
+            assert loaded.network.peer_ids() == built.network.peer_ids()
+        finally:
+            clear_scenario_cache()
+
+    def test_loaded_scenario_produces_identical_results(self, tmp_path):
+        spec = tiny_spec(strategies=("selfish",), seeds=(7,))
+        reference = run_sweep(spec)
+        store = str(tmp_path / "store")
+        run_sweep(spec, store=store)  # populates the scenario tier
+        clear_scenario_cache()
+        try:
+            loaded = run_sweep(spec, store=store, resume=False)
+        finally:
+            clear_scenario_cache()
+        assert [r.to_dict() for r in loaded.results] == [
+            r.to_dict() for r in reference.results
+        ]
+
+    def test_corrupt_scenario_pickle_reads_as_none(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        config = self._config()
+        name = config.scenario
+        scenario_config = config.experiment_config().scenario
+        digest = store.save_scenario(name, scenario_config, object())
+        store.scenario_path(digest).write_bytes(b"not a pickle")
+        assert store.load_scenario(name, scenario_config) is None

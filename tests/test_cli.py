@@ -149,6 +149,89 @@ class TestSweepCommand:
         arguments = build_parser().parse_args(["table1", "--workers", "4"])
         assert arguments.workers == 4
 
+    def test_sweep_executor_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--strategy",
+                    "selfish",
+                    "--seeds",
+                    "7",
+                    "--executor",
+                    "serial",
+                ]
+            )
+            == 0
+        )
+        assert "serial" in capsys.readouterr().out
+
+    def test_sweep_executor_choices_come_from_the_registry(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--executor", "quantum"])
+        arguments = build_parser().parse_args(["sweep", "--executor", "chunked-streaming"])
+        assert arguments.executor == "chunked-streaming"
+
+    def test_sweep_executor_options_require_executor(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--seeds",
+                    "7",
+                    "--executor-options",
+                    '{"max_workers": 2}',
+                ]
+            )
+            == 2
+        )
+        assert "--executor-options requires --executor" in capsys.readouterr().err
+
+    def test_sweep_store_resumes_without_reexecution(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        flags = [
+            "sweep",
+            "--scale",
+            "quick",
+            "--strategy",
+            "selfish",
+            "--seeds",
+            "7,11",
+            "--store",
+            str(store),
+        ]
+        assert main(flags) == 0
+        first = capsys.readouterr().out
+        assert "(2 executed, 0 loaded)" in first
+        assert f"store {str(store)!r}: 2 stored results" in first
+        assert main(flags) == 0
+        second = capsys.readouterr().out
+        assert "(0 executed, 2 loaded)" in second
+        assert "loaded from store" in second
+
+    def test_sweep_no_resume_reexecutes(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        flags = [
+            "sweep",
+            "--scale",
+            "quick",
+            "--strategy",
+            "selfish",
+            "--seeds",
+            "7",
+            "--store",
+            str(store),
+            "--no-progress",
+        ]
+        assert main(flags) == 0
+        capsys.readouterr()
+        assert main(flags + ["--no-resume"]) == 0
+        assert "1 stored results" in capsys.readouterr().out
+
 
 class TestDynamicsFlags:
     def test_maintain_accepts_an_inline_dynamics_spec(self, capsys):

@@ -177,6 +177,19 @@ class TestTrafficSweep:
                 workers=1,
             )
 
+    def test_after_phase_accepts_registry_aliases(self):
+        # "discovery" is a registered alias of the "discover" runner; the
+        # phase dispatch resolves through the runner registry, so both
+        # spellings produce byte-identical results.
+        canonical = run_sweep(traffic_spec(workloads=("uniform",))).results[0]
+        aliased = run_sweep(
+            traffic_spec(
+                workloads=("uniform",),
+                runner_options={"after": "discovery", "num_events": 200},
+            )
+        ).results[0]
+        assert aliased.to_dict() == canonical.to_dict()
+
 
 class TestCli:
     def test_traffic_command_prints_the_distribution_table(self, capsys):
