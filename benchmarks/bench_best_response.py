@@ -13,13 +13,27 @@ peers with
 The speedup/parity test additionally pins the kernel run to the exact
 per-query reference cost model (1e-9) and asserts the 200-peer speedup.
 
+**Scaled tier** — the label-vector kernel backend at 5k and 50k peers
+(factored recall, no dense |P| x |P| array): a single best-response round is
+timed and its peak RSS recorded in ``extra_info`` so the trend job gates
+both time *and* memory.  The 5k round (and the >=10x labels-vs-dense
+assertion) runs everywhere; the 50k round is opted into with
+``REPRO_BENCH_KERNEL_FULL=1`` because its scenario alone takes ~15s to
+build.  Peak RSS is ``ru_maxrss`` — a process-wide high-water mark, so it
+is monotone across the (deterministically ordered) benchmarks of a run and
+comparable between runs.
+
 Run with ``--benchmark-json BENCH_kernel.json`` (CI does) to produce the
 artifact the trend job compares across runs.
 """
 
 from __future__ import annotations
 
+import gc
+import os
+import resource
 import time
+from contextlib import contextmanager
 
 import pytest
 
@@ -32,12 +46,51 @@ from repro.datasets.scenarios import (
     initial_configuration,
 )
 from repro.game.dynamics import run_best_response_dynamics
+from repro.game.kernel import BestResponseKernel
 from repro.game.model import ClusterGame
 
 #: Population sizes (the paper's experiments use 200).
 SIZES = (50, 200, 500)
 #: Step budgets keeping the slow legacy path bounded at every size.
 MAX_STEPS = {50: 40, 200: 25, 500: 10}
+
+#: Opt-in for the heavy 50k-peer round (see the module docstring).
+FULL_ENV = "REPRO_BENCH_KERNEL_FULL"
+RUN_FULL = os.environ.get(FULL_ENV, "0").strip().lower() not in ("", "0", "false", "no")
+
+#: Scaled-tier populations and the cluster count peers are spread over.
+SCALED_SIZES = (
+    pytest.param(5000, id="5000"),
+    pytest.param(
+        50000,
+        id="50000",
+        marks=pytest.mark.skipif(not RUN_FULL, reason=f"set {FULL_ENV}=1 to run"),
+    ),
+)
+SCALED_CLUSTERS = {5000: 200, 50000: 500}
+
+
+def peak_rss_mb() -> float:
+    """Process peak RSS in MiB (``ru_maxrss`` is KiB on Linux)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+@contextmanager
+def scenario_frozen():
+    """Freeze the long-lived scenario objects out of cyclic GC for a round.
+
+    A 50k-peer scenario holds ~2.5M Python objects; without freezing, every
+    gen-2 collection triggered by the round's allocations rescans all of
+    them, which dominates (and wildly destabilises) the measured time.  The
+    round allocates nothing cyclic, so freezing changes only what is
+    measured: the kernel, not the collector.
+    """
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
 
 
 def scenario_config(num_peers: int) -> ScenarioConfig:
@@ -84,6 +137,7 @@ def test_kernel_best_response_dynamics(benchmark, setups, num_peers):
         rounds=3,
     )
     assert result.num_steps > 0
+    benchmark.extra_info["peak_rss_mb"] = round(peak_rss_mb(), 1)
 
 
 @pytest.mark.parametrize("num_peers", SIZES)
@@ -148,3 +202,106 @@ def test_kernel_speedup_and_exact_parity(benchmark, setups):
         ),
     )
     assert speedup >= 5.0, f"expected >=5x kernel speedup, measured {speedup:.1f}x"
+
+
+# -- scaled tier: label-vector backend at 5k / 50k peers -------------------------
+
+
+@pytest.fixture(scope="module")
+def scaled_setups():
+    """Per-size cache of (configuration, factored cost model) for the scaled tier.
+
+    The cost model keeps the recall matrix in factored form — no dense
+    |P| x |P| array exists anywhere on the labels path, which is what makes
+    the 50k round feasible (a dense W alone would be 20 GB).
+    """
+    cache = {}
+
+    def get(num_peers: int):
+        if num_peers not in cache:
+            data = build_scenario(SCENARIO_SAME_CATEGORY, scenario_config(num_peers))
+            configuration = initial_configuration(
+                data, "random", num_clusters=SCALED_CLUSTERS[num_peers], seed=20
+            )
+            cost_model = data.network.cost_model(matrix_mode="factored")
+            cache[num_peers] = (configuration, cost_model)
+        return cache[num_peers]
+
+    return get
+
+
+def labels_round(cost_model, configuration, *, backend: str = "labels"):
+    """One best-response round: score every nonempty cluster for every peer."""
+    kernel = BestResponseKernel(cost_model, configuration, backend=backend)
+    responses, fallback = kernel.best_response_all(
+        candidate_clusters=configuration.nonempty_clusters()
+    )
+    kernel.detach()
+    return responses, fallback
+
+
+@pytest.mark.parametrize("num_peers", SCALED_SIZES)
+def test_labels_kernel_round_scaled(benchmark, scaled_setups, num_peers):
+    """A full best-response round under the labels backend, time + peak RSS."""
+    configuration, cost_model = scaled_setups(num_peers)
+    with scenario_frozen():
+        responses, _ = benchmark.pedantic(
+            labels_round,
+            args=(cost_model, configuration),
+            iterations=1,
+            rounds=3 if num_peers <= 5000 else 1,
+        )
+    assert len(responses) == num_peers
+    benchmark.extra_info["num_peers"] = num_peers
+    benchmark.extra_info["peak_rss_mb"] = round(peak_rss_mb(), 1)
+
+
+def test_labels_vs_dense_round_5k(benchmark, scaled_setups):
+    """5k-peer round: the labels backend must beat the dense backend >=10x.
+
+    The dense backend's round cost is dominated by rebuilding ``W @ M`` over
+    every cluster slot (and by materialising the dense |P| x |P| weights);
+    the labels backend touches only per-cluster segments of the factored
+    recall, so the gap widens with population.
+    """
+    num_peers = 5000
+    configuration, cost_model = scaled_setups(num_peers)
+
+    def compare():
+        started = time.perf_counter()
+        labels_responses, _ = labels_round(cost_model, configuration)
+        labels_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        dense_responses, _ = labels_round(cost_model, configuration, backend="dense")
+        dense_seconds = time.perf_counter() - started
+        return labels_responses, labels_seconds, dense_responses, dense_seconds
+
+    with scenario_frozen():
+        labels_responses, labels_seconds, dense_responses, dense_seconds = (
+            benchmark.pedantic(compare, iterations=1, rounds=1)
+        )
+
+    # Same decisions from both backends.
+    assert set(labels_responses) == set(dense_responses)
+    for peer_id, response in labels_responses.items():
+        assert response.best_cost == pytest.approx(
+            dense_responses[peer_id].best_cost, abs=1e-9
+        )
+
+    speedup = dense_seconds / labels_seconds
+    print_block(
+        "Labels vs dense kernel backend (5000 peers, one round)",
+        format_table(
+            ("backend", "seconds"),
+            (
+                ("dense", f"{dense_seconds:.3f}"),
+                ("labels", f"{labels_seconds:.3f}"),
+                ("speedup", f"{speedup:.1f}x"),
+            ),
+        ),
+    )
+    # Only lower-is-better metrics go to extra_info: the trend gate treats
+    # any >threshold increase as a regression, which would misfire on an
+    # *improved* speedup.
+    benchmark.extra_info["peak_rss_mb"] = round(peak_rss_mb(), 1)
+    assert speedup >= 10.0, f"expected >=10x labels speedup, measured {speedup:.1f}x"

@@ -9,13 +9,18 @@ whose time regressed beyond a threshold::
 
 The compared statistic is each benchmark's ``min`` round time (falling back
 to ``mean`` for files that lack it): on shared CI runners the minimum is far
-less noisy than the mean, so a hard gate on it stays meaningful.
+less noisy than the mean, so a hard gate on it stays meaningful.  Numeric
+``extra_info`` metrics (e.g. ``peak_rss_mb``) are compared too, as
+``<benchmark name>::<metric>`` entries — so the gate covers memory as well
+as time wherever a benchmark records it.
 
 Exit status is 1 when at least one benchmark regressed by more than
 ``--max-regression`` percent.  A missing/unreadable *previous* file — the
 first run of a repository, an expired artifact — passes with a note, so the
-trend job never blocks bootstrapping.  Benchmarks present on only one side
-are reported but never fail the check (renames and new benches are normal).
+trend job never blocks bootstrapping.  Benchmarks (or metrics) present on
+only one side are reported but never fail the check — renames, new benches
+and newly recorded metrics are normal and must not fail against an older
+baseline that lacks them.
 """
 
 from __future__ import annotations
@@ -54,16 +59,24 @@ def load_benchmark_means(path: Path) -> Dict[str, float]:
 
     Prefers each benchmark's ``min`` round time — the statistic least
     sensitive to shared-runner noise — and falls back to ``mean`` when a
-    file lacks it.
+    file lacks it.  Numeric ``extra_info`` values are added under
+    ``<name>::<metric>`` so memory (and any other recorded metric) is
+    trend-gated alongside time.
     """
     with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     means: Dict[str, float] = {}
     for entry in payload.get("benchmarks", []):
+        name = str(entry.get("fullname") or entry.get("name"))
         stats = entry.get("stats") or {}
         value = stats.get("min", stats.get("mean"))
         if value is not None:
-            means[str(entry.get("fullname") or entry.get("name"))] = float(value)
+            means[name] = float(value)
+        extra = entry.get("extra_info") or {}
+        for metric, metric_value in extra.items():
+            if isinstance(metric_value, bool) or not isinstance(metric_value, (int, float)):
+                continue
+            means[f"{name}::{metric}"] = float(metric_value)
     return means
 
 
@@ -79,8 +92,12 @@ def compare_benchmarks(
 
 
 def _format_row(comparison: Comparison) -> str:
+    is_metric = "::" in comparison.name  # extra_info metric, not a round time
+
     def fmt(value: Optional[float]) -> str:
-        return f"{value * 1000:.2f}ms" if value is not None else "-"
+        if value is None:
+            return "-"
+        return f"{value:.2f}" if is_metric else f"{value * 1000:.2f}ms"
 
     ratio = comparison.ratio
     ratio_text = f"{ratio:.2f}x" if ratio is not None else "-"

@@ -80,6 +80,16 @@ class InvertedIndex:
                 break
         return result
 
+    def posting_sizes(self) -> Dict[str, int]:
+        """Mapping of every indexed attribute to its posting-list length.
+
+        For a single-attribute query ``result(q, p)`` *is* the posting size,
+        so bulk recall-table construction (the factored recall path) reads
+        this dict once per peer instead of intersecting posting sets per
+        (query, peer) pair.
+        """
+        return {attribute: len(postings) for attribute, postings in self._postings.items()}
+
     def vocabulary(self) -> List[str]:
         """All indexed attributes, sorted."""
         return sorted(self._postings)

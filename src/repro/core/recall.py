@@ -16,8 +16,10 @@ queries repeatedly while the reformulation protocol runs.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable, Mapping
-from typing import Callable, Dict, List, Optional
+from collections.abc import Hashable, Iterable, Mapping, Sequence
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.documents import DocumentCollection
 from repro.core.index import InvertedIndex
@@ -37,6 +39,9 @@ class ResultProvider:
     """
 
     def __init__(self, content: object) -> None:
+        #: The wrapped content object (read-only; lets bulk evaluation paths
+        #: use content-specific fast paths such as inverted-index posting sizes).
+        self.content = content
         if isinstance(content, DocumentCollection):
             self._count: Callable[[Query], int] = lambda query: content.match_count(query.attributes)
         elif hasattr(content, "result_count"):
@@ -137,6 +142,58 @@ class RecallModel:
         if total == 0:
             return {peer_id: 0.0 for peer_id in self._providers}
         return {peer_id: self.result(query, peer_id) / total for peer_id in self._providers}
+
+    def result_count_matrix(
+        self, queries: Sequence[Query], peer_order: Sequence[PeerId]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Bulk ``result(q, p)`` counts: ``(counts, totals)``.
+
+        ``counts[k, j]`` is ``result(queries[k], peer_order[j])`` (0 for peer
+        ids the model does not know, mirroring :meth:`recall_vector`'s 0.0
+        default); ``totals[k]`` is ``total_results(queries[k])`` summed over
+        *all* providers, known or not listed in *peer_order*.  Single-attribute
+        queries against inverted-index content are answered from posting-list
+        sizes — one dict scan per peer instead of a posting intersection per
+        (query, peer) pair — which is what makes recall-table construction
+        O(total postings) instead of O(|Q| * |P|).
+        """
+        num_queries = len(queries)
+        single_attribute: Dict[str, int] = {}
+        slow_rows: List[int] = []
+        for row, query in enumerate(queries):
+            attributes = list(query.attributes)
+            if len(attributes) == 1:
+                single_attribute[attributes[0]] = row
+            else:
+                slow_rows.append(row)
+        columns = {peer_id: column for column, peer_id in enumerate(peer_order)}
+
+        def fill(counts_row_major: np.ndarray, column: int, provider: ResultProvider) -> None:
+            content = getattr(provider, "content", None)
+            if isinstance(content, InvertedIndex):
+                for attribute, size in content.posting_sizes().items():
+                    row = single_attribute.get(attribute)
+                    if row is not None:
+                        counts_row_major[row, column] = size
+                rows = slow_rows
+            else:
+                rows = range(num_queries)
+            for row in rows:
+                counts_row_major[row, column] = provider.result_count(queries[row])
+
+        counts = np.zeros((num_queries, len(peer_order)), dtype=np.int64)
+        for column, peer_id in enumerate(peer_order):
+            provider = self._providers.get(peer_id)
+            if provider is not None:
+                fill(counts, column, provider)
+        totals = counts.sum(axis=1)
+        extra = [peer_id for peer_id in self._providers if peer_id not in columns]
+        if extra:
+            extra_counts = np.zeros((num_queries, len(extra)), dtype=np.int64)
+            for column, peer_id in enumerate(extra):
+                fill(extra_counts, column, self._providers[peer_id])
+            totals = totals + extra_counts.sum(axis=1)
+        return counts, totals
 
     def group_recall(self, query: Query, peer_ids: Iterable[PeerId]) -> float:
         """Recall obtained by evaluating *query* only on the peers in *peer_ids*."""

@@ -1,11 +1,10 @@
-"""Dense, workload-weighted recall matrices.
+"""Workload-weighted recall matrices — dense and factored representations.
 
 Evaluating the individual cost of every peer against every candidate cluster
-on every protocol round is the hot loop of the reproduction (200 peers x up
-to 200 clusters x hundreds of rounds).  The recall term of the individual
-cost only ever uses the per-query recalls ``r(q, pj)`` weighted by the query
-frequencies of the evaluating peer, so the whole term collapses to a single
-|P| x |P| matrix::
+on every protocol round is the hot loop of the reproduction.  The recall
+term of the individual cost only ever uses the per-query recalls ``r(q, pj)``
+weighted by the query frequencies of the evaluating peer, so the whole term
+collapses to a single |P| x |P| matrix::
 
     W[i, j] = sum over q in Q(p_i) of  num(q, Q(p_i)) / num(Q(p_i)) * r(q, p_j)
 
@@ -17,24 +16,233 @@ An analogous matrix with global query frequencies supports the workload cost::
 
     V[i, j] = sum over q in Q(p_i) of  num(q, Q(p_i)) / num(Q) * r(q, p_j)
 
-Both matrices are exact restatements of the paper's formulas; the test suite
-cross-checks them against the reference (per-query) implementation.
+**The factored form.**  ``W`` (and ``V``, and the service matrix) factor
+through the much smaller recall table ``B[q, j] = r(q, p_j)`` over the
+*distinct* queries ``q`` (vocabulary-bounded — a few hundred for the paper's
+single-term workloads, regardless of population size)::
+
+    W[i, j] = sum over k of  w[i, k] * B[qidx[i, k], j]
+
+where ``qidx``/``w`` are per-peer padded query-index and weight arrays with
+at most ``kmax`` (queries per peer) columns.  :class:`FactoredRecall` holds
+exactly these arrays: O(|P| * kmax + |Q_u| * |P|) memory instead of O(|P|^2),
+with every column / covered-column of ``W`` recoverable as an O(|P| * kmax)
+gather.  This is what lets the label-vector best-response kernel and the
+100k-peer benchmarks run without ever materialising a |P| x |P| array.
+
+The dense matrices are now *built from* the factored form with a per-query
+accumulation that reproduces the historical per-row Python loop bit for bit
+(same per-element accumulation order, same scalar divisions, exact +0.0
+padding), so dense consumers see byte-identical matrices at a fraction of the
+construction cost.  Construct with ``mode="factored"`` to skip the dense
+build entirely; the dense matrices then materialise lazily only if a dense
+consumer asks.
+
+Both representations are exact restatements of the paper's formulas; the
+test suite cross-checks them against the reference (per-query) implementation.
 """
 
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Mapping
-from typing import Dict, FrozenSet, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.queries import QueryWorkload
+from repro.core.queries import Query, QueryWorkload
 from repro.core.recall import RecallModel
 from repro.errors import UnknownPeerError
 
-__all__ = ["WeightedRecallMatrix"]
+__all__ = ["WeightedRecallMatrix", "FactoredRecall"]
 
 PeerId = Hashable
+
+
+class FactoredRecall:
+    """The ``W = A @ B`` factorisation of the weighted recall matrices.
+
+    Attributes
+    ----------
+    B:
+        ``(|Q_u|, |P|)`` recall table over the distinct queries: ``B[k, j] =
+        r(queries[k], peer_order[j])``.
+    B_totals:
+        ``(|Q_u|,)`` total result counts per distinct query (as floats).
+    qidx:
+        ``(|P|, kmax)`` per-peer query-row indices into ``B`` (zero-padded;
+        padded entries carry zero weights, so they never contribute).
+    w_local / w_global / w_count:
+        ``(|P|, kmax)`` per-peer query weights: ``num(q, Q(p)) / num(Q(p))``,
+        ``num(q, Q(p)) / num(Q)`` and the raw counts ``num(q, Q(p))``.
+    """
+
+    __slots__ = ("queries", "B", "B_totals", "qidx", "w_local", "w_global", "w_count")
+
+    def __init__(
+        self,
+        queries: List[Query],
+        B: np.ndarray,
+        B_totals: np.ndarray,
+        qidx: np.ndarray,
+        w_local: np.ndarray,
+        w_global: np.ndarray,
+        w_count: np.ndarray,
+    ) -> None:
+        self.queries = queries
+        self.B = B
+        self.B_totals = B_totals
+        self.qidx = qidx
+        self.w_local = w_local
+        self.w_global = w_global
+        self.w_count = w_count
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        recall_model: RecallModel,
+        workloads: Mapping[PeerId, QueryWorkload],
+        peer_order: Sequence[PeerId],
+    ) -> "FactoredRecall":
+        """Build the factored arrays (always float64; :meth:`cast` for float32)."""
+        population = len(peer_order)
+        queries: List[Query] = []
+        query_rows: Dict[Query, int] = {}
+        per_peer: List[List[Tuple[int, int]]] = []
+        global_total = sum(
+            workloads.get(peer_id, QueryWorkload()).total() for peer_id in peer_order
+        )
+        kmax = 0
+        for peer_id in peer_order:
+            workload = workloads.get(peer_id)
+            entries: List[Tuple[int, int]] = []
+            if workload is not None and workload.total():
+                for query, count in workload.items():
+                    qrow = query_rows.get(query)
+                    if qrow is None:
+                        qrow = len(queries)
+                        query_rows[query] = qrow
+                        queries.append(query)
+                    entries.append((qrow, count))
+            per_peer.append(entries)
+            kmax = max(kmax, len(entries))
+        counts, totals = recall_model.result_count_matrix(queries, peer_order)
+        totals_f = totals.astype(float)
+        B = np.zeros(counts.shape, dtype=float)
+        np.divide(counts, totals_f[:, None], out=B, where=totals_f[:, None] > 0)
+        qidx = np.zeros((population, kmax), dtype=np.intp)
+        w_local = np.zeros((population, kmax))
+        w_global = np.zeros((population, kmax))
+        w_count = np.zeros((population, kmax))
+        for row, entries in enumerate(per_peer):
+            if not entries:
+                continue
+            local_total = workloads[peer_order[row]].total()
+            for k, (qrow, count) in enumerate(entries):
+                qidx[row, k] = qrow
+                w_count[row, k] = count
+                w_local[row, k] = count / local_total
+                if global_total:
+                    w_global[row, k] = count / global_total
+        return cls(queries, B, totals_f, qidx, w_local, w_global, w_count)
+
+    def cast(self, dtype: np.dtype) -> "FactoredRecall":
+        """A copy with the float arrays cast to *dtype* (``qidx`` is shared)."""
+        return FactoredRecall(
+            self.queries,
+            self.B.astype(dtype),
+            self.B_totals.astype(dtype),
+            self.qidx,
+            self.w_local.astype(dtype),
+            self.w_global.astype(dtype),
+            self.w_count.astype(dtype),
+        )
+
+    # -- segmented reductions ------------------------------------------------
+
+    @property
+    def population(self) -> int:
+        return self.qidx.shape[0]
+
+    def totals_local(self) -> np.ndarray:
+        """``W.sum(axis=1)`` without materialising ``W`` (O(|P| * kmax))."""
+        row_sums = self.B.sum(axis=1)
+        return (self.w_local * row_sums[self.qidx]).sum(axis=1)
+
+    def totals_global(self) -> np.ndarray:
+        """``V.sum(axis=1)`` without materialising ``V``."""
+        row_sums = self.B.sum(axis=1)
+        return (self.w_global * row_sums[self.qidx]).sum(axis=1)
+
+    def own_local(self) -> np.ndarray:
+        """``diag(W)`` — each peer's weighted recall of its own content."""
+        gathered = self.B[self.qidx, np.arange(self.population)[:, None]]
+        return (self.w_local * gathered).sum(axis=1)
+
+    def column_local(self, column: int) -> np.ndarray:
+        """``W[:, column]`` — every peer's weighted recall of one provider."""
+        return (self.w_local * self.B[self.qidx, column]).sum(axis=1)
+
+    def column_global(self, column: int) -> np.ndarray:
+        """``V[:, column]``."""
+        return (self.w_global * self.B[self.qidx, column]).sum(axis=1)
+
+    def covered_local(self, columns: np.ndarray) -> np.ndarray:
+        """``W[:, columns].sum(axis=1)`` — covered recall of one member set.
+
+        A segmented reduction: the member columns collapse to a per-query
+        group recall ``B[:, columns].sum(axis=1)`` (O(|Q_u| * |members|)),
+        then one O(|P| * kmax) gather redistributes it to every evaluating
+        peer.  No |P| x |C| product anywhere.
+        """
+        group = self.B[:, columns].sum(axis=1)
+        return (self.w_local * group[self.qidx]).sum(axis=1)
+
+    def covered_global(self, columns: np.ndarray) -> np.ndarray:
+        """``V[:, columns].sum(axis=1)``."""
+        group = self.B[:, columns].sum(axis=1)
+        return (self.w_global * group[self.qidx]).sum(axis=1)
+
+    # -- dense materialisation ----------------------------------------------
+
+    def dense_local(self) -> np.ndarray:
+        """Materialise ``W`` — bit-identical to the historical per-row loop.
+
+        Element ``[i, j]`` accumulates ``w_local[i, k] * B[qidx[i, k], j]``
+        over ``k`` in workload order, exactly the additions the reference
+        Python loop performed (padding contributes exact ``+0.0`` terms).
+        """
+        population = self.population
+        out = np.zeros((population, population), dtype=self.B.dtype)
+        for k in range(self.qidx.shape[1]):
+            out += self.w_local[:, k, None] * self.B[self.qidx[:, k], :]
+        return out
+
+    def dense_global(self) -> np.ndarray:
+        """Materialise ``V`` (bit-identical to the historical loop)."""
+        population = self.population
+        out = np.zeros((population, population), dtype=self.B.dtype)
+        for k in range(self.qidx.shape[1]):
+            out += self.w_global[:, k, None] * self.B[self.qidx[:, k], :]
+        return out
+
+    def dense_service(self) -> np.ndarray:
+        """Materialise the service matrix ``S`` (rows: providers)."""
+        population = self.population
+        out = np.zeros((population, population), dtype=self.B.dtype)
+        for k in range(self.qidx.shape[1]):
+            rows = self.qidx[:, k]
+            term = self.w_count[:, k, None] * self.B[rows, :]
+            term *= self.B_totals[rows, None]
+            out += term
+        return np.ascontiguousarray(out.T)
+
+    def __repr__(self) -> str:
+        return (
+            f"FactoredRecall(peers={self.population}, queries={len(self.queries)}, "
+            f"kmax={self.qidx.shape[1]}, dtype={self.B.dtype})"
+        )
 
 
 class WeightedRecallMatrix:
@@ -50,6 +258,12 @@ class WeightedRecallMatrix:
         Optional explicit ordering of peer ids (defaults to the recall
         model's deterministic order).  The ordering fixes the matrix row /
         column layout.
+    mode:
+        ``"dense"`` (default) materialises the |P| x |P| matrices eagerly —
+        the historical behaviour, byte-identical values.  ``"factored"``
+        keeps only the :class:`FactoredRecall` arrays; the dense matrices
+        build lazily if (and only if) a dense consumer asks, so label-vector
+        kernels at 50k+ peers never pay O(|P|^2) memory.
     """
 
     def __init__(
@@ -57,7 +271,11 @@ class WeightedRecallMatrix:
         recall_model: RecallModel,
         workloads: Mapping[PeerId, QueryWorkload],
         peer_order: Optional[Sequence[PeerId]] = None,
+        *,
+        mode: str = "dense",
     ) -> None:
+        if mode not in ("dense", "factored"):
+            raise ValueError(f"mode must be 'dense' or 'factored', got {mode!r}")
         self._recall_model = recall_model
         self._workloads = workloads
         self._peer_order: List[PeerId] = list(peer_order) if peer_order is not None else list(
@@ -72,47 +290,118 @@ class WeightedRecallMatrix:
         #: only; member sets repeat across peers and rounds, so the same
         #: cluster never pays the dict-lookup translation twice).
         self._indices_cache: Dict[FrozenSet[PeerId], np.ndarray] = {}
-        self._local, self._global, self._service = self._build()
+        self._mode = mode
+        self._factored: Optional[FactoredRecall] = None
+        self._factored_cast: Dict[np.dtype, FactoredRecall] = {}
+        self._local: Optional[np.ndarray] = None
+        self._global: Optional[np.ndarray] = None
+        self._service: Optional[np.ndarray] = None
+        if mode == "dense":
+            self._ensure_local()
+            self._ensure_global()
+            self._ensure_service()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        recall_model: RecallModel,
+        workloads: Mapping[PeerId, QueryWorkload],
+        peer_order: Sequence[PeerId],
+        *,
+        local: np.ndarray,
+        global_matrix: np.ndarray,
+        service: np.ndarray,
+    ) -> "WeightedRecallMatrix":
+        """Adopt pre-built dense matrices instead of building them.
+
+        This is the attach side of the shared-memory scenario tier
+        (:mod:`repro.sweep.shm`): sweep workers wrap read-only views over a
+        coordinator-published buffer, so every worker shares one physical
+        copy.  The arrays are adopted as-is (no copy); the accessor methods
+        still return copies, so callers cannot tell the difference.
+        """
+        matrix = cls.__new__(cls)
+        matrix._recall_model = recall_model
+        matrix._workloads = workloads
+        matrix._peer_order = list(peer_order)
+        matrix._index_of = {
+            peer_id: index for index, peer_id in enumerate(matrix._peer_order)
+        }
+        if len(matrix._index_of) != len(matrix._peer_order):
+            raise ValueError("peer_order contains duplicate peer ids")
+        population = len(matrix._peer_order)
+        for name, array in (("local", local), ("global_matrix", global_matrix), ("service", service)):
+            if array.shape != (population, population):
+                raise ValueError(
+                    f"{name} has shape {array.shape}, expected {(population, population)}"
+                )
+        matrix._indices_cache = {}
+        matrix._mode = "dense"
+        matrix._factored = None
+        matrix._factored_cast = {}
+        matrix._local = np.asarray(local)
+        matrix._global = np.asarray(global_matrix)
+        matrix._service = np.asarray(service)
+        return matrix
 
     # -- construction -------------------------------------------------------
 
-    def _build(self) -> tuple:
-        population = len(self._peer_order)
-        local = np.zeros((population, population), dtype=float)
-        global_weighted = np.zeros((population, population), dtype=float)
-        service = np.zeros((population, population), dtype=float)
-        global_total = sum(
-            self._workloads.get(peer_id, QueryWorkload()).total() for peer_id in self._peer_order
-        )
-        for row, peer_id in enumerate(self._peer_order):
-            workload = self._workloads.get(peer_id)
-            if workload is None or workload.total() == 0:
-                continue
-            local_total = workload.total()
-            for query, count in workload.items():
-                recall_vector = self._recall_model.recall_vector(query)
-                weights = np.fromiter(
-                    (recall_vector.get(other, 0.0) for other in self._peer_order),
-                    dtype=float,
-                    count=population,
-                )
-                local[row] += (count / local_total) * weights
-                if global_total:
-                    global_weighted[row] += (count / global_total) * weights
-                # Absolute result counts served by each provider to this
-                # issuer's workload: result(q, provider) = r(q, provider) *
-                # total results for q.  Rows of ``service`` are providers.
-                total_results = self._recall_model.total_results(query)
-                if total_results:
-                    service[:, row] += count * weights * total_results
-        return local, global_weighted, service
+    def factored(self, dtype: Optional[object] = None) -> FactoredRecall:
+        """The :class:`FactoredRecall` arrays (built once, then cached).
+
+        ``dtype`` other than float64 returns a cached cast copy — the
+        float32 kernel mode reads its arrays from here.
+        """
+        if self._factored is None:
+            self._factored = FactoredRecall.build(
+                self._recall_model, self._workloads, self._peer_order
+            )
+        if dtype is None:
+            return self._factored
+        key = np.dtype(dtype)
+        if key == np.float64:
+            return self._factored
+        cast = self._factored_cast.get(key)
+        if cast is None:
+            cast = self._factored.cast(key)
+            self._factored_cast[key] = cast
+        return cast
+
+    def _ensure_local(self) -> np.ndarray:
+        if self._local is None:
+            self._local = self.factored().dense_local()
+        return self._local
+
+    def _ensure_global(self) -> np.ndarray:
+        if self._global is None:
+            self._global = self.factored().dense_global()
+        return self._global
+
+    def _ensure_service(self) -> np.ndarray:
+        if self._service is None:
+            self._service = self.factored().dense_service()
+        return self._service
 
     # -- accessors -----------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """``"dense"`` or ``"factored"`` (the construction-time choice)."""
+        return self._mode
 
     @property
     def peer_order(self) -> List[PeerId]:
         """The row/column ordering of peer ids."""
         return list(self._peer_order)
+
+    @property
+    def peer_index(self) -> Dict[PeerId, int]:
+        """The live ``peer_id -> row index`` map.
+
+        Shared with every consumer (kernels, cost models) so the map is built
+        exactly once per matrix — treat it as read-only.
+        """
+        return self._index_of
 
     def index_of(self, peer_id: PeerId) -> int:
         """Row index of *peer_id*."""
@@ -123,11 +412,11 @@ class WeightedRecallMatrix:
 
     def local_matrix(self) -> np.ndarray:
         """Copy of the locally-weighted matrix ``W`` (rows: evaluating peer)."""
-        return self._local.copy()
+        return self._ensure_local().copy()
 
     def global_matrix(self) -> np.ndarray:
         """Copy of the globally-weighted matrix ``V`` used by the workload cost."""
-        return self._global.copy()
+        return self._ensure_global().copy()
 
     def service_matrix(self) -> np.ndarray:
         """Copy of the service matrix ``S``.
@@ -137,7 +426,25 @@ class WeightedRecallMatrix:
         * result(q, p)``) — the raw material of the altruistic contribution
         measure (Eq. 6).
         """
-        return self._service.copy()
+        return self._ensure_service().copy()
+
+    def local_view(self) -> np.ndarray:
+        """Read-only (non-copying) view of ``W`` — for consumers that never write."""
+        view = self._ensure_local().view()
+        view.flags.writeable = False
+        return view
+
+    def global_view(self) -> np.ndarray:
+        """Read-only (non-copying) view of ``V``."""
+        view = self._ensure_global().view()
+        view.flags.writeable = False
+        return view
+
+    def service_view(self) -> np.ndarray:
+        """Read-only (non-copying) view of ``S``."""
+        view = self._ensure_service().view()
+        view.flags.writeable = False
+        return view
 
     def contribution_matrix(self, membership: np.ndarray) -> np.ndarray:
         """Vectorised ``contribution(p, c)`` (Eq. 6) for every peer and cluster.
@@ -159,8 +466,9 @@ class WeightedRecallMatrix:
             raise ValueError(
                 f"membership has {membership.shape[0]} rows, expected {len(self._peer_order)}"
             )
-        served_per_cluster = self._service @ membership
-        totals = self._service.sum(axis=1, keepdims=True)
+        service = self._ensure_service()
+        served_per_cluster = service @ membership
+        totals = service.sum(axis=1, keepdims=True)
         with np.errstate(divide="ignore", invalid="ignore"):
             contributions = np.where(totals > 0, served_per_cluster / totals, 0.0)
         return contributions
@@ -203,11 +511,11 @@ class WeightedRecallMatrix:
 
     def total_weight(self, peer_id: PeerId) -> float:
         """Total weighted recall available to *peer_id* (joining every cluster)."""
-        return float(self._local[self.index_of(peer_id)].sum())
+        return float(self._ensure_local()[self.index_of(peer_id)].sum())
 
     def covered_weight(self, peer_id: PeerId, covered_peers: Iterable[PeerId]) -> float:
         """Weighted recall that *peer_id* obtains from the peers in *covered_peers*."""
-        row = self._local[self.index_of(peer_id)]
+        row = self._ensure_local()[self.index_of(peer_id)]
         indices = self.covered_indices(covered_peers)
         if indices.size == 0:
             return 0.0
@@ -223,7 +531,7 @@ class WeightedRecallMatrix:
 
     def global_recall_loss(self, peer_id: PeerId, covered_peers: Iterable[PeerId]) -> float:
         """Globally-weighted recall loss for *peer_id* (workload-cost weighting)."""
-        row = self._global[self.index_of(peer_id)]
+        row = self._ensure_global()[self.index_of(peer_id)]
         total = float(row.sum())
         indices = self.covered_indices(covered_peers)
         covered = float(row[indices].sum()) if indices.size else 0.0
@@ -250,18 +558,19 @@ class WeightedRecallMatrix:
             raise ValueError(
                 f"membership has {membership.shape[0]} rows, expected {len(self._peer_order)}"
             )
-        covered = self._local @ membership
-        own = np.diag(self._local)[:, None]
+        local = self._ensure_local()
+        covered = local @ membership
+        own = np.diag(local)[:, None]
         # A peer that is not currently a member of cluster k would still reach
         # its own results after joining; add its own weight unless the cluster
         # already contains it (in which case the product already counted it).
-        own_counted = membership * np.diag(self._local)[:, None]
+        own_counted = membership * np.diag(local)[:, None]
         covered_adjusted = covered - own_counted + own
-        totals = self._local.sum(axis=1, keepdims=True)
+        totals = local.sum(axis=1, keepdims=True)
         return totals - covered_adjusted
 
     def __len__(self) -> int:
         return len(self._peer_order)
 
     def __repr__(self) -> str:
-        return f"WeightedRecallMatrix(peers={len(self._peer_order)})"
+        return f"WeightedRecallMatrix(peers={len(self._peer_order)}, mode={self._mode})"

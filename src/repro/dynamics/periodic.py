@@ -91,12 +91,18 @@ class PeriodicMaintenanceLoop:
         router_factory: Optional[Callable[[PeerNetwork], QueryRouter]] = None,
         hooks: Optional[EventHooks] = None,
         schedule: Optional[DynamicsSchedule] = None,
+        kernel_backend: Optional[str] = None,
+        kernel_dtype: Optional[str] = None,
     ) -> None:
         self.network = network
         self.configuration = configuration
         self.strategy = strategy
         self.alpha = alpha
         self.theta = theta
+        #: Kernel backend/dtype forwarded to every period's protocol run
+        #: (``None`` -> automatic backend by population, float64).
+        self.kernel_backend = kernel_backend
+        self.kernel_dtype = kernel_dtype
         self.gain_threshold = gain_threshold
         self.allow_cluster_creation = allow_cluster_creation
         self.restrict_to_nonempty = restrict_to_nonempty
@@ -123,7 +129,10 @@ class PeriodicMaintenanceLoop:
     # -- internals ---------------------------------------------------------------
 
     def _cost_model(self):
-        return self.network.cost_model(theta=self.theta, alpha=self.alpha)
+        matrix_mode = "factored" if self.kernel_backend == "labels" else None
+        return self.network.cost_model(
+            theta=self.theta, alpha=self.alpha, matrix_mode=matrix_mode
+        )
 
     def _run_observation(self) -> Optional[OverlaySimulator]:
         if not self.simulate_queries:
@@ -165,6 +174,8 @@ class PeriodicMaintenanceLoop:
             restrict_to_nonempty=self.restrict_to_nonempty,
             bus=self.bus,
             hooks=self.hooks,
+            kernel_backend=self.kernel_backend,
+            kernel_dtype=self.kernel_dtype,
         )
         statistics = simulator.statistics if simulator is not None else None
         result: ProtocolResult = protocol.run(

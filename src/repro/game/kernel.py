@@ -8,22 +8,41 @@ plus a Python per-peer loop hundreds of times per run even though each round
 only moves a handful of peers.
 
 :class:`BestResponseKernel` keeps the pieces of that computation as *live*
-NumPy state tied to one :class:`~repro.peers.configuration.ClusterConfiguration`:
+state tied to one :class:`~repro.peers.configuration.ClusterConfiguration`,
+in one of two backends:
 
-* ``M`` — the 0/1 membership matrix (peers x cluster slots),
-* ``sizes`` — the cluster-size vector ``|c|``,
-* ``CW = W @ M`` — the locally weighted covered-recall row sums over the
-  :class:`~repro.core.recall_matrix.WeightedRecallMatrix` (the globally
-  weighted analogue ``CV = V @ M`` is available through
-  :meth:`BestResponseKernel.global_covered`, built lazily).
+* ``backend="dense"`` — the historical representation: ``M`` (the 0/1
+  peers x cluster-slots membership matrix), ``sizes`` and ``CW = W @ M``
+  over the dense :class:`~repro.core.recall_matrix.WeightedRecallMatrix`
+  (the globally weighted analogue ``CV = V @ M`` builds lazily).  O(|P| x
+  |C|) memory — exact, simple, and the right choice up to a few thousand
+  peers.
+* ``backend="labels"`` — clusters partition peers, so membership collapses
+  to an integer *label vector* (one cluster column per peer; the rare
+  multi-membership peers spill into a tiny overflow map) and ``CW``/``CV``
+  shrink to per-cluster covered columns computed as **segmented reductions**
+  over the :class:`~repro.core.recall_matrix.FactoredRecall` arrays: a
+  cluster's member columns collapse to a per-query group recall
+  (O(|Q_u| x |members|)), then one O(|P| x kmax) gather redistributes it.
+  A peer move updates two columns in O(|P|) and **no |P| x |C| matrix
+  exists anywhere** — this is what makes best-response rounds at 10k-100k
+  peers fit on one box.
+
+``backend="auto"`` (the default) picks ``dense`` below
+:data:`~BestResponseKernel.AUTO_LABELS_THRESHOLD` peers and ``labels`` at or
+above it.  ``dtype="float32"`` halves the array memory of either backend;
+costs are then accurate to roughly 1e-3 relative (vs. the 1e-9 float64
+parity the test suite pins), which is plenty for best-response *decisions*
+but not for tight cost assertions — see the README's tolerance contract.
 
 The kernel registers itself as a configuration listener, so every
 ``assign`` / ``move`` / ``remove_peer`` updates the caches in ``O(|P|)``
-(one column add/subtract) instead of triggering an ``O(|P|^2 |C|)`` rebuild.
+(one column add/subtract) instead of triggering a full rebuild.
 :meth:`best_response_all` then scores *all* candidates for *all* peers with
 pure array arithmetic — including the :data:`~repro.core.costs.NEW_CLUSTER`
 option — reproducing the reference per-candidate evaluation exactly (the
-test suite pins the kernel to the exact per-query :class:`~repro.core.costs.CostModel`).
+test suite pins both backends to the exact per-query
+:class:`~repro.core.costs.CostModel`).
 
 The kernel is used automatically by :meth:`ClusterGame.best_responses
 <repro.game.model.ClusterGame.best_responses>` whenever a recall matrix is
@@ -34,7 +53,7 @@ attached; pass ``use_kernel=False`` to the game to force the reference path
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Sequence
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -47,6 +66,9 @@ __all__ = ["BestResponseKernel"]
 
 PeerId = Hashable
 ClusterId = Hashable
+
+#: Kernel backends accepted by :class:`BestResponseKernel`.
+_BACKENDS = ("dense", "labels")
 
 
 class BestResponseKernel:
@@ -63,24 +85,66 @@ class BestResponseKernel:
         the underlying recall matrix describes the network (content changes
         require a fresh cost model and hence a fresh kernel, exactly like the
         matrix itself).
+    backend:
+        ``"dense"``, ``"labels"`` or ``"auto"`` (default: dense below
+        :data:`AUTO_LABELS_THRESHOLD` peers, labels at or above).
+    dtype:
+        ``"float64"`` (default) or ``"float32"``.  float32 halves memory and
+        relaxes cost accuracy to ~1e-3 relative.
     """
 
-    def __init__(self, cost_model: CostModel, configuration: ClusterConfiguration) -> None:
+    #: Population at or above which ``backend="auto"`` switches to labels.
+    AUTO_LABELS_THRESHOLD = 2048
+
+    def __init__(
+        self,
+        cost_model: CostModel,
+        configuration: ClusterConfiguration,
+        *,
+        backend: str = "auto",
+        dtype: Optional[object] = None,
+    ) -> None:
         matrix = cost_model.matrix
         if matrix is None:
             raise ConfigurationError(
                 "BestResponseKernel requires a cost model with an attached WeightedRecallMatrix"
             )
+        resolved_dtype = np.dtype(dtype) if dtype is not None else np.dtype(np.float64)
+        if resolved_dtype not in (np.dtype(np.float64), np.dtype(np.float32)):
+            raise ConfigurationError(
+                f"kernel dtype must be float64 or float32, got {dtype!r}"
+            )
+        if backend == "auto":
+            backend = (
+                "labels"
+                if len(matrix.peer_order) >= self.AUTO_LABELS_THRESHOLD
+                else "dense"
+            )
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"kernel backend must be 'dense', 'labels' or 'auto', got {backend!r}"
+            )
+        self.backend = backend
+        self.dtype = resolved_dtype
         self.cost_model = cost_model
         self.configuration = configuration
         self._recall_matrix = matrix
         self._peer_order: List[PeerId] = matrix.peer_order
-        self._peer_index: Dict[PeerId, int] = {
-            peer_id: row for row, peer_id in enumerate(self._peer_order)
-        }
-        self._W = matrix.local_matrix()
-        self._totals = self._W.sum(axis=1)
-        self._own = np.ascontiguousarray(np.diag(self._W))
+        # Shared with the matrix (built exactly once per matrix, not per kernel).
+        self._peer_index: Dict[PeerId, int] = matrix.peer_index
+        if backend == "labels":
+            self._source = matrix.factored(resolved_dtype)
+            self._W: Optional[np.ndarray] = None
+            self._totals = self._source.totals_local()
+            self._own = self._source.own_local()
+        else:
+            self._source = None
+            weights = matrix.local_view()
+            if resolved_dtype != np.float64:
+                weights = weights.astype(resolved_dtype)
+            self._W = weights
+            self._totals = self._W.sum(axis=1)
+            self._own = np.ascontiguousarray(np.diag(self._W))
         self._theta_table = np.zeros(0, dtype=float)
         #: Set when the configuration gained a peer unknown to the recall
         #: matrix; the kernel can no longer answer for it and callers should
@@ -92,16 +156,25 @@ class BestResponseKernel:
     # -- state construction --------------------------------------------------
 
     def _rebuild(self) -> None:
-        """(Re)build every cache from the configuration (O(|P|^2 |C|))."""
+        """(Re)build every cache from the configuration.
+
+        Dense: O(|P|^2 |C|) (the ``W @ M`` product).  Labels: O(|P|) — the
+        covered columns materialise lazily per candidate cluster.
+        """
         self._cluster_order: List[ClusterId] = list(self.configuration.cluster_ids())
         self._cluster_index: Dict[ClusterId, int] = {
             cluster_id: column for column, cluster_id in enumerate(self._cluster_order)
         }
+        if self.backend == "labels":
+            self._rebuild_labels()
+            return
         membership, _ = self.configuration.membership_matrix(
             self._peer_order, self._cluster_order
         )
+        if self.dtype != np.float64:
+            membership = membership.astype(self.dtype)
         self._M = membership
-        self._sizes = membership.sum(axis=0)
+        self._sizes = membership.sum(axis=0, dtype=float)
         self._CW = self._W @ membership
         # The globally-weighted analogue (V @ M, backing the vectorized
         # workload cost) is built on first access and maintained thereafter.
@@ -109,8 +182,32 @@ class BestResponseKernel:
         self._CV: Optional[np.ndarray] = None
         self._V_totals: Optional[np.ndarray] = None
 
+    def _rebuild_labels(self) -> None:
+        population = len(self._peer_order)
+        #: Each tracked peer's cluster column: -1 unassigned, -2 when the
+        #: peer joined several clusters (the actual set lives in _overflow).
+        self._labels = np.full(population, -1, dtype=np.int64)
+        self._counts = np.zeros(population, dtype=np.int64)
+        self._overflow: Dict[int, Set[int]] = {}
+        self._sizes = np.zeros(len(self._cluster_order), dtype=float)
+        #: Lazily-materialised covered columns: column -> (|P|,) array.  A
+        #: column is computed as a segmented reduction on first touch and
+        #: incrementally +/- updated from then on.
+        self._cw: Dict[int, np.ndarray] = {}
+        self._cv: Dict[int, np.ndarray] = {}
+        self._cv_active = False
+        self._V_totals = None
+        for cluster_id in self.configuration.nonempty_clusters():
+            column = self._cluster_index[cluster_id]
+            for peer_id in self.configuration.members(cluster_id):
+                row = self._peer_index.get(peer_id)
+                if row is None:
+                    continue
+                self._sizes[column] += 1.0
+                self._assign_label(row, column)
+
     def rebuild(self) -> None:
-        """Public O(|P|^2 |C|) rebuild (used by tests to cross-check the incremental state).
+        """Public full rebuild (used by tests to cross-check the incremental state).
 
         The stale flag is recomputed, not blindly cleared: a configuration
         still holding peers the recall matrix does not know stays stale.
@@ -120,7 +217,10 @@ class BestResponseKernel:
 
     def _has_untracked_peers(self) -> bool:
         """Whether the configuration holds assigned peers outside the matrix."""
-        tracked_assigned = int(np.count_nonzero(self._M.sum(axis=1)))
+        if self.backend == "labels":
+            tracked_assigned = int(np.count_nonzero(self._counts))
+        else:
+            tracked_assigned = int(np.count_nonzero(self._M.sum(axis=1)))
         return self.configuration.num_peers() != tracked_assigned
 
     def _untracked_peers(self) -> List[PeerId]:
@@ -133,6 +233,113 @@ class BestResponseKernel:
             if peer_id not in self._peer_index
         ]
 
+    # -- label-vector bookkeeping ---------------------------------------------
+
+    def _assign_label(self, row: int, column: int) -> None:
+        count = int(self._counts[row])
+        if count == 0:
+            self._labels[row] = column
+        elif count == 1:
+            self._overflow[row] = {int(self._labels[row]), column}
+            self._labels[row] = -2
+        else:
+            self._overflow[row].add(column)
+        self._counts[row] = count + 1
+
+    def _unassign_label(self, row: int, column: int) -> None:
+        self._counts[row] -= 1
+        member_columns = self._overflow.get(row)
+        if member_columns is not None:
+            member_columns.discard(column)
+            if len(member_columns) == 1:
+                self._labels[row] = member_columns.pop()
+                del self._overflow[row]
+        else:
+            self._labels[row] = -1
+
+    def _member_rows(self, column: int) -> np.ndarray:
+        rows = np.nonzero(self._labels == column)[0]
+        if self._overflow:
+            extra = [row for row, columns in self._overflow.items() if column in columns]
+            if extra:
+                rows = np.unique(
+                    np.concatenate([rows, np.asarray(extra, dtype=np.intp)])
+                )
+        return rows
+
+    def _cw_column(self, column: int) -> np.ndarray:
+        covered = self._cw.get(column)
+        if covered is None:
+            covered = self._source.covered_local(self._member_rows(column))
+            self._cw[column] = covered
+        return covered
+
+    def _cv_column(self, column: int) -> np.ndarray:
+        covered = self._cv.get(column)
+        if covered is None:
+            covered = self._source.covered_global(self._member_rows(column))
+            self._cv[column] = covered
+        return covered
+
+    def _ensure_global_tracking(self) -> None:
+        if not self._cv_active:
+            self._V_totals = self._source.totals_global()
+            self._cv_active = True
+
+    # -- backend-dispatched state reads ---------------------------------------
+
+    def _membership_block(self, columns: Sequence[int]) -> np.ndarray:
+        """0/1 membership of every peer against the given cluster columns."""
+        if self.backend != "labels":
+            return self._M[:, columns]
+        cols = np.asarray(columns, dtype=np.int64)
+        block = (self._labels[:, None] == cols[None, :]).astype(float)
+        if self._overflow:
+            position = {int(column): k for k, column in enumerate(cols)}
+            for row, member_columns in self._overflow.items():
+                for column in member_columns:
+                    k = position.get(column)
+                    if k is not None:
+                        block[row, k] = 1.0
+        return block
+
+    def _covered_block(self, columns: Sequence[int]) -> np.ndarray:
+        """``CW`` restricted to the given cluster columns."""
+        if self.backend != "labels":
+            return self._CW[:, columns]
+        population = len(self._peer_order)
+        if not len(columns):
+            return np.zeros((population, 0), dtype=self.dtype)
+        return np.stack([self._cw_column(int(column)) for column in columns], axis=1)
+
+    def _counts_all(self) -> np.ndarray:
+        """Per-peer cluster-membership counts (over every cluster slot)."""
+        if self.backend == "labels":
+            return self._counts.astype(float)
+        return self._M.sum(axis=1)
+
+    def _covered_at(self, columns: np.ndarray) -> np.ndarray:
+        """Per-peer covered recall from its *own* column: ``CW[i, columns[i]]``."""
+        if self.backend != "labels":
+            return self._CW[np.arange(columns.size), columns]
+        out = np.empty(columns.size, dtype=float)
+        for column in np.unique(columns):
+            rows = np.nonzero(columns == column)[0]
+            out[rows] = self._cw_column(int(column))[rows]
+        return out
+
+    def _global_covered_at(self, columns: np.ndarray) -> np.ndarray:
+        """Per-peer globally-weighted covered recall: ``CV[i, columns[i]]``."""
+        if self.backend != "labels":
+            covered = self.global_covered()
+            return covered[np.arange(columns.size), columns]
+        self._ensure_global_tracking()
+        out = np.empty(columns.size, dtype=float)
+        for column in np.unique(columns):
+            rows = np.nonzero(columns == column)[0]
+            out[rows] = self._cv_column(int(column))[rows]
+        return out
+
     # -- configuration listener callbacks ------------------------------------
 
     def configuration_assigned(self, peer_id: PeerId, cluster_id: ClusterId) -> None:
@@ -143,6 +350,17 @@ class BestResponseKernel:
         column = self._cluster_index.get(cluster_id)
         if column is None:
             column = self._add_cluster_column(cluster_id)
+        if self.backend == "labels":
+            self._sizes[column] += 1.0
+            self._assign_label(row, column)
+            covered = self._cw.get(column)
+            if covered is not None:
+                covered += self._source.column_local(row)
+            if self._cv_active:
+                covered_global = self._cv.get(column)
+                if covered_global is not None:
+                    covered_global += self._source.column_global(row)
+            return
         self._M[row, column] = 1.0
         self._sizes[column] += 1.0
         self._CW[:, column] += self._W[:, row]
@@ -157,6 +375,17 @@ class BestResponseKernel:
         if column is None:
             self.stale = True
             return
+        if self.backend == "labels":
+            self._sizes[column] -= 1.0
+            self._unassign_label(row, column)
+            covered = self._cw.get(column)
+            if covered is not None:
+                covered -= self._source.column_local(row)
+            if self._cv_active:
+                covered_global = self._cv.get(column)
+                if covered_global is not None:
+                    covered_global -= self._source.column_global(row)
+            return
         self._M[row, column] = 0.0
         self._sizes[column] -= 1.0
         self._CW[:, column] -= self._W[:, row]
@@ -168,15 +397,19 @@ class BestResponseKernel:
             self._add_cluster_column(cluster_id)
 
     def _add_cluster_column(self, cluster_id: ClusterId) -> int:
-        population = len(self._peer_order)
         column = len(self._cluster_order)
         self._cluster_order.append(cluster_id)
         self._cluster_index[cluster_id] = column
-        self._M = np.hstack([self._M, np.zeros((population, 1))])
         self._sizes = np.append(self._sizes, 0.0)
-        self._CW = np.hstack([self._CW, np.zeros((population, 1))])
+        if self.backend == "labels":
+            return column
+        population = len(self._peer_order)
+        self._M = np.hstack([self._M, np.zeros((population, 1), dtype=self._M.dtype)])
+        self._CW = np.hstack([self._CW, np.zeros((population, 1), dtype=self._CW.dtype)])
         if self._CV is not None:
-            self._CV = np.hstack([self._CV, np.zeros((population, 1))])
+            self._CV = np.hstack(
+                [self._CV, np.zeros((population, 1), dtype=self._CV.dtype)]
+            )
         return column
 
     # -- accessors ------------------------------------------------------------
@@ -191,10 +424,23 @@ class BestResponseKernel:
 
         Built lazily on first access (the best-response path never needs it)
         and incrementally maintained from then on; the raw material of
-        :meth:`workload_cost`.
+        :meth:`workload_cost`.  Under the labels backend the full matrix only
+        materialises for this dense-shaped accessor — the workload-cost path
+        itself reads per-cluster columns.
         """
+        if self.backend == "labels":
+            self._ensure_global_tracking()
+            population = len(self._peer_order)
+            out = np.zeros((population, len(self._cluster_order)))
+            for column in range(len(self._cluster_order)):
+                if column in self._cv or self._sizes[column] > 0:
+                    out[:, column] = self._cv_column(column)
+            return out
         if self._CV is None:
-            self._V = self._recall_matrix.global_matrix()
+            weights = self._recall_matrix.global_view()
+            if self.dtype != np.float64:
+                weights = weights.astype(self.dtype)
+            self._V = weights
             self._CV = self._V @ self._M
             self._V_totals = self._V.sum(axis=1)
         return self._CV
@@ -208,6 +454,8 @@ class BestResponseKernel:
         sizes are the live cluster sizes gathered in the same order.
         """
         columns = [self._cluster_index[cluster_id] for cluster_id in cluster_order]
+        if self.backend == "labels":
+            return self._membership_block(columns), self._sizes[columns].copy()
         return self._M[:, columns].copy(), self._sizes[columns].copy()
 
     def _theta_values(self, max_size: int) -> np.ndarray:
@@ -220,8 +468,9 @@ class BestResponseKernel:
 
     # -- vectorized cost evaluation -------------------------------------------
 
-    def _cost_table_for(self, membership: np.ndarray, columns: Sequence[int]) -> np.ndarray:
-        covered = self._CW[:, columns]
+    def _cost_table_for(
+        self, membership: np.ndarray, covered: np.ndarray, columns: Sequence[int]
+    ) -> np.ndarray:
         own = self._own[:, None]
         own_counted = membership * own
         covered_adjusted = covered - own_counted + own
@@ -246,7 +495,9 @@ class BestResponseKernel:
         :meth:`CostModel.prospective_pcost`.
         """
         columns = [self._cluster_index[cluster_id] for cluster_id in candidate_clusters]
-        return self._cost_table_for(self._M[:, columns], columns)
+        return self._cost_table_for(
+            self._membership_block(columns), self._covered_block(columns), columns
+        )
 
     def new_cluster_costs(self) -> np.ndarray:
         """Cost of moving to a fresh, empty cluster, for every peer."""
@@ -261,6 +512,12 @@ class BestResponseKernel:
         (multi-membership is legal in the model but outside the vector fast
         path) — callers fall back to the per-peer reference evaluation.
         """
+        if self.backend == "labels":
+            if self._counts.size == 0:
+                return None
+            if self._overflow or not bool(np.all(self._counts == 1)):
+                return None
+            return self._labels
         counts = self._M.sum(axis=1)
         if counts.size == 0 or not np.all(counts == 1.0):
             return None
@@ -274,7 +531,7 @@ class BestResponseKernel:
             * theta_table[sizes.astype(int)]
             / self.cost_model.population_size
         )
-        losses = self._totals - self._CW[np.arange(columns.size), columns]
+        losses = self._totals - self._covered_at(columns)
         return membership + losses
 
     def current_costs(self) -> Dict[PeerId, float]:
@@ -312,8 +569,9 @@ class BestResponseKernel:
 
         The maintenance term is ``alpha * sum |c| * theta(|c|) / |P|`` over the
         live cluster-size vector; the recall term reads the lazily-built,
-        incrementally-maintained ``CV = V @ M`` product
-        (:meth:`global_covered`), replacing the per-peer Python loop of
+        incrementally-maintained covered-recall state (``CV = V @ M`` columns
+        under the dense backend, per-cluster segmented reductions under the
+        labels backend), replacing the per-peer Python loop of
         :meth:`CostModel.workload_cost` on the per-round trace path.  Falls
         back to the cost model whenever a tracked peer is outside the
         single-cluster regime, so the result always agrees with the reference
@@ -329,9 +587,13 @@ class BestResponseKernel:
             * float((sizes * theta_table[sizes.astype(int)]).sum())
             / self.cost_model.population_size
         )
-        covered = self.global_covered()
-        rows = np.arange(columns.size)
-        loss = float((self._V_totals - covered[rows, columns]).sum())
+        if self.backend == "labels":
+            self._ensure_global_tracking()
+            loss = float((self._V_totals - self._global_covered_at(columns)).sum())
+        else:
+            covered = self.global_covered()
+            rows = np.arange(columns.size)
+            loss = float((self._V_totals - covered[rows, columns]).sum())
         if normalized:
             return maintenance / self.cost_model.population_size + loss
         return maintenance + loss
@@ -370,9 +632,9 @@ class BestResponseKernel:
         cluster is not a candidate) land in ``fallback_rows``.
         """
         columns = [self._cluster_index[cluster_id] for cluster_id in candidates]
-        membership = self._M[:, columns]
-        costs = self._cost_table_for(membership, columns)
-        counts_all = self._M.sum(axis=1)
+        membership = self._membership_block(columns)
+        costs = self._cost_table_for(membership, self._covered_block(columns), columns)
+        counts_all = self._counts_all()
         assigned = counts_all > 0.0
         eligible = assigned & (counts_all == 1.0) & (membership.sum(axis=1) == 1.0)
         rows = np.arange(len(self._peer_order))
@@ -520,5 +782,6 @@ class BestResponseKernel:
     def __repr__(self) -> str:
         return (
             f"BestResponseKernel(peers={len(self._peer_order)}, "
-            f"clusters={len(self._cluster_order)}, stale={self.stale})"
+            f"clusters={len(self._cluster_order)}, backend={self.backend}, "
+            f"dtype={self.dtype}, stale={self.stale})"
         )

@@ -101,7 +101,14 @@ class ClusterConfiguration:
         ``configuration_cluster_added(cluster_id)``; missing methods are
         skipped.  Listeners are stored through weak references so a discarded
         listener (e.g. a per-round game's kernel) never outlives its owner.
+        Dead references are pruned here and on every mutation notification,
+        so churning kernels against a long-lived configuration keeps the
+        listener list bounded by the number of *live* listeners.
         """
+        if any(reference() is None for reference in self._listeners):
+            self._listeners = [
+                reference for reference in self._listeners if reference() is not None
+            ]
         self._listeners.append(weakref.ref(listener))
 
     def remove_listener(self, listener: object) -> None:

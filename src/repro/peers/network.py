@@ -130,12 +130,45 @@ class PeerNetwork:
             merged = merged.merge(peer.workload)
         return merged
 
-    def recall_matrix(self, *, rebuild: bool = False) -> WeightedRecallMatrix:
-        """The dense weighted recall matrix over the current state (cached)."""
+    def recall_matrix(
+        self, *, rebuild: bool = False, mode: Optional[str] = None
+    ) -> WeightedRecallMatrix:
+        """The weighted recall matrix over the current state (cached).
+
+        ``mode`` selects the matrix representation (``"dense"`` eagerly
+        builds the |P| x |P| arrays, ``"factored"`` keeps the compact
+        recall-table factorisation for the labels kernel backend); a cached
+        matrix of a different mode is rebuilt.
+        """
         recall_model = self.recall_model()
-        if self._matrix is None or rebuild:
-            self._matrix = WeightedRecallMatrix(recall_model, self.workloads(), self.peer_ids())
+        if self._matrix is None or rebuild or (
+            mode is not None and self._matrix.mode != mode
+        ):
+            self._matrix = WeightedRecallMatrix(
+                recall_model,
+                self.workloads(),
+                self.peer_ids(),
+                mode=mode if mode is not None else "dense",
+            )
         return self._matrix
+
+    def adopt_recall_matrix(self, matrix: WeightedRecallMatrix) -> None:
+        """Install an externally-built matrix as the cached one.
+
+        The shared-memory sweep tier builds matrices whose arrays live in a
+        shared segment published by the coordinator; workers adopt them so
+        :meth:`recall_matrix` / :meth:`cost_model` reuse the shared arrays
+        instead of recomputing |P| x |P| products per process.  The matrix
+        must describe exactly this network's population.
+        """
+        if matrix.peer_order != self.peer_ids():
+            raise ConfigurationError(
+                "adopted recall matrix does not match the network's peer population"
+            )
+        # Prime the version snapshot so the adopted matrix is not immediately
+        # discarded by the staleness check in recall_model().
+        self.recall_model()
+        self._matrix = matrix
 
     def cost_model(
         self,
@@ -143,12 +176,16 @@ class PeerNetwork:
         theta: Optional[ThetaFunction] = None,
         alpha: float = 1.0,
         use_matrix: bool = True,
+        matrix_mode: Optional[str] = None,
     ) -> CostModel:
         """Build a :class:`CostModel` for the current network state.
 
-        With ``use_matrix=True`` (the default) the dense recall matrix is
+        With ``use_matrix=True`` (the default) the weighted recall matrix is
         attached, which is what the experiment-scale runs need; passing
         ``False`` yields the exact per-query reference evaluation.
+        ``matrix_mode`` is forwarded to :meth:`recall_matrix` (use
+        ``"factored"`` for the labels kernel backend at large populations —
+        the dense |P| x |P| arrays are then never materialised).
         """
         model = CostModel(
             self.recall_model(),
@@ -158,7 +195,7 @@ class PeerNetwork:
             population_size=len(self._peers),
         )
         if use_matrix:
-            model.attach_matrix(self.recall_matrix())
+            model.attach_matrix(self.recall_matrix(mode=matrix_mode))
         return model
 
     # -- configuration helpers ---------------------------------------------------------

@@ -77,6 +77,14 @@ class SessionConfig:
     traffic: Optional[Dict[str, Any]] = None
     #: Field overrides applied to the preset's :class:`ScenarioConfig`.
     scenario_overrides: Dict[str, Any] = field(default_factory=dict)
+    #: Best-response kernel backend (``dense``/``labels``/``auto``); ``None``
+    #: = automatic selection by population size.  ``labels`` additionally
+    #: switches the recall matrix to its factored representation so no
+    #: |P| x |P| array is materialised — the large-population mode.
+    kernel_backend: Optional[str] = None
+    #: Kernel dtype (``float64``/``float32``); ``None`` = float64.  float32
+    #: halves kernel memory at ~1e-3 relative cost accuracy.
+    kernel_dtype: Optional[str] = None
     #: Discovery-run protocol knobs (the paper's Section 4.1 defaults).
     allow_cluster_creation: bool = True
     creation_cost_increase: float = 0.0
@@ -188,4 +196,10 @@ class SessionConfig:
             values.pop("base")
         if self.traffic is None:
             values.pop("traffic")
+        # Defaults stay out of the dict so configs hash/compare identically
+        # across versions that did not know these keys.
+        if self.kernel_backend is None:
+            values.pop("kernel_backend")
+        if self.kernel_dtype is None:
+            values.pop("kernel_dtype")
         return values

@@ -169,8 +169,13 @@ class Simulation:
     def cost_model(self) -> CostModel:
         """The cost model over the network's current state (cached; see :meth:`invalidate`)."""
         if self._cost_model is None:
+            # The labels kernel backend works off the factored recall
+            # representation, so the |P| x |P| dense arrays are never built.
+            matrix_mode = "factored" if self.config.kernel_backend == "labels" else None
             self._cost_model = self.network.cost_model(
-                theta=self.theta, alpha=self.experiment_config.alpha
+                theta=self.theta,
+                alpha=self.experiment_config.alpha,
+                matrix_mode=matrix_mode,
             )
         return self._cost_model
 
@@ -248,6 +253,8 @@ class Simulation:
             restrict_to_nonempty=self.config.restrict_to_nonempty,
             enforce_locks=self.config.enforce_locks,
             hooks=self.hooks,
+            kernel_backend=self.config.kernel_backend,
+            kernel_dtype=self.config.kernel_dtype,
         )
         self.last_protocol = protocol
         statistics = simulator.statistics if simulator is not None else None
@@ -362,6 +369,8 @@ class Simulation:
             router_factory=self.router_factory(),
             hooks=self.hooks,
             schedule=resolved,
+            kernel_backend=self.config.kernel_backend,
+            kernel_dtype=self.config.kernel_dtype,
             **loop_kwargs,
         )
         self.last_loop = loop
@@ -621,6 +630,21 @@ class SimulationBuilder:
     def strategy_mode(self, mode: str) -> "SimulationBuilder":
         """Set the strategy evaluation mode (``exact`` or ``observed``)."""
         self._values["strategy_mode"] = mode
+        return self
+
+    def kernel(
+        self, backend: Optional[str] = None, *, dtype: Optional[str] = None
+    ) -> "SimulationBuilder":
+        """Select the best-response kernel backend and dtype.
+
+        ``backend="labels"`` is the large-population mode (label-vector
+        membership over the factored recall representation); ``dtype="float32"``
+        halves kernel memory at relaxed (~1e-3 relative) cost accuracy.
+        """
+        if backend is not None:
+            self._values["kernel_backend"] = backend
+        if dtype is not None:
+            self._values["kernel_dtype"] = dtype
         return self
 
     def protocol_options(

@@ -68,6 +68,7 @@ def run_sweep(
     scenario_cache: bool = True,
     store: Optional[Any] = None,
     resume: bool = True,
+    shm: Optional[bool] = None,
 ) -> SweepResult:
     """Run every task of *spec* and aggregate the results.
 
@@ -103,6 +104,14 @@ def run_sweep(
         stored result, loading it instead (default).  ``resume=False``
         re-executes everything (and refreshes the store).  The merged
         result is byte-identical either way.
+    shm:
+        Shared-memory scenario tier (:mod:`repro.sweep.shm`): the
+        coordinator publishes each pending scenario's dense recall arrays
+        once and workers attach read-only views instead of rebuilding them
+        per process.  ``None`` (default) auto-enables for multi-process
+        executors when the platform supports it; ``True`` forces it on
+        (still skipped when unsupported); ``False`` disables it.  Results
+        are byte-identical either way.
     """
     if workers is not None:
         warnings.warn(
@@ -163,26 +172,44 @@ def run_sweep(
     def on_started(task: SweepTask) -> None:
         hooks.emit(TASK_STARTED, TaskStartedEvent(index=task.index, task=task, total=total))
 
+    shm_server = None
+    shm_manifest = None
+    if pending and scenario_cache and shm is not False and executor_obj.workers > 1:
+        from repro.sweep.shm import ScenarioArrayServer, shared_memory_available
+
+        if shared_memory_available():
+            shm_server = ScenarioArrayServer()
+            shm_manifest = shm_server.publish_for_tasks(pending, store=result_store)
+            if not shm_manifest:
+                shm_server.close()
+                shm_server = None
+                shm_manifest = None
+
     context = ExecutorContext(
         scenario_cache=scenario_cache,
         store_path=str(result_store.root) if result_store is not None else None,
         on_started=on_started,
+        shm_manifest=shm_manifest,
     )
-    for task, result, duration in executor_obj.run(pending, context):
-        results[task.index] = result
-        durations[task.index] = duration
-        completed += 1
-        hooks.emit(
-            TASK_FINISHED,
-            TaskFinishedEvent(
-                index=task.index,
-                task=task,
-                result=result,
-                total=total,
-                completed=completed,
-                duration=duration,
-            ),
-        )
+    try:
+        for task, result, duration in executor_obj.run(pending, context):
+            results[task.index] = result
+            durations[task.index] = duration
+            completed += 1
+            hooks.emit(
+                TASK_FINISHED,
+                TaskFinishedEvent(
+                    index=task.index,
+                    task=task,
+                    result=result,
+                    total=total,
+                    completed=completed,
+                    duration=duration,
+                ),
+            )
+    finally:
+        if shm_server is not None:
+            shm_server.close()
 
     sweep_duration = time.perf_counter() - sweep_started
     executed = total - loaded

@@ -94,16 +94,24 @@ class ExecutorContext:
     task enters the executor's in-flight window (see the module docstring's
     ordering contract); the engine turns it into the ``task_started`` event.
     ``store_path`` is the content-addressed result store the workers persist
-    into (and read cached scenario data from), or ``None``.
+    into (and read cached scenario data from), or ``None``.  ``shm_manifest``
+    is the shared-memory scenario-array manifest published by the engine's
+    :class:`~repro.sweep.shm.ScenarioArrayServer` (or ``None`` when the tier
+    is off); it is a plain dict so it pickles to workers cheaply.
     """
 
     scenario_cache: bool = True
     store_path: Optional[str] = None
     on_started: Callable[[SweepTask], None] = field(default=lambda task: None)
+    shm_manifest: Optional[Dict[str, Any]] = None
 
 
 def execute_task(
-    task: SweepTask, *, scenario_cache: bool = True, store: Optional[Any] = None
+    task: SweepTask,
+    *,
+    scenario_cache: bool = True,
+    store: Optional[Any] = None,
+    shm_manifest: Optional[Dict[str, Any]] = None,
 ) -> Tuple[RunResult, float]:
     """Run one sweep task to completion; returns ``(result, seconds)``.
 
@@ -141,9 +149,15 @@ def execute_task(
     config = task.session_config()
     data = None
     if scenario_cache and scenario_cache_enabled():
-        data = scenario_data_for(
-            config, mutates=runner_mutates_scenario(runner), store=store_obj
-        )
+        mutates = runner_mutates_scenario(runner)
+        data = scenario_data_for(config, mutates=mutates, store=store_obj)
+        if shm_manifest and not mutates:
+            # Shared-memory tier: reuse the coordinator-published recall
+            # arrays instead of rebuilding |P| x |P| products per process.
+            # Best-effort — on any failure the ordinary build path applies.
+            from repro.sweep.shm import adopt_shared_matrix, scenario_shm_key
+
+            adopt_shared_matrix(data.network, scenario_shm_key(config), shm_manifest)
     simulation = Simulation.from_config(config, data=data)
     result = runner(simulation, dict(task.options))
     result.protocol_result = None
@@ -157,10 +171,14 @@ def _execute_payload(
     payload: Dict[str, object],
     scenario_cache: bool = True,
     store_path: Optional[str] = None,
+    shm_manifest: Optional[Dict[str, Any]] = None,
 ) -> Tuple[RunResult, float]:
     """Process-pool entry point: rebuild the task from its dict form and run it."""
     return execute_task(
-        SweepTask.from_dict(payload), scenario_cache=scenario_cache, store=store_path
+        SweepTask.from_dict(payload),
+        scenario_cache=scenario_cache,
+        store=store_path,
+        shm_manifest=shm_manifest,
     )
 
 
@@ -211,7 +229,10 @@ class SerialExecutor(SweepExecutor):
         for task in tasks:
             context.on_started(task)
             result, duration = execute_task(
-                task, scenario_cache=context.scenario_cache, store=context.store_path
+                task,
+                scenario_cache=context.scenario_cache,
+                store=context.store_path,
+                shm_manifest=context.shm_manifest,
             )
             yield TaskOutcome(task, result, duration)
 
@@ -264,6 +285,7 @@ class ProcessPoolSweepExecutor(SweepExecutor):
                     task.to_dict(),
                     context.scenario_cache,
                     context.store_path,
+                    context.shm_manifest,
                 )
                 pending[future] = task
             while pending:
@@ -335,6 +357,7 @@ class ChunkedStreamingExecutor(SweepExecutor):
                     task.to_dict(),
                     context.scenario_cache,
                     context.store_path,
+                    context.shm_manifest,
                 )
                 pending[future] = task
                 return True

@@ -1,0 +1,256 @@
+"""Shared-memory scenario arrays for multi-process sweeps.
+
+A process-pool sweep used to pay the dominant scenario cost — the |P| x |P|
+weighted recall arrays — once *per worker process*: each worker rebuilds the
+dense :class:`~repro.core.recall_matrix.WeightedRecallMatrix` from its own
+scenario copy.  This module publishes those arrays **once**, from the
+coordinator, into :class:`multiprocessing.shared_memory.SharedMemory`
+segments; workers attach zero-copy read-only views and adopt them through
+:meth:`PeerNetwork.adopt_recall_matrix`, so per-worker cost and RSS stop
+scaling with the matrix size.
+
+The tier is transparent:
+
+* it only applies to tasks whose runner does **not** mutate the scenario
+  (mutating runners deep-copy their scenario, which drops derived-model
+  caches by design — exactly as before);
+* the published arrays are the same deterministic product a worker would
+  build itself, so results are byte-identical with the tier on or off (the
+  parity suite asserts this at ``workers=4``);
+* when :func:`shared_memory_available` is false (no ``/dev/shm``, platform
+  without the module), publication is skipped and workers silently build
+  their own arrays, the pre-tier behaviour.
+
+Lifecycle: the coordinator owns the segments — :class:`ScenarioArrayServer`
+creates them before dispatch and unlinks them after the sweep
+(``close()``).  Workers attach without resource-tracker registration (see
+:func:`_attach_array`) so a worker exiting does not tear the segment down
+under its siblings — CPython registers attached segments for cleanup until
+3.13's ``track=False``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.recall_matrix import WeightedRecallMatrix
+from repro.registry import scenario_registry
+from repro.sweep.store import scenario_hash
+
+__all__ = [
+    "shared_memory_available",
+    "scenario_shm_key",
+    "ScenarioArrayServer",
+    "adopt_shared_matrix",
+]
+
+#: Manifest entry: scenario key -> segment names + array metadata.
+ShmManifest = Dict[str, Dict[str, Any]]
+
+_ARRAY_FIELDS = ("local", "global", "service")
+
+
+def shared_memory_available() -> bool:
+    """Whether POSIX shared memory actually works on this platform.
+
+    Importing the module is not enough (containers may lack ``/dev/shm``);
+    probe by round-tripping a tiny segment.
+    """
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(create=True, size=16)
+        try:
+            segment.buf[0] = 1
+        finally:
+            segment.close()
+            segment.unlink()
+        return True
+    except (ImportError, OSError, ValueError):
+        return False
+
+
+def scenario_shm_key(session_config: Any) -> str:
+    """The manifest key for a task's scenario: the store's scenario hash."""
+    name = scenario_registry.canonical_name(session_config.scenario)
+    return scenario_hash(name, session_config.experiment_config().scenario)
+
+
+class ScenarioArrayServer:
+    """Coordinator-side owner of the published shared-memory segments.
+
+    ``publish_for_tasks`` builds each distinct pending scenario once (through
+    the ordinary scenario memo, so the store tier and the coordinator cache
+    are reused), materialises its dense recall arrays and copies them into
+    shared segments.  The resulting :attr:`manifest` is a plain JSON-style
+    dict that travels to workers inside the executor context.  Call
+    :meth:`close` (or use as a context manager) to unlink everything.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[Any] = []
+        self.manifest: ShmManifest = {}
+
+    # -- publishing ----------------------------------------------------------
+
+    def _publish_array(self, array: np.ndarray) -> Dict[str, Any]:
+        from multiprocessing import shared_memory
+
+        contiguous = np.ascontiguousarray(array)
+        segment = shared_memory.SharedMemory(create=True, size=contiguous.nbytes)
+        self._segments.append(segment)
+        view = np.ndarray(contiguous.shape, dtype=contiguous.dtype, buffer=segment.buf)
+        view[...] = contiguous
+        return {
+            "name": segment.name,
+            "shape": list(contiguous.shape),
+            "dtype": str(contiguous.dtype),
+        }
+
+    def publish_scenario(self, key: str, network: Any) -> None:
+        """Publish *network*'s dense recall arrays under manifest key *key*."""
+        if key in self.manifest:
+            return
+        matrix = network.recall_matrix()
+        self.manifest[key] = {
+            "peers": len(matrix.peer_order),
+            "local": self._publish_array(matrix.local_view()),
+            "global": self._publish_array(matrix.global_view()),
+            "service": self._publish_array(matrix.service_view()),
+        }
+
+    def publish_for_tasks(self, tasks: Any, *, store: Optional[Any] = None) -> ShmManifest:
+        """Publish every distinct scenario among *tasks* with a non-mutating runner."""
+        from repro.sweep.cache import runner_mutates_scenario, scenario_data_for
+        from repro.sweep.runners import resolve_runner
+
+        for task in tasks:
+            runner = resolve_runner(task.runner)
+            if runner_mutates_scenario(runner):
+                continue
+            config = task.session_config()
+            key = scenario_shm_key(config)
+            if key in self.manifest:
+                continue
+            data = scenario_data_for(config, mutates=False, store=store)
+            self.publish_scenario(key, data.network)
+        return self.manifest
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Unlink every published segment (idempotent)."""
+        for segment in self._segments:
+            try:
+                segment.close()
+                segment.unlink()
+            except (OSError, FileNotFoundError):  # pragma: no cover - defensive
+                pass
+        self._segments = []
+        self.manifest = {}
+
+    def __enter__(self) -> "ScenarioArrayServer":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"ScenarioArrayServer(scenarios={len(self.manifest)}, segments={len(self._segments)})"
+
+
+# -- worker side -------------------------------------------------------------
+
+#: Per-process memo of attached matrices: manifest key -> (matrix, segments).
+#: Keeping the SharedMemory handles referenced pins the buffers for as long
+#: as any adopted matrix is alive in this process.
+_ATTACHED: Dict[str, Tuple[WeightedRecallMatrix, List[Any]]] = {}
+
+
+def _attach_array(entry: Dict[str, Any], segments: List[Any]) -> np.ndarray:
+    from multiprocessing import shared_memory
+
+    # Attaching registers the segment with the resource tracker on
+    # CPython < 3.13 (no track=False yet), which would unlink it when this
+    # worker exits — pulling the arrays out from under the coordinator and
+    # the other workers.  The coordinator owns the lifecycle, so suppress
+    # registration for the duration of the attach.
+    try:
+        from multiprocessing import resource_tracker
+
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+    except ImportError:  # pragma: no cover - platform without the tracker
+        resource_tracker = None
+        original_register = None
+    try:
+        segment = shared_memory.SharedMemory(name=entry["name"], create=False)
+    finally:
+        if resource_tracker is not None:
+            resource_tracker.register = original_register
+    segments.append(segment)
+    view = np.ndarray(
+        tuple(entry["shape"]), dtype=np.dtype(entry["dtype"]), buffer=segment.buf
+    )
+    view.flags.writeable = False
+    return view
+
+
+def adopt_shared_matrix(network: Any, key: str, manifest: ShmManifest) -> bool:
+    """Attach the published arrays for *key* and install them on *network*.
+
+    Returns ``True`` when the network now uses the shared arrays, ``False``
+    when the manifest has no entry for *key* or attachment failed (the
+    caller keeps the ordinary build path; the tier is best-effort).
+    """
+    entry = manifest.get(key)
+    if entry is None:
+        return False
+    cached = _ATTACHED.get(key)
+    if cached is not None:
+        matrix = cached[0]
+    else:
+        segments: List[Any] = []
+        try:
+            local = _attach_array(entry["local"], segments)
+            global_matrix = _attach_array(entry["global"], segments)
+            service = _attach_array(entry["service"], segments)
+        except (OSError, FileNotFoundError, KeyError):
+            for segment in segments:
+                try:
+                    segment.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+            return False
+        matrix = WeightedRecallMatrix.from_arrays(
+            network.recall_model(),
+            network.workloads(),
+            network.peer_ids(),
+            local=local,
+            global_matrix=global_matrix,
+            service=service,
+        )
+        # Pin the segment handles for the lifetime of the adopted matrix.
+        matrix.shm_segments = segments
+        _ATTACHED[key] = (matrix, segments)
+    try:
+        network.adopt_recall_matrix(matrix)
+    except Exception:
+        return False
+    return True
+
+
+def clear_attached() -> None:
+    """Drop this process's attached-matrix memo (used by tests)."""
+    for _matrix, segments in _ATTACHED.values():
+        for segment in segments:
+            try:
+                segment.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+    _ATTACHED.clear()
+
+
+__all__.append("clear_attached")

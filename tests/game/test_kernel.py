@@ -44,13 +44,19 @@ def build_setup(scenario_name: str, initial: str = "random"):
     return data, configuration, fast_model, exact_model
 
 
+@pytest.mark.parametrize("backend", ["dense", "labels"])
 class TestExactParity:
-    """Kernel costs == exact per-query reference on the paper's scenarios."""
+    """Kernel costs == exact per-query reference on the paper's scenarios.
+
+    Parametrized over both kernel backends: the label-vector backend must
+    satisfy the same 1e-9 contract against the exact reference as the dense
+    membership-matrix one.
+    """
 
     @pytest.mark.parametrize("scenario_name", SCENARIOS)
-    def test_cost_table_matches_exact_prospective_costs(self, scenario_name):
+    def test_cost_table_matches_exact_prospective_costs(self, scenario_name, backend):
         data, configuration, fast_model, exact_model = build_setup(scenario_name)
-        kernel = BestResponseKernel(fast_model, configuration)
+        kernel = BestResponseKernel(fast_model, configuration, backend=backend)
         candidates = configuration.nonempty_clusters()
         table = kernel.cost_table(candidates)
         for row, peer_id in enumerate(kernel.peer_order):
@@ -59,9 +65,9 @@ class TestExactParity:
                 assert table[row, column] == pytest.approx(exact, abs=1e-9)
 
     @pytest.mark.parametrize("scenario_name", SCENARIOS)
-    def test_new_cluster_and_current_costs_match_exact_reference(self, scenario_name):
+    def test_new_cluster_and_current_costs_match_exact_reference(self, scenario_name, backend):
         data, configuration, fast_model, exact_model = build_setup(scenario_name)
-        kernel = BestResponseKernel(fast_model, configuration)
+        kernel = BestResponseKernel(fast_model, configuration, backend=backend)
         new_costs = kernel.new_cluster_costs()
         current = kernel.current_costs()
         for row, peer_id in enumerate(kernel.peer_order):
@@ -72,11 +78,11 @@ class TestExactParity:
             )
 
     @pytest.mark.parametrize("initial", ["singletons", "random", "fewer"])
-    def test_best_responses_match_exact_per_peer_reference(self, initial):
+    def test_best_responses_match_exact_per_peer_reference(self, initial, backend):
         data, configuration, fast_model, exact_model = build_setup(
             SCENARIO_SAME_CATEGORY, initial
         )
-        fast_game = ClusterGame(fast_model, configuration)
+        fast_game = ClusterGame(fast_model, configuration, kernel_backend=backend)
         exact_game = ClusterGame(exact_model, configuration, use_kernel=False)
         responses = fast_game.best_responses()
         assert fast_game._active_kernel() is not None
@@ -86,30 +92,30 @@ class TestExactParity:
             assert responses[peer_id].best_cost == pytest.approx(exact.best_cost, abs=1e-9)
             assert responses[peer_id].gain == pytest.approx(exact.gain, abs=1e-9)
 
-    def test_social_cost_matches_exact_reference(self):
+    def test_social_cost_matches_exact_reference(self, backend):
         data, configuration, fast_model, exact_model = build_setup(SCENARIO_SAME_CATEGORY)
-        kernel = BestResponseKernel(fast_model, configuration)
+        kernel = BestResponseKernel(fast_model, configuration, backend=backend)
         assert kernel.social_cost(normalized=True) == pytest.approx(
             exact_model.social_cost(configuration, normalized=True), abs=1e-9
         )
 
     @pytest.mark.parametrize("scenario_name", SCENARIOS)
     @pytest.mark.parametrize("initial", ["singletons", "random", "category"])
-    def test_workload_cost_matches_exact_reference(self, scenario_name, initial):
+    def test_workload_cost_matches_exact_reference(self, scenario_name, initial, backend):
         """The vectorized CV-based workload cost == the per-peer reference loop."""
         if scenario_name == SCENARIO_UNIFORM and initial == "category":
             pytest.skip("uniform scenario has no per-peer categories")
         data, configuration, fast_model, exact_model = build_setup(scenario_name, initial)
-        kernel = BestResponseKernel(fast_model, configuration)
+        kernel = BestResponseKernel(fast_model, configuration, backend=backend)
         for normalized in (False, True):
             assert kernel.workload_cost(normalized=normalized) == pytest.approx(
                 exact_model.workload_cost(configuration, normalized=normalized), abs=1e-9
             )
 
-    def test_workload_cost_stays_exact_across_incremental_moves(self):
+    def test_workload_cost_stays_exact_across_incremental_moves(self, backend):
         """CV is maintained through moves; the cost never drifts from the reference."""
         data, configuration, fast_model, exact_model = build_setup(SCENARIO_SAME_CATEGORY)
-        kernel = BestResponseKernel(fast_model, configuration)
+        kernel = BestResponseKernel(fast_model, configuration, backend=backend)
         rng = random.Random(7)
         peers = list(configuration.peer_ids())
         for _step in range(25):
@@ -121,9 +127,9 @@ class TestExactParity:
                 exact_model.workload_cost(configuration, normalized=True), abs=1e-9
             )
 
-    def test_workload_cost_falls_back_outside_the_single_cluster_regime(self):
+    def test_workload_cost_falls_back_outside_the_single_cluster_regime(self, backend):
         data, configuration, fast_model, exact_model = build_setup(SCENARIO_SAME_CATEGORY)
-        kernel = BestResponseKernel(fast_model, configuration)
+        kernel = BestResponseKernel(fast_model, configuration, backend=backend)
         peer_id = configuration.peer_ids()[0]
         other = [
             c
@@ -135,10 +141,12 @@ class TestExactParity:
             fast_model.workload_cost(configuration, normalized=True), abs=1e-12
         )
 
-    def test_kernel_table_matches_reference_table_path(self):
+    def test_kernel_table_matches_reference_table_path(self, backend):
         """Kernel cost table == the legacy rebuild-everything matrix path."""
         data, configuration, fast_model, _ = build_setup(SCENARIO_SAME_CATEGORY)
-        kernel_game = ClusterGame(fast_model, configuration, allow_new_clusters=False)
+        kernel_game = ClusterGame(
+            fast_model, configuration, allow_new_clusters=False, kernel_backend=backend
+        )
         reference_game = ClusterGame(
             fast_model, configuration, allow_new_clusters=False, use_kernel=False
         )
@@ -240,6 +248,27 @@ class TestListenerLifecycle:
         gc.collect()
         tiny_configuration.move("bob", "c2", "c3")  # prunes dead references
         assert len(tiny_configuration._listeners) == 0
+
+    def test_listener_list_stays_bounded_under_kernel_churn(
+        self, tiny_network, tiny_configuration
+    ):
+        """Creating/discarding many kernels must not grow the listener list.
+
+        Registration prunes dead weakrefs, so even without any intervening
+        mutation (the other prune point) the list stays bounded by the number
+        of live listeners.
+        """
+        import gc
+
+        cost_model = tiny_network.cost_model()
+        for round_index in range(50):
+            kernel = BestResponseKernel(cost_model, tiny_configuration)
+            if round_index % 10 == 0:  # interleave some real churn
+                tiny_configuration.move("bob", "c2", "c3")
+                tiny_configuration.move("bob", "c3", "c2")
+            del kernel
+            gc.collect()
+            assert len(tiny_configuration._listeners) <= 1
 
     def test_detach_stops_updates(self, tiny_network, tiny_configuration):
         kernel = BestResponseKernel(tiny_network.cost_model(), tiny_configuration)

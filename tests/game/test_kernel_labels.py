@@ -1,0 +1,186 @@
+"""Randomized incremental parity: ``labels`` backend vs ``dense`` backend.
+
+Both kernels listen on the *same* configuration and absorb the same 200
+random membership operations (moves, multi-membership assigns, removals,
+re-adds); after every batch each public API must agree:
+
+* ``float64``: 1e-9 absolute, the same contract as the exact-reference
+  parity suite;
+* ``float32``: rtol=1e-4 / atol=1e-3, the documented relaxation for the
+  single-precision mode (see the kernel docstring and the README
+  performance section).
+
+Only public APIs are exercised — the backends share no internal
+representation (there is no |P| x |C| matrix in the labels kernel to
+compare), so parity on costs, tables and responses is the whole contract.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.datasets.scenarios import (
+    SCENARIO_SAME_CATEGORY,
+    build_scenario,
+    initial_configuration,
+)
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.game.kernel import BestResponseKernel
+
+#: Documented float32 tolerance: recall weights are O(1) sums of O(1e-2)
+#: terms, so single precision carries ~1e-7 relative error per entry which
+#: accumulates across |P| incremental updates; rtol=1e-4/atol=1e-3 bounds it
+#: with two orders of margin (observed drift after 200 ops: ~1e-7).
+FLOAT32_RTOL = 1e-4
+FLOAT32_ATOL = 1e-3
+
+
+def build_pair(dtype=None):
+    config = ExperimentConfig.quick()
+    data = build_scenario(SCENARIO_SAME_CATEGORY, config.scenario)
+    configuration = initial_configuration(data, "random", seed=config.seed + 13)
+    cost_model = data.network.cost_model(theta=config.theta(), alpha=config.alpha)
+    dense = BestResponseKernel(cost_model, configuration, backend="dense")
+    labels = BestResponseKernel(cost_model, configuration, backend="labels", dtype=dtype)
+    return configuration, dense, labels
+
+
+def assert_parity(dense, labels, configuration, *, rtol=0.0, atol=1e-9):
+    candidates = configuration.nonempty_clusters()
+    np.testing.assert_allclose(
+        labels.cost_table(candidates), dense.cost_table(candidates), rtol=rtol, atol=atol
+    )
+    np.testing.assert_allclose(
+        labels.new_cluster_costs(), dense.new_cluster_costs(), rtol=rtol, atol=atol
+    )
+    dense_current = dense.current_costs()
+    for peer_id, cost in labels.current_costs().items():
+        assert cost == pytest.approx(dense_current[peer_id], rel=rtol, abs=atol)
+    # Aggregate costs iterate the matrix peer order, so they are only defined
+    # while every matrix peer is still assigned (same for both backends).
+    if set(configuration.peer_ids()) >= set(dense.peer_order):
+        for normalized in (False, True):
+            assert labels.social_cost(normalized=normalized) == pytest.approx(
+                dense.social_cost(normalized=normalized), rel=rtol, abs=atol
+            )
+            assert labels.workload_cost(normalized=normalized) == pytest.approx(
+                dense.workload_cost(normalized=normalized), rel=rtol, abs=atol
+            )
+    dense_responses, _ = dense.best_response_all(candidate_clusters=candidates)
+    labels_responses, _ = labels.best_response_all(candidate_clusters=candidates)
+    assert set(labels_responses) == set(dense_responses)
+    for peer_id, response in labels_responses.items():
+        assert response.best_cost == pytest.approx(
+            dense_responses[peer_id].best_cost, rel=rtol, abs=atol
+        )
+
+
+def churn(configuration, rng, steps, check_every, on_check):
+    """Drive *steps* random membership ops, calling *on_check* periodically."""
+    peer_pool = list(configuration.peer_ids())
+    removed = []
+    for step in range(1, steps + 1):
+        operation = rng.choice(["move", "move", "move", "extra", "remove", "readd"])
+        if operation == "remove" and len(peer_pool) > 4:
+            peer_id = rng.choice(peer_pool)
+            peer_pool.remove(peer_id)
+            removed.append(peer_id)
+            configuration.remove_peer(peer_id)
+        elif operation == "readd" and removed:
+            peer_id = removed.pop(rng.randrange(len(removed)))
+            peer_pool.append(peer_id)
+            configuration.assign(peer_id, rng.choice(configuration.cluster_ids()))
+        elif operation == "extra":
+            # Multi-membership: overflow entries in the labels backend.
+            peer_id = rng.choice(peer_pool)
+            targets = [
+                c
+                for c in configuration.cluster_ids()
+                if c not in configuration.clusters_of(peer_id)
+            ]
+            if targets:
+                configuration.assign(peer_id, rng.choice(targets))
+        else:
+            peer_id = rng.choice(peer_pool)
+            source = rng.choice(sorted(configuration.clusters_of(peer_id), key=repr))
+            targets = [
+                c
+                for c in configuration.cluster_ids()
+                if c not in configuration.clusters_of(peer_id)
+            ]
+            if targets:
+                configuration.move(peer_id, source, rng.choice(targets))
+        if step % check_every == 0:
+            on_check()
+
+
+class TestRandomizedBackendParity:
+    def test_float64_parity_across_200_random_operations(self):
+        configuration, dense, labels = build_pair()
+        labels.global_covered()  # materialise CV so the updates maintain it too
+        dense.global_covered()
+        rng = random.Random(20260808)
+        churn(
+            configuration,
+            rng,
+            steps=200,
+            check_every=25,
+            on_check=lambda: assert_parity(dense, labels, configuration, atol=1e-9),
+        )
+        assert_parity(dense, labels, configuration, atol=1e-9)
+        # Cross-check the incrementally maintained state against rebuilds.
+        rebuilt = BestResponseKernel(labels.cost_model, configuration, backend="labels")
+        assert_parity(rebuilt, labels, configuration, atol=1e-9)
+
+    def test_float32_parity_within_documented_tolerance(self):
+        configuration, dense, labels = build_pair(dtype="float32")
+        rng = random.Random(4242)
+        churn(
+            configuration,
+            rng,
+            steps=200,
+            check_every=50,
+            on_check=lambda: assert_parity(
+                dense, labels, configuration, rtol=FLOAT32_RTOL, atol=FLOAT32_ATOL
+            ),
+        )
+        assert_parity(dense, labels, configuration, rtol=FLOAT32_RTOL, atol=FLOAT32_ATOL)
+
+
+class TestBackendSelection:
+    def test_auto_resolves_by_population(self, tiny_network, tiny_configuration):
+        kernel = BestResponseKernel(tiny_network.cost_model(), tiny_configuration)
+        assert kernel.backend == "dense"  # 3 peers < AUTO_LABELS_THRESHOLD
+
+    def test_auto_threshold_is_configurable(self, tiny_network, tiny_configuration):
+        class Eager(BestResponseKernel):
+            AUTO_LABELS_THRESHOLD = 1
+
+        kernel = Eager(tiny_network.cost_model(), tiny_configuration)
+        assert kernel.backend == "labels"
+
+    def test_unknown_backend_is_rejected(self, tiny_network, tiny_configuration):
+        with pytest.raises(ConfigurationError):
+            BestResponseKernel(
+                tiny_network.cost_model(), tiny_configuration, backend="sparse"
+            )
+
+    def test_unknown_dtype_is_rejected(self, tiny_network, tiny_configuration):
+        with pytest.raises(ConfigurationError):
+            BestResponseKernel(
+                tiny_network.cost_model(), tiny_configuration, dtype="float16"
+            )
+
+    def test_repr_names_backend_and_dtype(self, tiny_network, tiny_configuration):
+        kernel = BestResponseKernel(
+            tiny_network.cost_model(),
+            tiny_configuration,
+            backend="labels",
+            dtype="float32",
+        )
+        assert "labels" in repr(kernel)
+        assert "float32" in repr(kernel)

@@ -1,0 +1,141 @@
+"""Tests for the shared-memory scenario tier (:mod:`repro.sweep.shm`).
+
+The contract: with the tier on, a multi-process sweep's results are
+byte-identical to the tier-off run (and to a serial run), the coordinator
+owns the segment lifecycle (nothing leaks into ``/dev/shm``), and every
+failure mode degrades to the ordinary per-worker build path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.sweep import SweepSpec, run_sweep
+from repro.sweep.shm import (
+    ScenarioArrayServer,
+    adopt_shared_matrix,
+    clear_attached,
+    scenario_shm_key,
+    shared_memory_available,
+)
+
+TINY_SCENARIO = {
+    "num_peers": 12,
+    "num_categories": 3,
+    "documents_per_peer": 4,
+    "terms_per_document": 3,
+    "category_vocabulary_size": 15,
+    "queries_per_peer": 3,
+}
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    values = {
+        "strategies": ("selfish", "altruistic"),
+        "scale": "quick",
+        "overrides": {"scenario_overrides": dict(TINY_SCENARIO)},
+        "seeds": (7, 11),
+    }
+    values.update(overrides)
+    return SweepSpec(**values)
+
+
+def result_payload(sweep_result) -> str:
+    """Canonical JSON of the per-task results (durations are wall-clock)."""
+    return json.dumps(
+        [record["result"] for record in sweep_result.records()], sort_keys=True
+    )
+
+
+def shm_segments() -> list:
+    try:
+        return [name for name in os.listdir("/dev/shm") if name.startswith("psm_")]
+    except FileNotFoundError:  # pragma: no cover - platform without /dev/shm
+        return []
+
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="POSIX shared memory unavailable"
+)
+
+
+class TestAvailability:
+    def test_probe_returns_a_bool(self):
+        assert shared_memory_available() in (True, False)
+
+
+@needs_shm
+class TestServerLifecycle:
+    def test_publish_and_close_leave_no_segments(self):
+        before = set(shm_segments())
+        spec = tiny_spec()
+        tasks = spec.validate()
+        with ScenarioArrayServer() as server:
+            manifest = server.publish_for_tasks(tasks)
+            assert len(manifest) == 2  # one entry per seed-distinct scenario
+            for entry in manifest.values():
+                assert entry["peers"] == TINY_SCENARIO["num_peers"]
+                for field in ("local", "global", "service"):
+                    assert entry[field]["shape"] == [12, 12]
+        assert set(shm_segments()) <= before
+
+    def test_tasks_share_entries_per_scenario_not_per_task(self):
+        spec = tiny_spec()
+        tasks = spec.validate()
+        keys = {scenario_shm_key(task.session_config()) for task in tasks}
+        # 4 tasks, but the scenario hash depends only on (scenario, seed):
+        # both strategies of a seed share one entry.
+        assert len(keys) == len(spec.seeds) == 2
+
+    def test_close_is_idempotent(self):
+        server = ScenarioArrayServer()
+        server.publish_for_tasks(tiny_spec().validate())
+        server.close()
+        server.close()
+        assert server.manifest == {}
+
+
+@needs_shm
+class TestAdoption:
+    def test_adopted_matrix_matches_locally_built_arrays(self):
+        from repro.sweep.cache import scenario_data_for
+
+        spec = tiny_spec()
+        task = spec.validate()[0]
+        config = task.session_config()
+        key = scenario_shm_key(config)
+        with ScenarioArrayServer() as server:
+            manifest = server.publish_for_tasks([task])
+            fresh = scenario_data_for(config, mutates=True)  # private copy
+            reference = fresh.network.recall_matrix()
+            expected = reference.local_view().copy()
+            assert adopt_shared_matrix(fresh.network, key, manifest)
+            adopted = fresh.network.recall_matrix()
+            assert not adopted.local_view().flags.writeable
+            np.testing.assert_array_equal(adopted.local_view(), expected)
+        clear_attached()
+
+    def test_missing_key_is_a_soft_miss(self):
+        from repro.sweep.cache import scenario_data_for
+
+        config = tiny_spec().validate()[0].session_config()
+        data = scenario_data_for(config, mutates=True)
+        assert not adopt_shared_matrix(data.network, "no-such-key", {})
+
+
+@needs_shm
+class TestResultParity:
+    def test_results_byte_identical_with_tier_on_off_and_serial(self):
+        spec = tiny_spec()
+        executor = {"name": "process-pool", "options": {"max_workers": 4}}
+        before = set(shm_segments())
+        tier_off = run_sweep(spec, executor=executor, shm=False)
+        tier_on = run_sweep(spec, executor=executor, shm=True)
+        serial = run_sweep(spec)
+        assert result_payload(tier_on) == result_payload(tier_off)
+        assert result_payload(tier_on) == result_payload(serial)
+        assert set(shm_segments()) <= before

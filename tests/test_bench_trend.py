@@ -86,3 +86,48 @@ class TestStatisticPreference:
             encoding="utf-8",
         )
         assert load_benchmark_means(path) == {"x": 1.0}
+
+
+class TestExtraInfoMetrics:
+    def write(self, path, extra_info):
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {
+                            "fullname": "x",
+                            "stats": {"min": 1.0},
+                            "extra_info": extra_info,
+                        }
+                    ]
+                }
+            ),
+            encoding="utf-8",
+        )
+        return path
+
+    def test_numeric_extra_info_loaded_as_metric_entries(self, tmp_path):
+        path = self.write(tmp_path / "bench.json", {"peak_rss_mb": 512.5, "num_peers": 5000})
+        loaded = load_benchmark_means(path)
+        assert loaded["x"] == 1.0
+        assert loaded["x::peak_rss_mb"] == 512.5
+        assert loaded["x::num_peers"] == 5000.0
+
+    def test_non_numeric_extra_info_is_ignored(self, tmp_path):
+        path = self.write(
+            tmp_path / "bench.json", {"note": "text", "flag": True, "peak_rss_mb": 64.0}
+        )
+        loaded = load_benchmark_means(path)
+        assert set(loaded) == {"x", "x::peak_rss_mb"}
+
+    def test_memory_regression_fails_the_gate(self, tmp_path):
+        previous = self.write(tmp_path / "prev.json", {"peak_rss_mb": 100.0})
+        current = self.write(tmp_path / "cur.json", {"peak_rss_mb": 150.0})
+        assert main([str(previous), str(current), "--max-regression", "25"]) == 1
+
+    def test_newly_recorded_metric_passes_against_old_baseline(self, tmp_path):
+        # An older baseline without the metric (or without a whole new 5k/50k
+        # benchmark) must not fail the gate: one-sided entries never regress.
+        previous = write_bench_json(tmp_path / "prev.json", {"x": 1.0})
+        current = self.write(tmp_path / "cur.json", {"peak_rss_mb": 512.0})
+        assert main([str(previous), str(current), "--max-regression", "0"]) == 0
