@@ -30,7 +30,13 @@ streaming per-task progress and printing mean/stddev/CI summaries over the
 replications.  With ``--store DIR`` every finished task is persisted under
 the sha256 of its canonical config and re-runs skip what is already stored —
 killed or sharded sweeps resume instead of recomputing (``--no-resume``
-forces re-execution).
+forces re-execution).  Failed tasks are retried per ``--retries`` with
+deterministic backoff and ``--task-timeout`` bounds each attempt; tasks that
+exhaust the budget are quarantined and reported instead of aborting the
+sweep.  ``--faults`` (or the ``REPRO_SWEEP_FAULTS`` environment variable)
+injects a deterministic :class:`repro.sweep.faults.FaultPlan` for chaos
+testing, and ``--verify-store`` audits a result store for corrupt entries
+(``--purge-corrupt`` removes them).
 
 The ``discover`` and ``maintain`` commands drive the :class:`repro.Simulation`
 facade, and the ``--strategy``/``--initial``/``--scenario`` choices are read
@@ -379,6 +385,42 @@ def build_parser() -> argparse.ArgumentParser:
         "(--no-resume re-executes everything, still persisting)",
     )
     sweep.add_argument(
+        "--retries",
+        type=int,
+        default=None,
+        help="re-run a failed or timed-out task up to N extra times with "
+        "deterministic backoff before quarantining it (default: the spec's "
+        "retries field, or 0)",
+    )
+    sweep.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        help="per-attempt wall-clock budget in seconds, enforced worker-side; "
+        "a timed-out attempt counts as a failure (default: the spec's "
+        "task_timeout field, or unlimited)",
+    )
+    sweep.add_argument(
+        "--faults",
+        default=None,
+        help="deterministic chaos plan as inline JSON or @file "
+        '(e.g. \'{"rules": [{"fault": "worker-kill", "index": 2}]}\'); '
+        "overrides the REPRO_SWEEP_FAULTS environment variable",
+    )
+    sweep.add_argument(
+        "--verify-store",
+        action="store_true",
+        help="with --store: audit every stored entry (readable JSON, hash "
+        "matches the filename, result rebuilds) and report corrupt ones "
+        "instead of running the sweep",
+    )
+    sweep.add_argument(
+        "--purge-corrupt",
+        action="store_true",
+        help="with --verify-store: delete the corrupt entries so the next "
+        "resume re-executes them",
+    )
+    sweep.add_argument(
         "--output", default=None, help="persist the sweep as JSONL to this file"
     )
     sweep.add_argument(
@@ -586,10 +628,37 @@ def _sweep_executor_from_arguments(arguments: argparse.Namespace):
     return executor_from_any(spec, arguments.workers)
 
 
+def _verify_store(arguments: argparse.Namespace, store: Optional[ResultStore]) -> int:
+    """``repro sweep --verify-store``: audit the store instead of sweeping."""
+    if store is None:
+        raise ConfigurationError("--verify-store requires --store")
+    hooks = EventHooks()
+    if not arguments.no_progress:
+        hooks.on_store_corrupt(
+            lambda event: print(
+                f"corrupt store entry {event.task_hash[:12]}: {event.reason}"
+                f"{' (purged)' if event.purged else ''}"
+            )
+        )
+    verification = store.verify(purge=arguments.purge_corrupt, hooks=hooks)
+    print(
+        f"store {str(store.root)!r}: {verification.checked} entries checked, "
+        f"{len(verification.corrupt)} corrupt, {verification.purged} purged"
+    )
+    return 0 if verification.ok or arguments.purge_corrupt else 1
+
+
 def _command_sweep(arguments: argparse.Namespace) -> int:
+    store = ResultStore.from_any(arguments.store)
+    if arguments.verify_store:
+        return _verify_store(arguments, store)
     spec = _sweep_spec_from_arguments(arguments)
     executor = _sweep_executor_from_arguments(arguments)
-    store = ResultStore.from_any(arguments.store)
+    faults = (
+        _parse_json_argument("--faults", arguments.faults)
+        if arguments.faults is not None
+        else None
+    )
     hooks = EventHooks()
     if not arguments.no_progress:
         hooks.on_task_loaded(
@@ -605,11 +674,39 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
                 f"rounds={event.result.rounds} ({event.duration:.2f}s)"
             )
         )
+        hooks.on_task_failed(
+            lambda event: print(
+                f"task {event.index} ({event.task.label()}) attempt "
+                f"{event.attempt} failed: {event.error.get('type', 'Exception')}: "
+                f"{event.error.get('message', '')}"
+            )
+        )
+        hooks.on_task_retried(
+            lambda event: print(
+                f"task {event.index} ({event.task.label()}): retrying as "
+                f"attempt {event.attempt} after {event.delay:.2f}s backoff"
+            )
+        )
+        hooks.on_task_quarantined(
+            lambda event: print(
+                f"task {event.index} ({event.task.label()}): quarantined after "
+                f"{event.failure.attempts} attempt"
+                f"{'s' if event.failure.attempts != 1 else ''} "
+                f"({event.failure.error_type}: {event.failure.message})"
+            )
+        )
+        hooks.on_shm_degraded(
+            lambda event: print(
+                f"task {event.index}: shared-memory tier degraded for "
+                f"scenario {event.scenario_key[:12]} (task still ran)"
+            )
+        )
         hooks.on_sweep_end(
             lambda event: print(
                 f"sweep finished: {event.total} tasks "
-                f"({event.executed} executed, {event.loaded} loaded) "
-                f"in {event.duration:.2f}s "
+                f"({event.executed} executed, {event.loaded} loaded"
+                + (f", {event.quarantined} quarantined" if event.quarantined else "")
+                + f") in {event.duration:.2f}s "
                 f"({event.workers} worker{'s' if event.workers != 1 else ''}, "
                 f"{event.executor})"
             )
@@ -621,6 +718,9 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         jsonl_path=arguments.output,
         store=store,
         resume=arguments.resume,
+        retries=arguments.retries,
+        task_timeout=arguments.task_timeout,
+        faults=faults,
     )
     print()
     if arguments.metrics:
@@ -630,6 +730,12 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
         print(result.summary_table(metrics=metrics))
     else:
         print(result.summary_table())
+    if result.failures:
+        print(
+            f"\n{len(result.failures)} task"
+            f"{'s' if len(result.failures) != 1 else ''} quarantined: "
+            + ", ".join(str(failure.index) for failure in result.failures)
+        )
     if arguments.output:
         print(f"\nsweep persisted to {arguments.output}")
     if store is not None:

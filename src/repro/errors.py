@@ -53,6 +53,27 @@ class StrategyError(ReproError):
     """Raised when a relocation strategy is misconfigured or misused."""
 
 
+class TaskTimeoutError(ReproError):
+    """Raised inside a sweep worker when a task exceeds its time budget.
+
+    Raised from the ``SIGALRM`` handler armed by
+    :func:`repro.sweep.faults.task_timeout_guard`, so the task fails in
+    place (and becomes retryable) instead of wedging its worker.
+    """
+
+    def __init__(self, seconds: float) -> None:
+        super().__init__(f"task exceeded its {seconds:g}s time budget")
+        self.seconds = seconds
+
+
+class InjectedFaultError(ReproError):
+    """Raised by a :class:`repro.sweep.faults.FaultPlan` rule firing.
+
+    Marks a failure as deliberately injected by the chaos harness so
+    failure records can distinguish it from organic errors.
+    """
+
+
 class RegistryError(ReproError, ValueError):
     """Base class for component-registry failures.
 

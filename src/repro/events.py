@@ -34,7 +34,22 @@ coordinating process while a sweep runs:
   the result store and will not execute it;
 * :data:`TASK_LOADED` — immediately after ``task_skipped``, carrying the
   stored :class:`~repro.session.result.RunResult` that replaces the run;
-* :data:`SWEEP_END` — once, after every task completed or loaded.
+* :data:`SWEEP_END` — once, after every task completed, loaded or was
+  quarantined.
+
+The fault-tolerance layer (:mod:`repro.sweep.faults`) adds failure events:
+
+* :data:`TASK_FAILED` — one execution attempt of a task failed (exception,
+  worker-side timeout, or worker crash), with the structured error payload;
+* :data:`TASK_RETRIED` — immediately after a ``task_failed`` whose task will
+  be re-enqueued, with the attempt number the retry will run as and the
+  deterministic backoff delay;
+* :data:`TASK_QUARANTINED` — a task exhausted its retry budget and the sweep
+  continues without it (the failure also lands in ``SweepResult.failures``);
+* :data:`SHM_DEGRADED` — a task fell back from the shared-memory scenario
+  tier to the ordinary per-worker build path (results are unaffected);
+* :data:`STORE_CORRUPT` — ``ResultStore.verify()`` found an unreadable or
+  hash-mismatched store entry.
 
 The executor event ordering contract (which executor emits what, when) is
 documented in :mod:`repro.sweep.executors`.
@@ -76,6 +91,11 @@ __all__ = [
     "TASK_FINISHED",
     "TASK_SKIPPED",
     "TASK_LOADED",
+    "TASK_FAILED",
+    "TASK_RETRIED",
+    "TASK_QUARANTINED",
+    "SHM_DEGRADED",
+    "STORE_CORRUPT",
     "SWEEP_END",
     "RoundEndEvent",
     "RelocationGrantedEvent",
@@ -87,6 +107,11 @@ __all__ = [
     "TaskFinishedEvent",
     "TaskSkippedEvent",
     "TaskLoadedEvent",
+    "TaskFailedEvent",
+    "TaskRetriedEvent",
+    "TaskQuarantinedEvent",
+    "ShmDegradedEvent",
+    "StoreCorruptEvent",
     "SweepEndEvent",
     "EventHooks",
     "CostTraceRecorder",
@@ -102,6 +127,11 @@ TASK_STARTED = "task_started"
 TASK_FINISHED = "task_finished"
 TASK_SKIPPED = "task_skipped"
 TASK_LOADED = "task_loaded"
+TASK_FAILED = "task_failed"
+TASK_RETRIED = "task_retried"
+TASK_QUARANTINED = "task_quarantined"
+SHM_DEGRADED = "shm_degraded"
+STORE_CORRUPT = "store_corrupt"
 SWEEP_END = "sweep_end"
 
 #: An event callback; receives the event dataclass as its only argument.
@@ -180,6 +210,9 @@ class TaskStartedEvent:
     index: int
     task: Any  # a repro.sweep.spec.SweepTask (Any avoids a runtime cycle)
     total: int
+    #: Execution attempt this start is for (1 on the first run; retried and
+    #: crash-requeued tasks emit one ``task_started`` per attempt).
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
@@ -192,6 +225,8 @@ class TaskFinishedEvent:
     total: int
     completed: int
     duration: float  # worker-side wall-clock seconds for this task
+    #: Attempt that produced the result (> 1 when the task was retried).
+    attempt: int = 1
 
 
 @dataclass(frozen=True)
@@ -218,6 +253,78 @@ class TaskLoadedEvent:
 
 
 @dataclass(frozen=True)
+class TaskFailedEvent:
+    """Published when one execution attempt of a sweep task failed.
+
+    ``error`` is the structured failure payload (``type``, ``message``,
+    ``kind`` of ``exception``/``timeout``/``crash``, ``injected``,
+    ``traceback``).  Whether the task will be re-enqueued is carried by
+    ``will_retry``; a ``task_retried`` or ``task_quarantined`` event follows.
+    """
+
+    index: int
+    task: Any  # a repro.sweep.spec.SweepTask
+    total: int
+    attempt: int
+    error: Dict[str, Any]
+    will_retry: bool
+
+
+@dataclass(frozen=True)
+class TaskRetriedEvent:
+    """Published when a failed task is re-enqueued for another attempt."""
+
+    index: int
+    task: Any
+    total: int
+    #: Attempt number the retry will execute as.
+    attempt: int
+    #: Deterministic backoff seconds slept before the retry is submitted.
+    delay: float
+
+
+@dataclass(frozen=True)
+class TaskQuarantinedEvent:
+    """Published when a task exhausted its retry budget and was quarantined.
+
+    The sweep completes without the task; ``failure`` is the terminal
+    :class:`~repro.sweep.faults.TaskFailure` (also surfaced in
+    ``SweepResult.failures`` and, when a store is attached, recorded under
+    the task's canonical hash in the store's quarantine tier).
+    """
+
+    index: int
+    task: Any
+    total: int
+    failure: Any  # a repro.sweep.faults.TaskFailure
+
+
+@dataclass(frozen=True)
+class ShmDegradedEvent:
+    """Published when a task fell back from the shared-memory scenario tier.
+
+    The task still ran (against a privately built scenario), so results are
+    unaffected — this is an observability signal that the zero-copy path was
+    lost for ``scenario_key``, e.g. because a segment was unlinked mid-sweep.
+    """
+
+    index: int
+    task: Any
+    scenario_key: str
+
+
+@dataclass(frozen=True)
+class StoreCorruptEvent:
+    """Published by ``ResultStore.verify()`` for each corrupt store entry."""
+
+    task_hash: str
+    path: str
+    reason: str
+    #: Whether ``verify(purge=True)`` removed the entry.
+    purged: bool = False
+
+
+@dataclass(frozen=True)
 class SweepEndEvent:
     """Published once after the last task of a sweep completed (or was loaded)."""
 
@@ -230,6 +337,8 @@ class SweepEndEvent:
     loaded: int = 0
     #: ``describe()`` string of the executor that ran the sweep.
     executor: str = "serial"
+    #: Tasks that exhausted their retry budget and have no result.
+    quarantined: int = 0
 
 
 class EventHooks:
@@ -292,6 +401,26 @@ class EventHooks:
     def on_task_loaded(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`TASK_LOADED` (receives a :class:`TaskLoadedEvent`)."""
         return self.subscribe(TASK_LOADED, callback)
+
+    def on_task_failed(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`TASK_FAILED` (receives a :class:`TaskFailedEvent`)."""
+        return self.subscribe(TASK_FAILED, callback)
+
+    def on_task_retried(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`TASK_RETRIED` (receives a :class:`TaskRetriedEvent`)."""
+        return self.subscribe(TASK_RETRIED, callback)
+
+    def on_task_quarantined(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`TASK_QUARANTINED` (receives a :class:`TaskQuarantinedEvent`)."""
+        return self.subscribe(TASK_QUARANTINED, callback)
+
+    def on_shm_degraded(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`SHM_DEGRADED` (receives a :class:`ShmDegradedEvent`)."""
+        return self.subscribe(SHM_DEGRADED, callback)
+
+    def on_store_corrupt(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`STORE_CORRUPT` (receives a :class:`StoreCorruptEvent`)."""
+        return self.subscribe(STORE_CORRUPT, callback)
 
     def on_sweep_end(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`SWEEP_END` (receives a :class:`SweepEndEvent`)."""

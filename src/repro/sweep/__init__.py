@@ -37,9 +37,20 @@ subset and executes only what is missing, which is how preempted and
 CI-sharded grids grow incrementally.
 
 Progress streams through ``repro.events`` (``task_started`` /
-``task_finished`` / ``task_skipped`` / ``task_loaded`` / ``sweep_end``); the
-``repro sweep`` CLI subcommand drives all of this from a JSON spec or flags
-(``--executor``, ``--store``, ``--resume``).
+``task_finished`` / ``task_skipped`` / ``task_loaded`` / ``task_failed`` /
+``task_retried`` / ``task_quarantined`` / ``sweep_end``); the ``repro
+sweep`` CLI subcommand drives all of this from a JSON spec or flags
+(``--executor``, ``--store``, ``--resume``, ``--retries``,
+``--task-timeout``).
+
+Fault tolerance (:mod:`repro.sweep.faults`): a
+:class:`~repro.sweep.faults.RetryPolicy` re-runs failed or timed-out tasks
+with deterministic backoff, worker crashes respawn the pool and requeue
+only the in-flight tasks, and tasks that exhaust their budget are
+quarantined (``SweepResult.failures`` + the store's quarantine tier) so a
+sweep completes with partial results instead of aborting.  A
+:class:`~repro.sweep.faults.FaultPlan` injects deterministic chaos
+(exceptions, hangs, worker kills, shm unlinks) for testing all of it.
 
 Public typing surface: :data:`~repro.sweep.runners.Runner` (the runner
 callable protocol) and :class:`~repro.sweep.executors.SweepExecutor` (the
@@ -65,10 +76,11 @@ from repro.sweep.executors import (
     SweepExecutor,
     resolve_executor,
 )
+from repro.sweep.faults import FaultPlan, FaultRule, RetryPolicy, TaskFailure
 from repro.sweep.result import SweepResult, read_jsonl
 from repro.sweep.runners import Runner, resolve_runner
 from repro.sweep.spec import DEFAULT_RUNNER, SweepSpec, SweepTask, derive_seeds
-from repro.sweep.store import ResultStore, StoredResult, task_hash
+from repro.sweep.store import ResultStore, StoredResult, StoreVerification, task_hash
 
 __all__ = [
     "SweepSpec",
@@ -86,9 +98,14 @@ __all__ = [
     "resolve_executor",
     "ResultStore",
     "StoredResult",
+    "StoreVerification",
     "task_hash",
     "derive_seeds",
     "DEFAULT_RUNNER",
+    "RetryPolicy",
+    "FaultPlan",
+    "FaultRule",
+    "TaskFailure",
     "scenario_data_for",
     "scenario_cache_enabled",
     "scenario_cache_info",

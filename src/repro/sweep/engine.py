@@ -17,11 +17,21 @@ produces byte-identical results, and a resumed sweep's merged result is
 byte-identical to one uninterrupted run.
 
 Progress streams through :class:`~repro.events.EventHooks`: ``task_started``
-when the executor admits a task to its in-flight window (see
+when the executor admits a task attempt to its in-flight window (see
 :mod:`repro.sweep.executors` for the per-executor ordering contract),
 ``task_finished`` when its result arrives (completion order),
 ``task_skipped`` + ``task_loaded`` for store hits (before any execution
-starts, in task order) and ``sweep_end`` once at the end.
+starts, in task order), ``task_failed`` / ``task_retried`` /
+``task_quarantined`` for the fault-tolerance layer
+(:mod:`repro.sweep.faults`), ``shm_degraded`` when a task lost the
+shared-memory scenario tier, and ``sweep_end`` once at the end.
+
+Fault tolerance: with ``retries``/``task_timeout`` (or their spec fields) a
+failed task is re-executed up to the policy's budget and otherwise
+**quarantined** — recorded in ``SweepResult.failures`` (and under its
+content hash in the store's quarantine tier) while the sweep completes with
+partial results.  A ``faults=`` plan (or the ``REPRO_SWEEP_FAULTS``
+environment variable) injects deterministic chaos for testing.
 """
 
 from __future__ import annotations
@@ -32,15 +42,23 @@ from typing import Any, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.events import (
+    SHM_DEGRADED,
     SWEEP_END,
+    TASK_FAILED,
     TASK_FINISHED,
     TASK_LOADED,
+    TASK_QUARANTINED,
+    TASK_RETRIED,
     TASK_SKIPPED,
     TASK_STARTED,
     EventHooks,
+    ShmDegradedEvent,
     SweepEndEvent,
+    TaskFailedEvent,
     TaskFinishedEvent,
     TaskLoadedEvent,
+    TaskQuarantinedEvent,
+    TaskRetriedEvent,
     TaskSkippedEvent,
     TaskStartedEvent,
 )
@@ -51,6 +69,7 @@ from repro.sweep.executors import (
     execute_task,
     resolve_executor,
 )
+from repro.sweep.faults import FaultPlan, RetryPolicy, TaskFailure
 from repro.sweep.result import SweepResult
 from repro.sweep.spec import SweepSpec, SweepTask
 from repro.sweep.store import ResultStore, task_hash
@@ -69,6 +88,9 @@ def run_sweep(
     store: Optional[Any] = None,
     resume: bool = True,
     shm: Optional[bool] = None,
+    retries: Optional[Any] = None,
+    task_timeout: Optional[float] = None,
+    faults: Optional[Any] = None,
 ) -> SweepResult:
     """Run every task of *spec* and aggregate the results.
 
@@ -112,6 +134,24 @@ def run_sweep(
         executors when the platform supports it; ``True`` forces it on
         (still skipped when unsupported); ``False`` disables it.  Results
         are byte-identical either way.
+    retries:
+        Retry budget for failed tasks: an integer retry count, a mapping of
+        :class:`~repro.sweep.faults.RetryPolicy` fields (``backoff``,
+        ``jitter``, ``crash_requeues``, ...) or a policy instance.  Default:
+        the spec's ``retries`` field (itself defaulting to 0 — one attempt,
+        no retries).  A task that exhausts the budget is quarantined: the
+        sweep completes, the failure lands in ``SweepResult.failures`` and
+        (with a store) the store's quarantine tier.
+    task_timeout:
+        Per-task wall-clock budget in seconds, enforced worker-side via
+        ``SIGALRM`` (best effort: no-op on platforms without it).  Default:
+        the spec's ``task_timeout`` field.  A timed-out attempt fails like
+        an exception and follows the retry policy.
+    faults:
+        A :class:`~repro.sweep.faults.FaultPlan` (or its JSON form) of
+        deterministic chaos rules keyed by canonical task hash + attempt.
+        Default: the ``REPRO_SWEEP_FAULTS`` environment variable, else
+        nothing.  Test-only machinery — never set in production sweeps.
     """
     if workers is not None:
         warnings.warn(
@@ -125,11 +165,15 @@ def run_sweep(
     executor_obj: SweepExecutor = resolve_executor(executor, workers=workers)
     hooks = hooks if hooks is not None else EventHooks()
     result_store = ResultStore.from_any(store)
+    retry_policy = RetryPolicy.from_any(retries if retries is not None else spec.retries)
+    timeout = task_timeout if task_timeout is not None else spec.task_timeout
+    fault_plan = FaultPlan.from_any(faults) if faults is not None else FaultPlan.from_env()
     tasks = spec.validate()
     total = len(tasks)
     sweep_started = time.perf_counter()
     results: List[Optional[RunResult]] = [None] * total
     durations: List[float] = [0.0] * total
+    failures: List[TaskFailure] = []
     completed = 0
     loaded = 0
 
@@ -169,8 +213,37 @@ def run_sweep(
         pending = list(tasks)
 
     # -- execute what remains through the executor ---------------------------------
-    def on_started(task: SweepTask) -> None:
-        hooks.emit(TASK_STARTED, TaskStartedEvent(index=task.index, task=task, total=total))
+    def on_started(task: SweepTask, attempt: int = 1) -> None:
+        hooks.emit(
+            TASK_STARTED,
+            TaskStartedEvent(index=task.index, task=task, total=total, attempt=attempt),
+        )
+
+    def on_task_failed(
+        task: SweepTask, attempt: int, error: dict, will_retry: bool, delay: float
+    ) -> None:
+        hooks.emit(
+            TASK_FAILED,
+            TaskFailedEvent(
+                index=task.index,
+                task=task,
+                total=total,
+                attempt=attempt,
+                error=dict(error),
+                will_retry=will_retry,
+            ),
+        )
+        if will_retry:
+            hooks.emit(
+                TASK_RETRIED,
+                TaskRetriedEvent(
+                    index=task.index,
+                    task=task,
+                    total=total,
+                    attempt=attempt + 1,
+                    delay=delay,
+                ),
+            )
 
     shm_server = None
     shm_manifest = None
@@ -190,21 +263,43 @@ def run_sweep(
         store_path=str(result_store.root) if result_store is not None else None,
         on_started=on_started,
         shm_manifest=shm_manifest,
+        retry_policy=retry_policy,
+        task_timeout=timeout,
+        faults=fault_plan,
+        on_task_failed=on_task_failed,
     )
     try:
-        for task, result, duration in executor_obj.run(pending, context):
-            results[task.index] = result
-            durations[task.index] = duration
+        for outcome in executor_obj.run(pending, context):
+            task = outcome.task
+            if outcome.failure is not None:
+                failures.append(outcome.failure)
+                if result_store is not None:
+                    result_store.put_failure(task, outcome.failure)
+                hooks.emit(
+                    TASK_QUARANTINED,
+                    TaskQuarantinedEvent(
+                        index=task.index, task=task, total=total, failure=outcome.failure
+                    ),
+                )
+                continue
+            for scenario_key in outcome.degraded:
+                hooks.emit(
+                    SHM_DEGRADED,
+                    ShmDegradedEvent(index=task.index, task=task, scenario_key=scenario_key),
+                )
+            results[task.index] = outcome.result
+            durations[task.index] = outcome.duration
             completed += 1
             hooks.emit(
                 TASK_FINISHED,
                 TaskFinishedEvent(
                     index=task.index,
                     task=task,
-                    result=result,
+                    result=outcome.result,
                     total=total,
                     completed=completed,
-                    duration=duration,
+                    duration=outcome.duration,
+                    attempt=outcome.attempt,
                 ),
             )
     finally:
@@ -212,7 +307,7 @@ def run_sweep(
             shm_server.close()
 
     sweep_duration = time.perf_counter() - sweep_started
-    executed = total - loaded
+    executed = total - loaded - len(failures)
     hooks.emit(
         SWEEP_END,
         SweepEndEvent(
@@ -222,6 +317,7 @@ def run_sweep(
             executed=executed,
             loaded=loaded,
             executor=executor_obj.describe(),
+            quarantined=len(failures),
         ),
     )
     sweep_result = SweepResult(
@@ -234,8 +330,9 @@ def run_sweep(
         executor=executor_obj.describe(),
         executed=executed,
         loaded=loaded,
+        failures=sorted(failures, key=lambda failure: failure.index),
     )
-    if len(sweep_result.results) != total:  # pragma: no cover - defensive
+    if len(sweep_result.results) + len(failures) != total:  # pragma: no cover - defensive
         raise RuntimeError("sweep finished with missing task results")
     if jsonl_path is not None:
         sweep_result.write_jsonl(jsonl_path)

@@ -32,9 +32,13 @@ The engine emits ``task_started`` from the executor's ``on_started``
 callback and ``task_finished`` as outcomes arrive.  Every executor must
 guarantee, and the built-ins do:
 
-1. every task yields exactly one ``task_started`` and one ``task_finished``;
-2. a task's ``task_started`` precedes its ``task_finished``;
-3. ``task_started`` events are emitted in task-index order;
+1. every task yields exactly one ``task_started`` per *execution attempt*
+   and exactly one terminal event — ``task_finished`` on success,
+   ``task_quarantined`` after its retry budget is exhausted;
+2. a task's first ``task_started`` precedes its terminal event, and every
+   retry's ``task_started`` follows the failed attempt it retries;
+3. *first-attempt* ``task_started`` events are emitted in task-index order
+   (retries re-enter the window as slots free up and may interleave);
 4. ``task_started`` marks *submission into the executor's in-flight window*
    — serial's window is 1 (strict start/finish interleave, task order),
    process-pool's is unbounded (all starts burst before the first finish),
@@ -43,10 +47,24 @@ guarantee, and the built-ins do:
 5. per-task ``duration`` is measured worker-side around the task's actual
    execution (:func:`execute_task`), identically for every executor.
 
+Without retries (the default policy) attempt numbers are all 1 and rules
+1–3 reduce to the original one-start/one-finish contract.
+
+Fault tolerance (:mod:`repro.sweep.faults`): a failed attempt (exception or
+worker-side timeout) is reported through the context's ``on_task_failed``
+callback and re-enqueued while the :class:`~repro.sweep.faults.RetryPolicy`
+allows, then surfaced as a quarantine outcome (``outcome.failure`` set,
+``outcome.result`` ``None``) instead of aborting the sweep.  The pool-backed
+executors additionally survive worker death: on ``BrokenProcessPool`` they
+respawn the pool and requeue only the in-flight attempts (budgeted by
+``RetryPolicy.crash_requeues``, separate from failure retries).
+
 Determinism: executors only schedule — every task carries its own seed and
-nothing about placement or completion order feeds back into a task — so all
-executors, at any worker count, produce byte-identical results (the engine
-re-orders outcomes by task index).
+nothing about placement, completion order or retry history feeds back into
+a task — so all executors, at any worker count, produce byte-identical
+results (the engine re-orders outcomes by task index), including under an
+injected :class:`~repro.sweep.faults.FaultPlan` whose surviving tasks are
+re-run to success.
 """
 
 from __future__ import annotations
@@ -54,14 +72,28 @@ from __future__ import annotations
 import os
 import time
 from abc import ABC, abstractmethod
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, NamedTuple, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, NamedTuple, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.registry import executor_registry, register_executor
 from repro.session.result import RunResult
 from repro.session.simulation import Simulation
+from repro.sweep.faults import (
+    FaultPlan,
+    RetryPolicy,
+    TaskFailure,
+    crash_payload,
+    failure_from_payload,
+    failure_payload,
+    fatal_error_from_payload,
+    is_fatal_error,
+    mark_worker_process,
+    task_timeout_guard,
+    trigger_fault,
+)
 from repro.sweep.spec import SweepTask
 
 __all__ = [
@@ -78,32 +110,62 @@ __all__ = [
 
 
 class TaskOutcome(NamedTuple):
-    """One finished task as streamed back by an executor."""
+    """One terminal task outcome as streamed back by an executor.
+
+    Success sets ``result``; quarantine (the task exhausted its retry
+    budget) sets ``failure`` and leaves ``result`` ``None``.  ``degraded``
+    lists the shared-memory scenario keys this task fell back from (empty
+    in the ordinary case); ``attempt`` is the attempt number that produced
+    the outcome (1 unless the task was retried or crash-requeued).
+    """
 
     task: SweepTask
-    result: RunResult
+    result: Optional[RunResult]
     #: Worker-side wall-clock seconds for this task.
     duration: float
+    failure: Optional[TaskFailure] = None
+    degraded: Tuple[str, ...] = ()
+    attempt: int = 1
+
+
+def _noop_started(task: SweepTask, attempt: int = 1) -> None:
+    return None
+
+
+def _noop_failed(
+    task: SweepTask, attempt: int, error: Dict[str, Any], will_retry: bool, delay: float
+) -> None:
+    return None
 
 
 @dataclass(frozen=True)
 class ExecutorContext:
     """What the engine hands an executor besides the tasks themselves.
 
-    ``on_started`` must be called exactly once per task, at the moment the
-    task enters the executor's in-flight window (see the module docstring's
-    ordering contract); the engine turns it into the ``task_started`` event.
-    ``store_path`` is the content-addressed result store the workers persist
-    into (and read cached scenario data from), or ``None``.  ``shm_manifest``
-    is the shared-memory scenario-array manifest published by the engine's
+    ``on_started`` must be called exactly once per *execution attempt*, at
+    the moment the attempt enters the executor's in-flight window (see the
+    module docstring's ordering contract); the engine turns it into the
+    ``task_started`` event.  ``on_task_failed`` is called once per failed
+    attempt with the structured error payload, whether the task will be
+    retried, and the deterministic backoff delay; the engine turns it into
+    ``task_failed`` (+ ``task_retried``) events.  ``store_path`` is the
+    content-addressed result store the workers persist into (and read cached
+    scenario data from), or ``None``.  ``shm_manifest`` is the shared-memory
+    scenario-array manifest published by the engine's
     :class:`~repro.sweep.shm.ScenarioArrayServer` (or ``None`` when the tier
     is off); it is a plain dict so it pickles to workers cheaply.
+    ``retry_policy``/``task_timeout``/``faults`` configure the resilience
+    layer (:mod:`repro.sweep.faults`) identically for every executor.
     """
 
     scenario_cache: bool = True
     store_path: Optional[str] = None
-    on_started: Callable[[SweepTask], None] = field(default=lambda task: None)
+    on_started: Callable[..., None] = field(default=_noop_started)
     shm_manifest: Optional[Dict[str, Any]] = None
+    retry_policy: RetryPolicy = field(default_factory=RetryPolicy)
+    task_timeout: Optional[float] = None
+    faults: Optional[FaultPlan] = None
+    on_task_failed: Callable[..., None] = field(default=_noop_failed)
 
 
 def execute_task(
@@ -112,6 +174,9 @@ def execute_task(
     scenario_cache: bool = True,
     store: Optional[Any] = None,
     shm_manifest: Optional[Dict[str, Any]] = None,
+    timeout: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    attempt: int = 1,
 ) -> Tuple[RunResult, float]:
     """Run one sweep task to completion; returns ``(result, seconds)``.
 
@@ -134,6 +199,12 @@ def execute_task(
     path) is given, the finished result is persisted under the task's
     content hash *before* returning — so a killed sweep keeps every task
     that completed, which is what makes resume work.
+
+    The resilience knobs are opt-in: *timeout* arms a worker-side
+    :func:`~repro.sweep.faults.task_timeout_guard` around the whole
+    execution (scenario build included), and a matching *faults* rule for
+    ``(task, attempt)`` fires at the top of the attempt — both raise into
+    the caller, which owns retry/quarantine handling.
     """
     from repro.sweep.cache import (
         runner_mutates_scenario,
@@ -141,25 +212,37 @@ def execute_task(
         scenario_data_for,
     )
     from repro.sweep.runners import resolve_runner
-    from repro.sweep.store import ResultStore
+    from repro.sweep.store import ResultStore, task_hash
 
     store_obj = ResultStore.from_any(store)
     runner = resolve_runner(task.runner)
     started = time.perf_counter()
-    config = task.session_config()
-    data = None
-    if scenario_cache and scenario_cache_enabled():
-        mutates = runner_mutates_scenario(runner)
-        data = scenario_data_for(config, mutates=mutates, store=store_obj)
-        if shm_manifest and not mutates:
-            # Shared-memory tier: reuse the coordinator-published recall
-            # arrays instead of rebuilding |P| x |P| products per process.
-            # Best-effort — on any failure the ordinary build path applies.
-            from repro.sweep.shm import adopt_shared_matrix, scenario_shm_key
+    with task_timeout_guard(timeout):
+        config = task.session_config()
+        if faults:
+            rule = faults.match(task_hash(task), task.index, attempt)
+            if rule is not None:
+                from repro.sweep.shm import scenario_shm_key
 
-            adopt_shared_matrix(data.network, scenario_shm_key(config), shm_manifest)
-    simulation = Simulation.from_config(config, data=data)
-    result = runner(simulation, dict(task.options))
+                trigger_fault(
+                    rule,
+                    scenario_key=scenario_shm_key(config),
+                    shm_manifest=shm_manifest,
+                )
+        data = None
+        if scenario_cache and scenario_cache_enabled():
+            mutates = runner_mutates_scenario(runner)
+            data = scenario_data_for(config, mutates=mutates, store=store_obj)
+            if shm_manifest and not mutates:
+                # Shared-memory tier: reuse the coordinator-published recall
+                # arrays instead of rebuilding |P| x |P| products per process.
+                # Best-effort — on any failure the ordinary build path applies
+                # and the degraded key is recorded for the caller to report.
+                from repro.sweep.shm import adopt_shared_matrix, scenario_shm_key
+
+                adopt_shared_matrix(data.network, scenario_shm_key(config), shm_manifest)
+        simulation = Simulation.from_config(config, data=data)
+        result = runner(simulation, dict(task.options))
     result.protocol_result = None
     duration = time.perf_counter() - started
     if store_obj is not None:
@@ -173,13 +256,64 @@ def _execute_payload(
     store_path: Optional[str] = None,
     shm_manifest: Optional[Dict[str, Any]] = None,
 ) -> Tuple[RunResult, float]:
-    """Process-pool entry point: rebuild the task from its dict form and run it."""
+    """Process-pool entry point: rebuild the task from its dict form and run it.
+
+    Kept for third-party executors built against the PR-6 protocol; the
+    built-in pool executors now go through :func:`_execute_payload_envelope`
+    so failures cross the process boundary as data instead of exceptions.
+    """
     return execute_task(
         SweepTask.from_dict(payload),
         scenario_cache=scenario_cache,
         store=store_path,
         shm_manifest=shm_manifest,
     )
+
+
+def _execute_payload_envelope(
+    payload: Dict[str, object],
+    scenario_cache: bool = True,
+    store_path: Optional[str] = None,
+    shm_manifest: Optional[Dict[str, Any]] = None,
+    timeout: Optional[float] = None,
+    faults: Optional[FaultPlan] = None,
+    attempt: int = 1,
+) -> Dict[str, Any]:
+    """Fault-tolerant pool entry point: run one attempt, return an envelope.
+
+    Exceptions (organic, injected, or timeout) are converted into an
+    ``{"status": "error", ...}`` envelope worker-side so the coordinator can
+    apply retry policy without the pool treating the task as poisonous; a
+    success envelope additionally carries the shared-memory scenario keys
+    the attempt degraded on.  Marks the process as a pool worker first, so
+    an injected ``worker-kill`` rule takes the real ``os._exit`` path.
+    """
+    from repro.sweep.shm import consume_degraded_keys
+
+    mark_worker_process()
+    started = time.perf_counter()
+    try:
+        result, duration = execute_task(
+            SweepTask.from_dict(payload),
+            scenario_cache=scenario_cache,
+            store=store_path,
+            shm_manifest=shm_manifest,
+            timeout=timeout,
+            faults=faults,
+            attempt=attempt,
+        )
+    except Exception as error:
+        return {
+            "status": "error",
+            "duration": time.perf_counter() - started,
+            "error": failure_payload(error, attempt),
+        }
+    return {
+        "status": "ok",
+        "result": result,
+        "duration": duration,
+        "degraded": consume_degraded_keys(),
+    }
 
 
 class SweepExecutor(ABC):
@@ -226,15 +360,60 @@ class SerialExecutor(SweepExecutor):
     def run(
         self, tasks: Iterable[SweepTask], context: ExecutorContext
     ) -> Iterator[TaskOutcome]:
+        from repro.sweep.shm import consume_degraded_keys
+        from repro.sweep.store import task_hash
+
+        policy = context.retry_policy
         for task in tasks:
-            context.on_started(task)
-            result, duration = execute_task(
-                task,
-                scenario_cache=context.scenario_cache,
-                store=context.store_path,
-                shm_manifest=context.shm_manifest,
-            )
-            yield TaskOutcome(task, result, duration)
+            attempt = 1
+            failures = 0
+            cached_hash: Optional[str] = None
+            while True:
+                context.on_started(task, attempt)
+                started = time.perf_counter()
+                try:
+                    result, duration = execute_task(
+                        task,
+                        scenario_cache=context.scenario_cache,
+                        store=context.store_path,
+                        shm_manifest=context.shm_manifest,
+                        timeout=context.task_timeout,
+                        faults=context.faults,
+                        attempt=attempt,
+                    )
+                except Exception as error:
+                    if is_fatal_error(error):
+                        # Deterministic misconfiguration: abort the sweep
+                        # instead of burning retries or quarantining.
+                        raise
+                    payload = failure_payload(error, attempt)
+                    failures += 1
+                    if cached_hash is None:
+                        cached_hash = task_hash(task)
+                    will_retry = failures < policy.max_attempts
+                    delay = policy.delay(cached_hash, attempt) if will_retry else 0.0
+                    context.on_task_failed(task, attempt, payload, will_retry, delay)
+                    if will_retry:
+                        if delay > 0:
+                            time.sleep(delay)
+                        attempt += 1
+                        continue
+                    yield TaskOutcome(
+                        task,
+                        None,
+                        time.perf_counter() - started,
+                        failure=failure_from_payload(task, cached_hash, payload),
+                        attempt=attempt,
+                    )
+                    break
+                yield TaskOutcome(
+                    task,
+                    result,
+                    duration,
+                    degraded=tuple(consume_degraded_keys()),
+                    attempt=attempt,
+                )
+                break
 
 
 def _effective_workers(max_workers: Optional[int], total: int) -> int:
@@ -242,6 +421,215 @@ def _effective_workers(max_workers: Optional[int], total: int) -> int:
         raise ConfigurationError(f"max_workers must be at least 1, got {max_workers}")
     limit = max_workers if max_workers is not None else (os.cpu_count() or 1)
     return max(1, min(limit, total))
+
+
+class _Attempt:
+    """Mutable per-task retry state inside a pool run."""
+
+    __slots__ = ("task", "attempt", "failures", "crashes", "delay", "task_hash")
+
+    def __init__(self, task: SweepTask) -> None:
+        self.task = task
+        self.attempt = 1
+        self.failures = 0
+        self.crashes = 0
+        self.delay = 0.0
+        self.task_hash: Optional[str] = None
+
+    def hash(self) -> str:
+        if self.task_hash is None:
+            from repro.sweep.store import task_hash
+
+            self.task_hash = task_hash(self.task)
+        return self.task_hash
+
+
+class _PoolRun:
+    """The shared fault-tolerant process-pool driver.
+
+    Both pool executors reduce to this loop; they differ only in the
+    in-flight ``window`` (``None`` = unbounded, the process-pool burst;
+    an integer = chunked streaming).  The driver owns retry/quarantine
+    bookkeeping and crash recovery:
+
+    * a worker-side failure arrives as an error envelope — while the retry
+      policy allows, the attempt is re-enqueued (ahead of fresh tasks, after
+      its deterministic backoff) and otherwise quarantined;
+    * worker death breaks the whole pool (``concurrent.futures`` semantics:
+      every in-flight future fails with ``BrokenProcessPool`` at once) — the
+      driver salvages envelopes that completed before the break, respawns
+      the pool, and requeues exactly the in-flight attempts, each charged
+      one crash against ``RetryPolicy.crash_requeues``.
+
+    All pending futures always belong to the current pool: a break fails
+    them all simultaneously and recovery respawns before anything new is
+    submitted, which is what keeps the event-ordering contract intact
+    across crashes.
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[SweepTask],
+        context: ExecutorContext,
+        workers: int,
+        window: Optional[int],
+    ) -> None:
+        self.iterator = iter(tasks)
+        self.context = context
+        self.policy = context.retry_policy
+        self.workers = workers
+        self.window = window
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.pending: Dict[Any, _Attempt] = {}
+        self.ready: "deque[_Attempt]" = deque()
+        self.out: "deque[TaskOutcome]" = deque()
+
+    def outcomes(self) -> Iterator[TaskOutcome]:
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        try:
+            self._fill()
+            while self.pending or self.ready or self.out:
+                # Drain finished outcomes BEFORE topping the window up: the
+                # coordinator emits task_finished as each outcome is yielded,
+                # and rule 4 (start = admission to the in-flight window)
+                # requires those finishes to precede the next starts.
+                while self.out:
+                    yield self.out.popleft()
+                self._fill()
+                if not self.pending:
+                    continue
+                done, _ = wait(self.pending, return_when=FIRST_COMPLETED)
+                crashed: List[Tuple[_Attempt, BaseException]] = []
+                for future in done:
+                    state = self.pending.pop(future)
+                    try:
+                        envelope = future.result()
+                    except BrokenExecutor as error:
+                        crashed.append((state, error))
+                    else:
+                        self._handle_envelope(state, envelope)
+                if crashed:
+                    self._recover(crashed)
+        finally:
+            self.pool.shutdown(wait=True, cancel_futures=True)
+
+    def _fill(self) -> None:
+        """Top the in-flight window up: queued retries first, then fresh tasks."""
+        while self.window is None or len(self.pending) < self.window:
+            if self.ready:
+                state = self.ready.popleft()
+                if state.delay > 0:
+                    time.sleep(state.delay)
+                    state.delay = 0.0
+            else:
+                task = next(self.iterator, None)
+                if task is None:
+                    return
+                state = _Attempt(task)
+            self._submit(state)
+
+    def _submit(self, state: _Attempt) -> None:
+        self.context.on_started(state.task, state.attempt)
+        try:
+            future = self.pool.submit(
+                _execute_payload_envelope,
+                state.task.to_dict(),
+                self.context.scenario_cache,
+                self.context.store_path,
+                self.context.shm_manifest,
+                self.context.task_timeout,
+                self.context.faults,
+                state.attempt,
+            )
+        except BrokenExecutor:
+            # The pool broke between the last wait and this submit.  The
+            # submission never reached a worker, so this attempt is not
+            # charged a crash: recover the in-flight futures, respawn, and
+            # resubmit the same attempt (its task_started already fired,
+            # matching contract rule 1 — the attempt still runs once).
+            self._recover([])
+            future = self.pool.submit(
+                _execute_payload_envelope,
+                state.task.to_dict(),
+                self.context.scenario_cache,
+                self.context.store_path,
+                self.context.shm_manifest,
+                self.context.task_timeout,
+                self.context.faults,
+                state.attempt,
+            )
+        self.pending[future] = state
+
+    def _handle_envelope(self, state: _Attempt, envelope: Dict[str, Any]) -> None:
+        if envelope["status"] == "ok":
+            self.out.append(
+                TaskOutcome(
+                    state.task,
+                    envelope["result"],
+                    envelope["duration"],
+                    degraded=tuple(envelope.get("degraded", ())),
+                    attempt=state.attempt,
+                )
+            )
+            return
+        payload = envelope["error"]
+        if payload.get("fatal"):
+            raise fatal_error_from_payload(payload)
+        state.failures += 1
+        will_retry = state.failures < self.policy.max_attempts
+        delay = self.policy.delay(state.hash(), state.attempt) if will_retry else 0.0
+        self.context.on_task_failed(state.task, state.attempt, payload, will_retry, delay)
+        if will_retry:
+            state.attempt += 1
+            state.delay = delay
+            self.ready.append(state)
+            return
+        self.out.append(
+            TaskOutcome(
+                state.task,
+                None,
+                envelope["duration"],
+                failure=failure_from_payload(state.task, state.hash(), payload),
+                attempt=state.attempt,
+            )
+        )
+
+    def _recover(self, crashed: List[Tuple[_Attempt, BaseException]]) -> None:
+        """Salvage a broken pool: drain its futures, respawn, requeue crashes."""
+        for future, state in list(self.pending.items()):
+            del self.pending[future]
+            try:
+                envelope = future.result()
+            except BrokenExecutor as error:
+                crashed.append((state, error))
+            else:
+                # Completed before the break; its result (and store entry)
+                # survives the crash.
+                self._handle_envelope(state, envelope)
+        self.pool.shutdown(wait=False, cancel_futures=True)
+        self.pool = ProcessPoolExecutor(max_workers=self.workers)
+        crashed.sort(key=lambda pair: (pair[0].task.index, pair[0].attempt))
+        for state, error in crashed:
+            payload = crash_payload(error, state.attempt)
+            state.crashes += 1
+            will_retry = state.crashes <= self.policy.crash_requeues
+            self.context.on_task_failed(
+                state.task, state.attempt, payload, will_retry, 0.0
+            )
+            if will_retry:
+                state.attempt += 1
+                state.delay = 0.0
+                self.ready.append(state)
+            else:
+                self.out.append(
+                    TaskOutcome(
+                        state.task,
+                        None,
+                        0.0,
+                        failure=failure_from_payload(state.task, state.hash(), payload),
+                        attempt=state.attempt,
+                    )
+                )
 
 
 @register_executor("process-pool", aliases=("pool",))
@@ -276,24 +664,7 @@ class ProcessPoolSweepExecutor(SweepExecutor):
         if workers == 1 or len(tasks) <= 1:
             yield from SerialExecutor().run(tasks, context)
             return
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending = {}
-            for task in tasks:
-                context.on_started(task)
-                future = pool.submit(
-                    _execute_payload,
-                    task.to_dict(),
-                    context.scenario_cache,
-                    context.store_path,
-                    context.shm_manifest,
-                )
-                pending[future] = task
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = pending.pop(future)
-                    result, duration = future.result()
-                    yield TaskOutcome(task, result, duration)
+        yield from _PoolRun(tasks, context, workers, window=None).outcomes()
 
 
 @register_executor("chunked-streaming", aliases=("chunked",))
@@ -341,36 +712,9 @@ class ChunkedStreamingExecutor(SweepExecutor):
         # worker count falls back to the configured/CPU limit (the total is
         # unknown up front) and the pool drains naturally when fewer tasks
         # than workers exist.
-        iterator = iter(tasks)
         workers = _effective_workers(self.max_workers, self.workers)
         window = self.window_size(workers)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            pending: Dict[Any, SweepTask] = {}
-
-            def submit_next() -> bool:
-                task = next(iterator, None)
-                if task is None:
-                    return False
-                context.on_started(task)
-                future = pool.submit(
-                    _execute_payload,
-                    task.to_dict(),
-                    context.scenario_cache,
-                    context.store_path,
-                    context.shm_manifest,
-                )
-                pending[future] = task
-                return True
-
-            while len(pending) < window and submit_next():
-                pass
-            while pending:
-                done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task = pending.pop(future)
-                    result, duration = future.result()
-                    yield TaskOutcome(task, result, duration)
-                    submit_next()
+        yield from _PoolRun(iter(tasks), context, workers, window=window).outcomes()
 
 
 def resolve_executor(

@@ -11,11 +11,12 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
 from repro.analysis.reporting import SummaryStats, format_table, summary_statistics
 from repro.errors import ConfigurationError
 from repro.session.result import RunResult
+from repro.sweep.faults import TaskFailure
 from repro.sweep.spec import SweepSpec, SweepTask
 
 __all__ = ["SweepResult", "read_jsonl", "DEFAULT_SUMMARY_METRICS", "DEFAULT_GROUP_FIELDS"]
@@ -58,7 +59,13 @@ def _group_value(value: Any) -> Any:
 
 @dataclass
 class SweepResult:
-    """Everything a finished sweep produced, in task order."""
+    """Everything a finished sweep produced, in task order.
+
+    ``results`` holds one entry per *completed* task; tasks that exhausted
+    their retry budget appear in ``failures`` instead (quarantine), so
+    ``len(results) + len(failures) == len(tasks)``.  Record/summary views
+    skip quarantined tasks.
+    """
 
     spec: SweepSpec
     tasks: List[SweepTask]
@@ -75,9 +82,20 @@ class SweepResult:
     executed: int = 0
     #: Tasks whose results were loaded from the content-addressed store.
     loaded: int = 0
+    #: Tasks quarantined after exhausting their retry budget (task order).
+    failures: List[TaskFailure] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.results)
+
+    def completed_pairs(self) -> Iterator[Tuple[SweepTask, RunResult]]:
+        """``(task, result)`` pairs for every non-quarantined task, in task order."""
+        failed = {failure.index for failure in self.failures}
+        result_iter = iter(self.results)
+        for task in self.tasks:
+            if task.index in failed:
+                continue
+            yield task, next(result_iter)
 
     # -- store views ---------------------------------------------------------------
 
@@ -112,10 +130,18 @@ class SweepResult:
                 durations.append(stored.duration)
         if missing:
             preview = ", ".join(str(index) for index in missing[:10])
+            quarantined = sum(
+                1
+                for index in missing
+                if store_obj.get_failure(task_hash(tasks[index])) is not None
+            )
+            detail = (
+                f" ({quarantined} of them quarantined after failing)" if quarantined else ""
+            )
             raise ConfigurationError(
                 f"store {str(store_obj.root)!r} is missing {len(missing)} of "
                 f"{len(tasks)} tasks (task indexes {preview}"
-                f"{', ...' if len(missing) > 10 else ''}); "
+                f"{', ...' if len(missing) > 10 else ''}){detail}; "
                 "run run_sweep(spec, store=...) to fill in the gaps"
             )
         return cls(
@@ -131,11 +157,13 @@ class SweepResult:
     # -- record views --------------------------------------------------------------
 
     def records(self) -> List[Dict[str, Any]]:
-        """One JSON-safe record per task: the task plus its result summary."""
+        """One JSON-safe record per completed task: the task plus its result."""
         records = []
-        for position, (task, result) in enumerate(zip(self.tasks, self.results)):
+        for task, result in self.completed_pairs():
             duration = (
-                self.task_durations[position] if position < len(self.task_durations) else 0.0
+                self.task_durations[task.index]
+                if task.index < len(self.task_durations)
+                else 0.0
             )
             records.append(
                 {
@@ -146,6 +174,17 @@ class SweepResult:
                 }
             )
         return records
+
+    def failure_records(self) -> List[Dict[str, Any]]:
+        """One JSON-safe record per quarantined task."""
+        return [
+            {
+                "kind": "task-failure",
+                "task": self.tasks[failure.index].to_dict(),
+                "failure": failure.to_dict(),
+            }
+            for failure in self.failures
+        ]
 
     # -- persistence ---------------------------------------------------------------
 
@@ -160,10 +199,13 @@ class SweepResult:
             "executor": self.executor,
             "executed": self.executed,
             "loaded": self.loaded,
+            "quarantined": len(self.failures),
         }
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(json.dumps(header, sort_keys=True) + "\n")
             for record in self.records():
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+            for record in self.failure_records():
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
 
     # -- summaries -----------------------------------------------------------------
@@ -181,8 +223,8 @@ class SweepResult:
         return float(getattr(result, metric))
 
     def metric_values(self, metric: str) -> List[float]:
-        """The per-task values of one :class:`RunResult` metric, in task order."""
-        return [self._metric_value(result, metric) for result in self.results]
+        """Per-completed-task values of one :class:`RunResult` metric, in task order."""
+        return [self._metric_value(result, metric) for _task, result in self.completed_pairs()]
 
     def summarize(
         self,
@@ -199,7 +241,7 @@ class SweepResult:
         appearance (task) order.
         """
         grouped: Dict[Tuple[Any, ...], List[RunResult]] = {}
-        for task, result in zip(self.tasks, self.results):
+        for task, result in self.completed_pairs():
             key = tuple(
                 _group_value(task.config.get(field_name)) for field_name in group_by
             )

@@ -23,14 +23,24 @@ The tier is transparent:
 
 Lifecycle: the coordinator owns the segments — :class:`ScenarioArrayServer`
 creates them before dispatch and unlinks them after the sweep
-(``close()``).  Workers attach without resource-tracker registration (see
+(``close()``), with an ``atexit`` hook as a backstop so an abnormal
+coordinator exit does not strand segments in ``/dev/shm`` until reboot.
+Workers attach without resource-tracker registration (see
 :func:`_attach_array`) so a worker exiting does not tear the segment down
 under its siblings — CPython registers attached segments for cleanup until
 3.13's ``track=False``.
+
+Degradation is observable: any failed attach/adopt is logged
+(``repro.sweep.shm``) and recorded per process; the executors drain the
+record (:func:`consume_degraded_keys`) and the engine emits one
+``shm_degraded`` event per affected task.  Results never depend on the
+tier — a degraded task simply builds its arrays the ordinary way.
 """
 
 from __future__ import annotations
 
+import atexit
+import logging
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -44,7 +54,11 @@ __all__ = [
     "scenario_shm_key",
     "ScenarioArrayServer",
     "adopt_shared_matrix",
+    "unlink_segments",
+    "consume_degraded_keys",
 ]
+
+logger = logging.getLogger("repro.sweep.shm")
 
 #: Manifest entry: scenario key -> segment names + array metadata.
 ShmManifest = Dict[str, Dict[str, Any]]
@@ -92,6 +106,20 @@ class ScenarioArrayServer:
     def __init__(self) -> None:
         self._segments: List[Any] = []
         self.manifest: ShmManifest = {}
+        # Backstop for abnormal coordinator exits (unhandled exception,
+        # sys.exit mid-sweep): without it the published segments survive the
+        # process and sit in /dev/shm until reboot.  close() unregisters.
+        atexit.register(self._cleanup_at_exit)
+
+    def _cleanup_at_exit(self) -> None:
+        if not self._segments:
+            return
+        logger.warning(
+            "coordinator exiting with %d shared-memory segment(s) still "
+            "published; unlinking them now",
+            len(self._segments),
+        )
+        self.close()
 
     # -- publishing ----------------------------------------------------------
 
@@ -150,6 +178,7 @@ class ScenarioArrayServer:
                 pass
         self._segments = []
         self.manifest = {}
+        atexit.unregister(self._cleanup_at_exit)
 
     def __enter__(self) -> "ScenarioArrayServer":
         return self
@@ -167,6 +196,22 @@ class ScenarioArrayServer:
 #: Keeping the SharedMemory handles referenced pins the buffers for as long
 #: as any adopted matrix is alive in this process.
 _ATTACHED: Dict[str, Tuple[WeightedRecallMatrix, List[Any]]] = {}
+
+#: Scenario keys this process fell back on since the last drain — the
+#: executors read this after each task and surface ``shm_degraded`` events.
+_DEGRADED: List[str] = []
+
+
+def _record_degraded(key: str, reason: str) -> None:
+    logger.warning("shared-memory tier degraded for scenario %s: %s", key, reason)
+    _DEGRADED.append(key)
+
+
+def consume_degraded_keys() -> List[str]:
+    """Drain and return the scenario keys this process degraded on."""
+    drained = list(_DEGRADED)
+    _DEGRADED.clear()
+    return drained
 
 
 def _attach_array(entry: Dict[str, Any], segments: List[Any]) -> np.ndarray:
@@ -207,6 +252,8 @@ def adopt_shared_matrix(network: Any, key: str, manifest: ShmManifest) -> bool:
     """
     entry = manifest.get(key)
     if entry is None:
+        # A key the coordinator never published is not degradation — the
+        # manifest legitimately omits mutating-runner scenarios.
         return False
     cached = _ATTACHED.get(key)
     if cached is not None:
@@ -217,12 +264,15 @@ def adopt_shared_matrix(network: Any, key: str, manifest: ShmManifest) -> bool:
             local = _attach_array(entry["local"], segments)
             global_matrix = _attach_array(entry["global"], segments)
             service = _attach_array(entry["service"], segments)
-        except (OSError, FileNotFoundError, KeyError):
+        except (OSError, FileNotFoundError, KeyError) as error:
             for segment in segments:
                 try:
                     segment.close()
                 except OSError:  # pragma: no cover - defensive
                     pass
+            _record_degraded(
+                key, f"segment attach failed ({type(error).__name__}: {error})"
+            )
             return False
         matrix = WeightedRecallMatrix.from_arrays(
             network.recall_model(),
@@ -237,9 +287,42 @@ def adopt_shared_matrix(network: Any, key: str, manifest: ShmManifest) -> bool:
         _ATTACHED[key] = (matrix, segments)
     try:
         network.adopt_recall_matrix(matrix)
-    except Exception:
+    except Exception as error:
+        _record_degraded(key, f"adoption failed ({type(error).__name__}: {error})")
         return False
     return True
+
+
+def unlink_segments(manifest: ShmManifest, key: str) -> int:
+    """Forcibly unlink the published segments behind manifest entry *key*.
+
+    The ``shm-unlink`` chaos fault: simulates segment loss mid-sweep (a
+    reaped ``/dev/shm``, an OOM-killed coordinator's leftovers being
+    cleaned).  Returns how many segments were actually unlinked.  Processes
+    already attached keep their mappings (POSIX semantics); fresh attaches
+    fail and degrade to the ordinary build path.
+    """
+    from multiprocessing import shared_memory
+
+    entry = manifest.get(key)
+    if entry is None:
+        return 0
+    unlinked = 0
+    for field in _ARRAY_FIELDS:
+        name = entry.get(field, {}).get("name")
+        if not name:
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=name, create=False)
+        except (OSError, FileNotFoundError):
+            continue
+        try:
+            segment.close()
+            segment.unlink()
+            unlinked += 1
+        except (OSError, FileNotFoundError):  # pragma: no cover - race with close
+            pass
+    return unlinked
 
 
 def clear_attached() -> None:

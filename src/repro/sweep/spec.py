@@ -218,6 +218,12 @@ class SweepSpec:
     runner_options: Dict[str, Any] = field(default_factory=dict)
     #: Explicit (non-grid) tasks, appended after the grid.
     tasks: Tuple[Any, ...] = ()
+    #: Retries per failed task before quarantine (0 = a single attempt).
+    #: Execution policy, not task identity: content hashes ignore it.
+    retries: int = 0
+    #: Per-task wall-clock budget in seconds, enforced worker-side
+    #: (``None`` = unlimited).  Execution policy, like ``retries``.
+    task_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "scenarios", _as_tuple(self.scenarios))
@@ -237,6 +243,12 @@ class SweepSpec:
             raise ConfigurationError(
                 "explicit seeds and replications are mutually exclusive; "
                 "give one or the other"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be non-negative, got {self.retries}")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigurationError(
+                f"task_timeout must be positive (or None), got {self.task_timeout}"
             )
 
     # -- construction / serialisation ---------------------------------------------
@@ -290,6 +302,8 @@ class SweepSpec:
             "runner": self.runner,
             "runner_options": dict(self.runner_options),
             "tasks": [dict(task) for task in self.tasks],
+            "retries": self.retries,
+            "task_timeout": self.task_timeout,
         }
 
     def with_options(self, **overrides: Any) -> "SweepSpec":

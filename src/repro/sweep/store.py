@@ -19,9 +19,18 @@ keys everything by that hash:
   scenario construction survives worker restarts, cold starts and crosses
   CI runs.
 
+* ``<root>/quarantine/<hh>/<hash>.json`` — tasks the fault-tolerance layer
+  (:mod:`repro.sweep.faults`) gave up on: the terminal
+  :class:`~repro.sweep.faults.TaskFailure` payload under the task's
+  canonical hash.  A later successful :meth:`ResultStore.put` for the same
+  hash clears the quarantine record, so resume naturally retries
+  quarantined tasks.
+
 The two-level ``<hh>/`` fan-out (first two hex digits) keeps directories
 small on million-task grids.  Corrupt or unreadable entries are treated as
-missing — resume then simply re-runs the task — never as errors.
+missing — resume then simply re-runs the task — never as errors; they are
+logged (``repro.sweep.store``) and :meth:`ResultStore.verify` scans for and
+optionally purges them, emitting ``store_corrupt`` events.
 
 This is what makes **sweep resume** work: :func:`~repro.sweep.engine.run_sweep`
 with a store skips every task whose hash already has a stored result,
@@ -35,18 +44,28 @@ from __future__ import annotations
 import copy
 import hashlib
 import json
+import logging
 import os
 import pickle
 import tempfile
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterator, Optional, Union
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.session.result import RunResult
+from repro.sweep.faults import TaskFailure
 from repro.sweep.spec import SweepTask
 
-__all__ = ["ResultStore", "StoredResult", "task_hash", "canonical_json"]
+__all__ = [
+    "ResultStore",
+    "StoredResult",
+    "StoreVerification",
+    "task_hash",
+    "canonical_json",
+]
+
+logger = logging.getLogger("repro.sweep.store")
 
 
 def canonical_json(value: Any) -> str:
@@ -83,6 +102,23 @@ class StoredResult:
     result: RunResult
     #: Worker-side wall-clock seconds of the run that produced the result.
     duration: float
+
+
+@dataclass
+class StoreVerification:
+    """What :meth:`ResultStore.verify` found in one scan."""
+
+    #: Task entries examined.
+    checked: int = 0
+    #: ``(task hash, reason)`` for every corrupt/unreadable entry.
+    corrupt: List[Tuple[str, str]] = field(default_factory=list)
+    #: Corrupt entries removed (only with ``purge=True``).
+    purged: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the scan found no corrupt entries."""
+        return not self.corrupt
 
 
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
@@ -133,6 +169,10 @@ class ResultStore:
         """Where the scenario data for content hash *hash_hex* lives."""
         return self.root / "scenarios" / hash_hex[:2] / f"{hash_hex}.pkl"
 
+    def failure_path(self, hash_hex: str) -> Path:
+        """Where the quarantine record for content hash *hash_hex* lives."""
+        return self.root / "quarantine" / hash_hex[:2] / f"{hash_hex}.json"
+
     # -- task results --------------------------------------------------------------
 
     def put(self, task: SweepTask, result: RunResult, duration: float) -> str:
@@ -148,6 +188,8 @@ class ResultStore:
         }
         payload = json.dumps(record, sort_keys=True).encode("utf-8")
         _atomic_write_bytes(self.task_path(hash_hex), payload)
+        # A success supersedes any earlier quarantine of the same work.
+        self.clear_failure(hash_hex)
         return hash_hex
 
     def get(self, task_or_hash: Union[SweepTask, str]) -> Optional[StoredResult]:
@@ -172,7 +214,17 @@ class ResultStore:
                 result=result,
                 duration=float(record.get("duration", 0.0)),
             )
-        except (OSError, ValueError, KeyError, TypeError, ConfigurationError):
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError, ConfigurationError) as error:
+            # Present but unreadable: the task will re-run, but leave a trail
+            # (and let `verify()` report it) instead of hiding the damage.
+            logger.warning(
+                "treating corrupt store entry %s as missing (%s: %s)",
+                path,
+                type(error).__name__,
+                error,
+            )
             return None
 
     def __contains__(self, task_or_hash: object) -> bool:
@@ -190,6 +242,120 @@ class ResultStore:
 
     def __len__(self) -> int:
         return sum(1 for _ in self.task_hashes())
+
+    # -- quarantine ----------------------------------------------------------------
+
+    def put_failure(self, task: SweepTask, failure: "TaskFailure") -> str:
+        """Record *task*'s terminal *failure* under its content hash."""
+        hash_hex = failure.task_hash or task_hash(task)
+        record = {
+            "kind": "sweep-task-failure",
+            "hash": hash_hex,
+            "task": task.to_dict(),
+            "failure": failure.to_dict(),
+        }
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        _atomic_write_bytes(self.failure_path(hash_hex), payload)
+        return hash_hex
+
+    def get_failure(self, task_or_hash: Union[SweepTask, str]) -> Optional[TaskFailure]:
+        """The quarantine record for a task (or bare hash), or ``None``."""
+        hash_hex = (
+            task_hash(task_or_hash)
+            if isinstance(task_or_hash, SweepTask)
+            else str(task_or_hash)
+        )
+        try:
+            with open(self.failure_path(hash_hex), "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+            return TaskFailure.from_dict(record["failure"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def clear_failure(self, task_or_hash: Union[SweepTask, str]) -> None:
+        """Drop the quarantine record for a task (or bare hash), if any."""
+        hash_hex = (
+            task_hash(task_or_hash)
+            if isinstance(task_or_hash, SweepTask)
+            else str(task_or_hash)
+        )
+        try:
+            os.unlink(self.failure_path(hash_hex))
+        except OSError:
+            pass
+
+    def failure_hashes(self) -> Iterator[str]:
+        """Every quarantined task hash (no particular order)."""
+        quarantine_root = self.root / "quarantine"
+        if not quarantine_root.is_dir():
+            return
+        for path in sorted(quarantine_root.glob("*/*.json")):
+            yield path.stem
+
+    # -- verification --------------------------------------------------------------
+
+    def verify(self, *, purge: bool = False, hooks: Optional[Any] = None) -> StoreVerification:
+        """Scan every task entry for corruption; optionally purge the damage.
+
+        An entry is corrupt when its JSON is unreadable, its recorded hash
+        disagrees with its filename, or its result payload does not rebuild
+        into a :class:`~repro.session.result.RunResult`.  Each corrupt entry
+        is logged, reported in the returned :class:`StoreVerification` and —
+        when *hooks* (an :class:`~repro.events.EventHooks`) is given —
+        emitted as a ``store_corrupt`` event.  With ``purge=True`` corrupt
+        files are deleted, so the next resume simply re-runs those tasks.
+        """
+        from repro.events import STORE_CORRUPT, StoreCorruptEvent
+
+        report = StoreVerification()
+        tasks_root = self.root / "tasks"
+        if not tasks_root.is_dir():
+            return report
+        for path in sorted(tasks_root.glob("*/*.json")):
+            report.checked += 1
+            reason = self._entry_problem(path)
+            if reason is None:
+                continue
+            logger.warning("corrupt store entry %s: %s", path, reason)
+            purged = False
+            if purge:
+                try:
+                    os.unlink(path)
+                    purged = True
+                    report.purged += 1
+                except OSError as error:  # pragma: no cover - unlink race
+                    logger.warning("could not purge %s: %s", path, error)
+            report.corrupt.append((path.stem, reason))
+            if hooks is not None:
+                hooks.emit(
+                    STORE_CORRUPT,
+                    StoreCorruptEvent(
+                        task_hash=path.stem,
+                        path=str(path),
+                        reason=reason,
+                        purged=purged,
+                    ),
+                )
+        return report
+
+    @staticmethod
+    def _entry_problem(path: Path) -> Optional[str]:
+        """Why the task entry at *path* is corrupt, or ``None`` if it is sound."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError) as error:
+            return f"unreadable JSON ({type(error).__name__}: {error})"
+        if not isinstance(record, dict):
+            return f"expected a JSON object, found {type(record).__name__}"
+        recorded = record.get("hash")
+        if recorded != path.stem:
+            return f"recorded hash {recorded!r} does not match filename"
+        try:
+            RunResult.from_dict(record["result"])
+        except (ValueError, KeyError, TypeError, ConfigurationError) as error:
+            return f"result payload does not rebuild ({type(error).__name__}: {error})"
+        return None
 
     # -- scenario data -------------------------------------------------------------
 

@@ -1,0 +1,252 @@
+"""Chaos suite: deterministic fault injection across every executor.
+
+The contract under test is the package's design center extended to faults —
+whatever chaos a :class:`FaultPlan` injects (exceptions, hangs, worker
+kills, shm unlinks), a sweep that survives it produces a ``SweepResult``
+byte-identical to a fault-free serial run, and a killed sweep resumes
+through the store without re-executing completed tasks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.events import EventHooks
+from repro.sweep import (
+    FaultPlan,
+    FaultRule,
+    ResultStore,
+    SweepSpec,
+    run_sweep,
+    task_hash,
+)
+from repro.sweep.executors import (
+    ChunkedStreamingExecutor,
+    ProcessPoolSweepExecutor,
+    SerialExecutor,
+)
+
+TINY_SCENARIO = {
+    "num_peers": 12,
+    "num_categories": 3,
+    "documents_per_peer": 4,
+    "terms_per_document": 3,
+    "category_vocabulary_size": 15,
+    "queries_per_peer": 3,
+}
+
+
+def tiny_spec(**overrides) -> SweepSpec:
+    values = {
+        "strategies": ("selfish", "altruistic"),
+        "scale": "quick",
+        "overrides": {"scenario_overrides": dict(TINY_SCENARIO)},
+        "seeds": (7, 11),
+    }
+    values.update(overrides)
+    return SweepSpec(**values)
+
+
+ALL_EXECUTORS = (
+    SerialExecutor(),
+    ProcessPoolSweepExecutor(max_workers=2),
+    ChunkedStreamingExecutor(max_workers=2, window=2),
+)
+
+#: One rule per fault model that a retry can absorb: a first-attempt
+#: exception, a first-attempt worker kill and a first-attempt hang cut
+#: short by the task timeout.
+COMBINED_PLAN = FaultPlan(
+    rules=(
+        FaultRule(fault="task-exception", index=0, attempts=(1,)),
+        FaultRule(fault="worker-kill", index=1, attempts=(1,)),
+        FaultRule(fault="task-hang", index=3, attempts=(1,), options={"seconds": 60.0}),
+    )
+)
+
+
+def payload(sweep_result):
+    return [result.to_dict() for result in sweep_result.results]
+
+
+class TestChaosParity:
+    @pytest.mark.parametrize(
+        "executor", ALL_EXECUTORS, ids=lambda executor: executor.name
+    )
+    def test_every_executor_is_byte_identical_under_the_combined_plan(self, executor):
+        spec = tiny_spec()
+        reference = run_sweep(spec)  # fault-free serial
+        chaotic = run_sweep(
+            spec, executor=executor, retries=2, task_timeout=3.0, faults=COMBINED_PLAN
+        )
+        assert not chaotic.failures
+        assert payload(chaotic) == payload(reference)
+
+    def test_env_variable_injects_the_plan(self, monkeypatch):
+        from repro.sweep.faults import ENV_FAULTS
+
+        spec = tiny_spec(strategies=("selfish",), seeds=(7,))
+        reference = run_sweep(spec)
+        monkeypatch.setenv(
+            ENV_FAULTS,
+            '{"rules": [{"fault": "task-exception", "index": 0, "attempts": [1]}]}',
+        )
+        failed = run_sweep(spec)  # no retries: the injected fault quarantines
+        assert len(failed.failures) == 1
+        recovered = run_sweep(spec, retries=1)
+        assert not recovered.failures
+        assert payload(recovered) == payload(reference)
+
+    def test_explicit_faults_argument_overrides_the_env(self, monkeypatch):
+        from repro.sweep.faults import ENV_FAULTS
+
+        monkeypatch.setenv(ENV_FAULTS, '{"rules": [{"fault": "task-exception"}]}')
+        spec = tiny_spec(strategies=("selfish",), seeds=(7,))
+        clean = run_sweep(spec, faults=FaultPlan(rules=()))
+        assert not clean.failures
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize(
+        "executor", ALL_EXECUTORS, ids=lambda executor: executor.name
+    )
+    def test_a_persistent_failure_quarantines_without_aborting(self, executor):
+        spec = tiny_spec()
+        plan = FaultPlan(rules=(FaultRule(fault="task-exception", index=1, attempts=()),))
+        result = run_sweep(spec, executor=executor, retries=1, faults=plan)
+        assert len(result.results) == 3
+        (failure,) = result.failures
+        assert failure.index == 1
+        assert failure.attempts == 2
+        assert failure.injected
+        assert failure.error_type == "InjectedFaultError"
+        # The surviving tasks still match the fault-free reference.
+        reference = run_sweep(spec)
+        expected = [
+            result.to_dict()
+            for task, result in zip(reference.tasks, reference.results)
+            if task.index != 1
+        ]
+        assert payload(result) == expected
+
+    def test_quarantine_is_recorded_in_the_store_and_cleared_on_success(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec(strategies=("selfish",))
+        plan = FaultPlan(rules=(FaultRule(fault="task-exception", index=0, attempts=()),))
+        failed = run_sweep(spec, store=store, faults=plan)
+        (failure,) = failed.failures
+        victim = failed.tasks[0]
+        record = store.get_failure(victim)
+        assert record is not None
+        assert record.error_type == "InjectedFaultError"
+        assert list(store.failure_hashes()) == [task_hash(victim)]
+
+        # Resume without faults: only the quarantined task re-executes, and
+        # success supersedes the quarantine record.
+        resumed = run_sweep(spec, store=store)
+        assert resumed.executed == 1 and resumed.loaded == 1
+        assert not resumed.failures
+        assert store.get_failure(victim) is None
+        assert payload(resumed) == payload(run_sweep(spec))
+
+    def test_timeout_exhaustion_quarantines_with_kind_timeout(self):
+        from repro.sweep.faults import timeout_enforcement_available
+
+        if not timeout_enforcement_available():
+            pytest.skip("needs SIGALRM on the main thread")
+        spec = tiny_spec(strategies=("selfish",), seeds=(7,))
+        plan = FaultPlan(
+            rules=(FaultRule(fault="task-hang", index=0, attempts=(), options={"seconds": 30.0}),)
+        )
+        result = run_sweep(spec, faults=plan, task_timeout=0.3)
+        (failure,) = result.failures
+        assert failure.kind == "timeout"
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize(
+        "executor",
+        ALL_EXECUTORS[1:],
+        ids=lambda executor: executor.name,
+    )
+    def test_worker_kill_respawns_the_pool_and_finishes(self, executor):
+        spec = tiny_spec()
+        reference = run_sweep(spec)
+        plan = FaultPlan(rules=(FaultRule(fault="worker-kill", index=2, attempts=(1,)),))
+        crash_events = []
+        hooks = EventHooks()
+        hooks.on_task_failed(
+            lambda event: crash_events.append((event.index, event.error["kind"]))
+        )
+        result = run_sweep(spec, executor=executor, faults=plan, hooks=hooks)
+        assert not result.failures
+        assert payload(result) == payload(reference)
+        assert any(kind == "crash" for _index, kind in crash_events)
+
+    def test_mid_sweep_kill_resumes_with_zero_reexecution(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        reference = run_sweep(spec)
+
+        # "Kill" the coordinator after two tasks persisted: a hook raises out
+        # of run_sweep, exactly like an operator's SIGINT mid-sweep.
+        class Killed(RuntimeError):
+            pass
+
+        hooks = EventHooks()
+
+        def maybe_kill(event):
+            if event.completed >= 2:
+                raise Killed()
+
+        hooks.on_task_finished(maybe_kill)
+        with pytest.raises(Killed):
+            run_sweep(spec, store=store, hooks=hooks)
+        assert len(store) == 2
+
+        loaded_indexes = []
+        resume_hooks = EventHooks()
+        resume_hooks.on_task_loaded(lambda event: loaded_indexes.append(event.index))
+        resumed = run_sweep(spec, store=store, hooks=resume_hooks)
+        assert resumed.loaded == 2 and resumed.executed == 2
+        assert sorted(loaded_indexes) == [0, 1]
+        assert payload(resumed) == payload(reference)
+
+    def test_worker_kill_then_resume_through_the_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        reference = run_sweep(spec)
+        plan = FaultPlan(rules=(FaultRule(fault="worker-kill", index=1, attempts=(1,)),))
+        first = run_sweep(
+            spec,
+            executor=ProcessPoolSweepExecutor(max_workers=2),
+            store=store,
+            faults=plan,
+        )
+        assert not first.failures
+        resumed = run_sweep(spec, store=store)
+        assert resumed.executed == 0 and resumed.loaded == len(resumed)
+        assert payload(resumed) == payload(reference)
+
+
+class TestShmChaos:
+    def test_shm_unlink_degrades_without_changing_results(self):
+        pytest.importorskip("multiprocessing.shared_memory")
+        from repro.sweep.shm import shared_memory_available
+
+        if not shared_memory_available():
+            pytest.skip("no usable /dev/shm")
+        spec = tiny_spec()
+        reference = run_sweep(spec)
+        plan = FaultPlan(rules=(FaultRule(fault="shm-unlink", index=0, attempts=(1,)),))
+        degraded = []
+        hooks = EventHooks()
+        hooks.on_shm_degraded(lambda event: degraded.append(event.index))
+        result = run_sweep(
+            spec,
+            executor=ProcessPoolSweepExecutor(max_workers=2),
+            faults=plan,
+            hooks=hooks,
+        )
+        assert not result.failures
+        assert payload(result) == payload(reference)

@@ -198,6 +198,110 @@ class TestEventOrderingContract:
             assert all(duration > 0 for duration in result.task_durations)
 
 
+class TestEventOrderingUnderFaults:
+    """The amended contract: one start per *attempt*, exactly one terminal
+    finish-or-quarantine per task, first-attempt starts in index order."""
+
+    @staticmethod
+    def _record(executor: SweepExecutor, *, retries: int, faults) -> dict:
+        events = []
+        hooks = EventHooks()
+        hooks.on_task_started(
+            lambda event: events.append(("start", event.index, event.attempt))
+        )
+        hooks.on_task_finished(
+            lambda event: events.append(("finish", event.index, event.attempt))
+        )
+        hooks.on_task_failed(
+            lambda event: events.append(("failed", event.index, event.attempt))
+        )
+        hooks.on_task_retried(
+            lambda event: events.append(("retried", event.index, event.attempt))
+        )
+        hooks.on_task_quarantined(
+            lambda event: events.append(("quarantined", event.index, None))
+        )
+        result = run_sweep(
+            tiny_spec(), executor=executor, hooks=hooks, retries=retries, faults=faults
+        )
+        return {"events": events, "total": len(result.tasks)}
+
+    @staticmethod
+    def _assert_contract(recorded: dict) -> None:
+        events, total = recorded["events"], recorded["total"]
+        for index in range(total):
+            starts = [e for e in events if e[0] == "start" and e[1] == index]
+            retried = [e for e in events if e[0] == "retried" and e[1] == index]
+            terminals = [
+                e for e in events if e[0] in ("finish", "quarantined") and e[1] == index
+            ]
+            # One start per attempt: the first attempt plus one per re-enqueue.
+            assert len(starts) == 1 + len(retried)
+            assert [attempt for _kind, _index, attempt in starts] == list(
+                range(1, len(starts) + 1)
+            )
+            # Exactly one terminal event, after the first start.
+            assert len(terminals) == 1
+            assert events.index(starts[0]) < events.index(terminals[0])
+        first_starts = [e[1] for e in events if e[0] == "start" and e[2] == 1]
+        assert first_starts == list(range(total))
+
+    @pytest.mark.parametrize(
+        "executor", ALL_EXECUTORS, ids=lambda executor: executor.name
+    )
+    def test_contract_holds_with_a_retried_task(self, executor):
+        from repro.sweep import FaultPlan, FaultRule
+
+        plan = FaultPlan(rules=(FaultRule(fault="task-exception", index=0, attempts=(1,)),))
+        recorded = self._record(executor, retries=1, faults=plan)
+        self._assert_contract(recorded)
+        events = recorded["events"]
+        assert ("retried", 0, 2) in events
+        assert ("finish", 0, 2) in events
+
+    @pytest.mark.parametrize(
+        "executor", ALL_EXECUTORS, ids=lambda executor: executor.name
+    )
+    def test_contract_holds_with_a_quarantined_task(self, executor):
+        from repro.sweep import FaultPlan, FaultRule
+
+        plan = FaultPlan(rules=(FaultRule(fault="task-exception", index=2, attempts=()),))
+        recorded = self._record(executor, retries=1, faults=plan)
+        self._assert_contract(recorded)
+        events = recorded["events"]
+        assert ("quarantined", 2, None) in events
+        assert ("finish", 2, 1) not in events
+        assert len([e for e in events if e[0] == "failed" and e[1] == 2]) == 2
+
+    @pytest.mark.parametrize(
+        "executor", ALL_EXECUTORS, ids=lambda executor: executor.name
+    )
+    def test_fatal_misconfiguration_aborts_instead_of_quarantining(self, executor):
+        # A ConfigurationError is a deterministic user error, not a task
+        # fault: no retry budget is spent and the sweep raises.
+        spec = tiny_spec(
+            workloads=("uniform",),
+            runner="traffic",
+            runner_options={"after": "tea-break", "num_events": 50},
+        )
+        with pytest.raises(ConfigurationError, match="phase"):
+            run_sweep(spec, executor=executor, retries=3)
+
+    @pytest.mark.parametrize(
+        "executor", ALL_EXECUTORS[1:], ids=lambda executor: executor.name
+    )
+    def test_contract_holds_through_a_pool_crash(self, executor):
+        from repro.sweep import FaultPlan, FaultRule
+
+        plan = FaultPlan(rules=(FaultRule(fault="worker-kill", index=1, attempts=(1,)),))
+        recorded = self._record(executor, retries=0, faults=plan)
+        self._assert_contract(recorded)
+        crash_failed = [
+            e for e in recorded["events"] if e[0] == "failed"
+        ]
+        assert crash_failed  # at least the killed task reported a failure
+
+
 class TestParity:
     def test_all_executors_produce_byte_identical_results(self):
         spec = tiny_spec()

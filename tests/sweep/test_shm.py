@@ -19,8 +19,10 @@ from repro.sweep.shm import (
     ScenarioArrayServer,
     adopt_shared_matrix,
     clear_attached,
+    consume_degraded_keys,
     scenario_shm_key,
     shared_memory_available,
+    unlink_segments,
 )
 
 TINY_SCENARIO = {
@@ -139,3 +141,85 @@ class TestResultParity:
         assert result_payload(tier_on) == result_payload(tier_off)
         assert result_payload(tier_on) == result_payload(serial)
         assert set(shm_segments()) <= before
+
+
+@needs_shm
+class TestAbnormalExitCleanup:
+    """Regression for the segment leak on abnormal coordinator exit: the
+    atexit backstop must unlink what ``close()`` never got to."""
+
+    def test_atexit_backstop_unlinks_published_segments(self):
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        # A coordinator that publishes segments and dies on an unhandled
+        # exception — close() never runs, only the atexit hook can clean up.
+        script = (
+            "import json, sys\n"
+            "sys.path.insert(0, sys.argv[1])\n"
+            "from repro.sweep import SweepSpec\n"
+            "from repro.sweep.shm import ScenarioArrayServer\n"
+            "spec = SweepSpec.from_dict(json.loads(sys.argv[2]))\n"
+            "server = ScenarioArrayServer()\n"
+            "manifest = server.publish_for_tasks(spec.validate())\n"
+            "names = [entry[field]['name'] for entry in manifest.values()\n"
+            "         for field in ('local', 'global', 'service')]\n"
+            "print(json.dumps(names), flush=True)\n"
+            "raise RuntimeError('simulated coordinator death')\n"
+        )
+        src = str(Path(repro.__file__).resolve().parents[1])
+        completed = subprocess.run(
+            [sys.executable, "-c", script, src, json.dumps(tiny_spec().to_dict())],
+            capture_output=True,
+            text=True,
+        )
+        assert completed.returncode != 0
+        assert "simulated coordinator death" in completed.stderr
+        names = json.loads(completed.stdout.strip().splitlines()[-1])
+        assert names
+        leaked = [name for name in names if name.lstrip("/") in shm_segments()]
+        assert leaked == []
+
+    def test_cleanup_hook_is_a_noop_after_close(self):
+        server = ScenarioArrayServer()
+        server.publish_for_tasks(tiny_spec().validate())
+        server.close()
+        # No segments tracked any more: the hook has nothing to do and the
+        # second close stays idempotent.
+        server._cleanup_at_exit()
+        assert server.manifest == {}
+
+
+@needs_shm
+class TestDegradationObservability:
+    def test_unlinked_segments_degrade_and_are_recorded(self):
+        from repro.sweep.cache import scenario_data_for
+
+        spec = tiny_spec()
+        task = spec.validate()[0]
+        config = task.session_config()
+        key = scenario_shm_key(config)
+        with ScenarioArrayServer() as server:
+            manifest = server.publish_for_tasks([task])
+            clear_attached()
+            consume_degraded_keys()  # start from a clean slate
+            assert unlink_segments(manifest, key) == 3
+            data = scenario_data_for(config, mutates=True)
+            assert not adopt_shared_matrix(data.network, key, manifest)
+            assert consume_degraded_keys() == [key]
+            assert consume_degraded_keys() == []  # drained
+
+    def test_missing_manifest_key_is_not_recorded_as_degradation(self):
+        from repro.sweep.cache import scenario_data_for
+
+        config = tiny_spec().validate()[0].session_config()
+        data = scenario_data_for(config, mutates=True)
+        consume_degraded_keys()
+        assert not adopt_shared_matrix(data.network, "absent-key", {})
+        assert consume_degraded_keys() == []
+
+    def test_unlink_segments_of_an_absent_key_is_zero(self):
+        assert unlink_segments({}, "absent") == 0

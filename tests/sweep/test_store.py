@@ -321,6 +321,115 @@ class TestJsonlVsStore:
             SweepResult.from_store(tiny_spec(), None)
 
 
+class TestQuarantineTier:
+    def _failure(self, digest):
+        from repro.sweep.faults import TaskFailure
+
+        return TaskFailure(
+            index=0,
+            task_hash=digest,
+            attempts=2,
+            error_type="ValueError",
+            message="boom",
+            kind="exception",
+            injected=False,
+            traceback="",
+        )
+
+    def test_put_get_clear_failure_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        task = tiny_spec().validate()[0]
+        digest = task_hash(task)
+        assert store.get_failure(task) is None
+        store.put_failure(task, self._failure(digest))
+        recorded = store.get_failure(task)
+        assert recorded is not None and recorded.error_type == "ValueError"
+        assert list(store.failure_hashes()) == [digest]
+        store.clear_failure(task)
+        assert store.get_failure(task) is None
+        assert list(store.failure_hashes()) == []
+
+    def test_put_supersedes_a_quarantine_record(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec(strategies=("selfish",), seeds=(7,))
+        sweep = run_sweep(spec)
+        task = sweep.tasks[0]
+        store.put_failure(task, self._failure(task_hash(task)))
+        store.put(task, sweep.results[0], sweep.task_durations[0])
+        assert store.get_failure(task) is None
+
+
+class TestVerify:
+    def _filled_store(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        run_sweep(tiny_spec(strategies=("selfish",)), store=store)
+        return store
+
+    def test_clean_store_verifies_ok(self, tmp_path):
+        store = self._filled_store(tmp_path)
+        verification = store.verify()
+        assert verification.ok
+        assert verification.checked == 2
+        assert verification.corrupt == [] and verification.purged == 0
+
+    def test_unreadable_json_is_reported_and_purged(self, tmp_path):
+        store = self._filled_store(tmp_path)
+        digest = next(iter(store.task_hashes()))
+        path = store.task_path(digest)
+        path.write_text("{ truncated", encoding="utf-8")
+
+        events = []
+        hooks = EventHooks()
+        hooks.on_store_corrupt(lambda event: events.append(event))
+        verification = store.verify(hooks=hooks)
+        assert not verification.ok
+        assert len(verification.corrupt) == 1
+        assert verification.purged == 0
+        (event,) = events
+        assert event.task_hash == digest
+        assert "JSON" in event.reason
+        assert path.exists()
+
+        purged = store.verify(purge=True)
+        assert purged.purged == 1
+        assert not path.exists()
+        assert store.verify().ok
+
+    def test_hash_mismatch_is_corrupt(self, tmp_path):
+        store = self._filled_store(tmp_path)
+        hashes = sorted(store.task_hashes())
+        source = store.task_path(hashes[0])
+        impostor = store.task_path("f" * 64)
+        impostor.parent.mkdir(parents=True, exist_ok=True)
+        impostor.write_bytes(source.read_bytes())
+        verification = store.verify()
+        assert len(verification.corrupt) == 1
+        assert any("hash" in reason for _path, reason in verification.corrupt)
+
+    def test_unrebuildable_result_is_corrupt(self, tmp_path):
+        store = self._filled_store(tmp_path)
+        digest = next(iter(store.task_hashes()))
+        path = store.task_path(digest)
+        record = json.loads(path.read_text(encoding="utf-8"))
+        record["result"] = {"nonsense": True}
+        path.write_text(json.dumps(record), encoding="utf-8")
+        verification = store.verify()
+        assert len(verification.corrupt) == 1
+
+    def test_resume_after_purge_reexecutes_exactly_the_purged_task(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = tiny_spec()
+        first = run_sweep(spec, store=store)
+        victim = first.tasks[1]
+        store.task_path(task_hash(victim)).write_text("garbage", encoding="utf-8")
+        store.verify(purge=True)
+        second = run_sweep(spec, store=store)
+        assert second.executed == 1 and second.loaded == len(second) - 1
+        assert [r.to_dict() for r in second.results] == [
+            r.to_dict() for r in first.results
+        ]
+
+
 class TestScenarioTier:
     def _config(self):
         return tiny_spec(strategies=("selfish",), seeds=(7,)).validate()[0].session_config()

@@ -201,3 +201,52 @@ class TestValidation:
     def test_valid_spec_returns_the_expanded_tasks(self):
         tasks = SweepSpec(strategies=("selfish",), seeds=(1, 2)).validate()
         assert [task.index for task in tasks] == [0, 1]
+
+
+class TestExecutionPolicyFields:
+    def test_retries_and_task_timeout_round_trip(self):
+        spec = SweepSpec(strategies=("selfish",), retries=2, task_timeout=30.0)
+        rebuilt = SweepSpec.from_dict(spec.to_dict())
+        assert rebuilt.retries == 2
+        assert rebuilt.task_timeout == 30.0
+
+    def test_policy_fields_do_not_change_task_identity(self):
+        from repro.sweep.store import task_hash
+
+        plain = SweepSpec(strategies=("selfish",), seeds=(7,)).validate()[0]
+        tolerant = SweepSpec(
+            strategies=("selfish",), seeds=(7,), retries=3, task_timeout=5.0
+        ).validate()[0]
+        assert task_hash(tolerant) == task_hash(plain)
+
+    def test_invalid_policy_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(retries=-1)
+        with pytest.raises(ConfigurationError):
+            SweepSpec(task_timeout=0.0)
+
+    def test_spec_retries_drive_run_sweep(self):
+        from repro.sweep import FaultPlan, FaultRule, run_sweep
+
+        spec = SweepSpec(
+            strategies=("selfish",),
+            seeds=(7,),
+            scale="quick",
+            retries=1,
+            overrides={
+                "scenario_overrides": {
+                    "num_peers": 12,
+                    "num_categories": 3,
+                    "documents_per_peer": 4,
+                    "terms_per_document": 3,
+                    "category_vocabulary_size": 15,
+                    "queries_per_peer": 3,
+                }
+            },
+        )
+        plan = FaultPlan(
+            rules=(FaultRule(fault="task-exception", index=0, attempts=(1,)),)
+        )
+        result = run_sweep(spec, faults=plan)
+        assert not result.failures
+        assert len(result.results) == 1

@@ -325,3 +325,139 @@ class TestDynamicsFlags:
             == 0
         )
         assert "final_social_cost" in capsys.readouterr().out
+
+
+class TestFaultToleranceFlags:
+    def test_parser_defaults(self):
+        arguments = build_parser().parse_args(["sweep"])
+        assert arguments.retries is None
+        assert arguments.task_timeout is None
+        assert arguments.faults is None
+        assert arguments.verify_store is False
+        assert arguments.purge_corrupt is False
+
+    def test_retries_recover_an_injected_fault(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--strategy",
+                    "selfish",
+                    "--seeds",
+                    "7",
+                    "--retries",
+                    "1",
+                    "--faults",
+                    '{"rules": [{"fault": "task-exception", "index": 0, "attempts": [1]}]}',
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "attempt 1 failed" in output
+        assert "retrying as attempt 2" in output
+        assert "sweep finished: 1 tasks (1 executed, 0 loaded)" in output
+        assert "quarantined" not in output
+
+    def test_exhausted_retries_print_the_quarantine_summary(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--strategy",
+                    "selfish",
+                    "--strategy",
+                    "altruistic",
+                    "--seeds",
+                    "7",
+                    "--faults",
+                    '{"rules": [{"fault": "task-exception", "index": 1}]}',
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "quarantined after 1 attempt" in output
+        assert "(1 executed, 0 loaded, 1 quarantined)" in output
+        assert "1 task quarantined: 1" in output
+
+    def test_malformed_faults_json_reports_cleanly(self, capsys):
+        assert main(["sweep", "--scale", "quick", "--seeds", "7", "--faults", "{nope"]) == 2
+        assert "--faults expects inline JSON" in capsys.readouterr().err
+
+    def test_task_timeout_flag_is_accepted(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--strategy",
+                    "selfish",
+                    "--seeds",
+                    "7",
+                    "--task-timeout",
+                    "120",
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        assert "final_social_cost" in capsys.readouterr().out
+
+
+class TestVerifyStoreFlag:
+    def _fill_store(self, store, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--strategy",
+                    "selfish",
+                    "--seeds",
+                    "7,11",
+                    "--store",
+                    str(store),
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+
+    def test_clean_store_verifies_ok(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        self._fill_store(store, capsys)
+        assert main(["sweep", "--store", str(store), "--verify-store"]) == 0
+        assert "2 entries checked, 0 corrupt, 0 purged" in capsys.readouterr().out
+
+    def test_corrupt_entry_reported_and_purged(self, tmp_path, capsys):
+        from repro.sweep import ResultStore
+
+        store = tmp_path / "store"
+        self._fill_store(store, capsys)
+        store_obj = ResultStore(store)
+        digest = next(iter(store_obj.task_hashes()))
+        store_obj.task_path(digest).write_text("junk", encoding="utf-8")
+
+        assert main(["sweep", "--store", str(store), "--verify-store"]) == 1
+        output = capsys.readouterr().out
+        assert f"corrupt store entry {digest[:12]}" in output
+        assert "1 corrupt, 0 purged" in output
+
+        assert (
+            main(["sweep", "--store", str(store), "--verify-store", "--purge-corrupt"])
+            == 0
+        )
+        assert "1 corrupt, 1 purged" in capsys.readouterr().out
+        assert main(["sweep", "--store", str(store), "--verify-store"]) == 0
+
+    def test_verify_store_requires_a_store(self, capsys):
+        assert main(["sweep", "--verify-store"]) == 2
+        assert "--verify-store requires --store" in capsys.readouterr().err
