@@ -1,0 +1,176 @@
+"""Distributed sweep backend — queue overhead and scaling vs process-pool.
+
+Two measurements:
+
+* **Queue lifecycle on a multi-thousand-task grid** — the coordination
+  fabric alone: enqueue 2048 real task entries, claim each one through the
+  atomic rename protocol, release the lease, with the coordinator-style
+  directory scans in between.  No task executes, so the timing is pure
+  per-task overhead of the filesystem queue — the cost the distributed
+  backend adds over handing the same tasks to an in-process pool.
+* **Distributed vs process-pool on a real grid** — the CI smoke grid run
+  end-to-end through ``process-pool`` and through ``distributed`` with the
+  same worker count (spawned daemon processes, store-backed), asserting
+  byte-identical payloads and recording the coordinator's wall-clock
+  overhead.
+
+Run with::
+
+    pytest benchmarks/bench_sweep_distributed.py -q \
+        --benchmark-json BENCH_sweep_distributed.json
+
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sweep import ResultStore, SweepSpec, run_sweep
+from repro.sweep.queue import QueueEntry, TaskQueue
+from repro.sweep.store import task_hash
+
+TINY_SCENARIO = {
+    "num_peers": 12,
+    "num_categories": 3,
+    "documents_per_peer": 4,
+    "terms_per_document": 3,
+    "category_vocabulary_size": 15,
+    "queries_per_peer": 3,
+}
+
+#: The synthetic grid the queue-lifecycle bench pushes through the fabric.
+QUEUE_GRID_TASKS = 2048
+
+
+def queue_grid_tasks():
+    """A real ≥2000-task expansion (one strategy, many derived seeds)."""
+    spec = SweepSpec(
+        strategies=("selfish",),
+        scale="quick",
+        overrides={"scenario_overrides": dict(TINY_SCENARIO)},
+        replications=QUEUE_GRID_TASKS,
+    )
+    return spec.validate()
+
+
+def smoke_spec() -> SweepSpec:
+    """The CI smoke grid: 2 strategies x 2 initials x 2 seeds = 8 tasks."""
+    return SweepSpec(
+        strategies=("selfish", "altruistic"),
+        initials=("singletons", "random"),
+        scale="quick",
+        overrides={"scenario_overrides": dict(TINY_SCENARIO)},
+        seeds=(7, 11),
+    )
+
+
+def payload(sweep_result):
+    return [result.to_dict() for result in sweep_result.results]
+
+
+def test_queue_lifecycle_multithousand_grid(benchmark, tmp_path):
+    from benchmarks.conftest import print_block
+
+    tasks = queue_grid_tasks()
+    assert len(tasks) >= 2000
+    entries = [
+        QueueEntry(task=task.to_dict(), task_hash=task_hash(task), index=task.index)
+        for task in tasks
+    ]
+
+    def lifecycle():
+        queue = TaskQueue(tmp_path / f"store-{time.monotonic_ns()}")
+        enqueue_start = time.perf_counter()
+        for entry in entries:
+            queue.enqueue(entry)
+        enqueue_seconds = time.perf_counter() - enqueue_start
+        claim_start = time.perf_counter()
+        claimed = 0
+        order_ok = True
+        expected = 0
+        while True:
+            lease = queue.claim("bench-worker")
+            if lease is None:
+                break
+            order_ok = order_ok and lease.entry.index == expected
+            expected += 1
+            claimed += 1
+            lease.renew()
+            lease.release()
+        claim_seconds = time.perf_counter() - claim_start
+        scan_start = time.perf_counter()
+        status = queue.status(ResultStore(queue.store_root))
+        scan_seconds = time.perf_counter() - scan_start
+        assert claimed == len(entries)
+        assert order_ok, "claims must arrive in task-index order"
+        assert status.pending == 0 and status.claimed == 0
+        return enqueue_seconds, claim_seconds, scan_seconds
+
+    enqueue_seconds, claim_seconds, scan_seconds = benchmark.pedantic(
+        lifecycle, iterations=1, rounds=1
+    )
+    total = enqueue_seconds + claim_seconds
+    per_task_us = total / len(entries) * 1e6
+    benchmark.extra_info["tasks"] = len(entries)
+    benchmark.extra_info["per_task_overhead_us"] = round(per_task_us, 1)
+    benchmark.extra_info["enqueue_seconds"] = round(enqueue_seconds, 3)
+    benchmark.extra_info["claim_release_seconds"] = round(claim_seconds, 3)
+    print_block(
+        "Distributed queue lifecycle",
+        "\n".join(
+            [
+                f"tasks enqueued + claimed + released: {len(entries)}",
+                f"enqueue: {enqueue_seconds:.3f} s",
+                f"claim/renew/release: {claim_seconds:.3f} s",
+                f"status scan: {scan_seconds * 1000:.1f} ms",
+                f"per-task queue overhead: {per_task_us:.0f} us",
+            ]
+        ),
+    )
+
+
+def test_distributed_vs_process_pool_smoke_grid(benchmark, tmp_path):
+    from benchmarks.conftest import print_block
+
+    spec = smoke_spec()
+    reference = run_sweep(spec)
+
+    pool_start = time.perf_counter()
+    pool = run_sweep(
+        spec, executor={"name": "process-pool", "options": {"max_workers": 2}}
+    )
+    pool_seconds = time.perf_counter() - pool_start
+
+    def distributed_run():
+        return run_sweep(
+            spec,
+            executor={
+                "name": "distributed",
+                "options": {"workers": 2, "lease_timeout": 30, "poll_interval": 0.02},
+            },
+            store=str(tmp_path / "store"),
+        )
+
+    distributed_start = time.perf_counter()
+    distributed = benchmark.pedantic(distributed_run, iterations=1, rounds=1)
+    distributed_seconds = time.perf_counter() - distributed_start
+
+    assert payload(distributed) == payload(reference)
+    assert payload(pool) == payload(reference)
+
+    overhead = distributed_seconds - pool_seconds
+    benchmark.extra_info["tasks"] = len(reference.tasks)
+    benchmark.extra_info["process_pool_seconds"] = round(pool_seconds, 3)
+    benchmark.extra_info["distributed_seconds"] = round(distributed_seconds, 3)
+    benchmark.extra_info["coordinator_overhead_seconds"] = round(overhead, 3)
+    print_block(
+        "Distributed vs process-pool (8-task smoke grid, 2 workers)",
+        "\n".join(
+            [
+                f"serial-identical payloads: yes ({len(reference.tasks)} tasks)",
+                f"process-pool(2): {pool_seconds:.2f} s",
+                f"distributed(2):  {distributed_seconds:.2f} s",
+                f"coordinator + daemon-spawn overhead: {overhead:+.2f} s",
+            ]
+        ),
+    )

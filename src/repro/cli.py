@@ -20,6 +20,11 @@ Usage (after ``pip install -e .`` the ``repro`` entry point is equivalent)::
                      --runner-options '{"periods": 3}' \
                      --dynamics '{"model": "workload-full", "options": {"peer_fraction": 0.2}}' \
                      --dynamics '{"model": "workload-full", "options": {"peer_fraction": 0.6}}'
+    repro sweep      --spec sweep.json --store /shared/store \
+                     --executor distributed --executor-options '{"workers": 4}'
+    repro sweep-worker --store /shared/store
+    repro sweep      --status --store /shared/store
+    repro sweep      --prune-store --store /shared/store
 
 Every subcommand prints a plain-text table/series; ``report`` runs the whole
 suite and renders the markdown that EXPERIMENTS.md is derived from, and
@@ -37,6 +42,15 @@ sweep.  ``--faults`` (or the ``REPRO_SWEEP_FAULTS`` environment variable)
 injects a deterministic :class:`repro.sweep.faults.FaultPlan` for chaos
 testing, and ``--verify-store`` audits a result store for corrupt entries
 (``--purge-corrupt`` removes them).
+
+The ``distributed`` executor turns the store into a work queue: the
+coordinator enqueues the grid and any number of ``repro sweep-worker``
+daemons — spawned by the coordinator or started by hand on hosts sharing the
+store directory — claim tasks through atomic lease files (see
+:mod:`repro.sweep.distributed`).  ``repro sweep --status --store DIR``
+reports queue depth, live workers and quarantine counts without touching
+anything, and ``--prune-store`` garbage-collects orphaned scenario pickles
+and stale queue/lease files left behind by killed workers.
 
 The ``discover`` and ``maintain`` commands drive the :class:`repro.Simulation`
 facade, and the ``--strategy``/``--initial``/``--scenario`` choices are read
@@ -421,10 +435,83 @@ def build_parser() -> argparse.ArgumentParser:
         "resume re-executes them",
     )
     sweep.add_argument(
+        "--status",
+        action="store_true",
+        help="with --store: report queue depth (pending/claimed/done), live "
+        "workers and quarantined counts instead of running a sweep; "
+        "read-only",
+    )
+    sweep.add_argument(
+        "--prune-store",
+        action="store_true",
+        help="with --store: garbage-collect orphaned scenario pickles and "
+        "stale queue/lease/worker files left behind by killed workers "
+        "(results and quarantine records are never touched)",
+    )
+    sweep.add_argument(
+        "--stale-after",
+        type=float,
+        default=1800.0,
+        help="with --prune-store: age in seconds before leases, failure "
+        "records, worker files and temp files count as stale "
+        "(default: 1800)",
+    )
+    sweep.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        help="with --status: heartbeat age in seconds before a lease or "
+        "worker counts as expired (default: 30)",
+    )
+    sweep.add_argument(
         "--output", default=None, help="persist the sweep as JSONL to this file"
     )
     sweep.add_argument(
         "--no-progress", action="store_true", help="do not stream per-task progress lines"
+    )
+
+    worker = subparsers.add_parser(
+        "sweep-worker",
+        help="run a distributed-sweep worker daemon against a shared store: "
+        "claim queued tasks through atomic leases, execute them under the "
+        "coordinator's published retry/timeout policy, and write results "
+        "into the store until stopped",
+    )
+    worker.add_argument(
+        "--store",
+        required=True,
+        help="the shared result-store directory whose queue/ tier to drain",
+    )
+    worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity for leases and heartbeats "
+        "(default: <hostname>-<pid>)",
+    )
+    worker.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="seconds to sleep between claim attempts when the queue is "
+        "empty (default: 0.2)",
+    )
+    worker.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=None,
+        help="lease heartbeat budget in seconds; renewals happen at a "
+        "fraction of it (default: 30, or the coordinator's published value)",
+    )
+    worker.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once the queue is empty instead of polling forever",
+    )
+    worker.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="exit after executing this many tasks (default: unlimited)",
     )
 
     return parser
@@ -648,10 +735,59 @@ def _verify_store(arguments: argparse.Namespace, store: Optional[ResultStore]) -
     return 0 if verification.ok or arguments.purge_corrupt else 1
 
 
+def _sweep_status(arguments: argparse.Namespace, store: Optional[ResultStore]) -> int:
+    """``repro sweep --status``: read-only queue/worker/store snapshot."""
+    from repro.sweep.queue import DEFAULT_LEASE_TIMEOUT, TaskQueue
+
+    if store is None:
+        raise ConfigurationError("--status requires --store")
+    lease_timeout = (
+        arguments.lease_timeout
+        if arguments.lease_timeout is not None
+        else DEFAULT_LEASE_TIMEOUT
+    )
+    status = TaskQueue.for_store(store, lease_timeout=lease_timeout).status(store)
+    rows = [
+        ("pending tasks", status.pending),
+        ("claimed tasks", status.claimed),
+        ("  of which expired leases", status.expired),
+        ("unprocessed failure records", status.failure_records),
+        ("stored results", status.stored),
+        ("quarantined tasks", status.quarantined),
+        ("workers registered", len(status.workers)),
+        ("workers live", status.live_workers),
+        ("stop requested", status.stop_requested),
+    ]
+    print(format_table(("metric", "value"), rows))
+    for worker in status.workers:
+        state = "live" if worker.live else "stale"
+        print(f"worker {worker.worker_id}: {state} (heartbeat {worker.age:.1f}s ago)")
+    return 0
+
+
+def _prune_store(arguments: argparse.Namespace, store: Optional[ResultStore]) -> int:
+    """``repro sweep --prune-store``: garbage-collect caches and queue debris."""
+    if store is None:
+        raise ConfigurationError("--prune-store requires --store")
+    report = store.prune(stale_after=arguments.stale_after)
+    print(
+        f"store {str(store.root)!r}: pruned {report.removed} files "
+        f"({report.scenarios_removed}/{report.scenarios_checked} scenario pickles, "
+        f"{report.queue_files_removed} queue files, "
+        f"{report.worker_files_removed} worker files, "
+        f"{report.temp_files_removed} temp files)"
+    )
+    return 0
+
+
 def _command_sweep(arguments: argparse.Namespace) -> int:
     store = ResultStore.from_any(arguments.store)
     if arguments.verify_store:
         return _verify_store(arguments, store)
+    if arguments.status:
+        return _sweep_status(arguments, store)
+    if arguments.prune_store:
+        return _prune_store(arguments, store)
     spec = _sweep_spec_from_arguments(arguments)
     executor = _sweep_executor_from_arguments(arguments)
     faults = (
@@ -743,6 +879,36 @@ def _command_sweep(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep_worker(arguments: argparse.Namespace) -> int:
+    """``repro sweep-worker``: a distributed-sweep worker daemon."""
+    from repro.sweep.distributed import run_worker
+    from repro.sweep.faults import mark_worker_process
+    from repro.sweep.queue import DEFAULT_LEASE_TIMEOUT, TaskQueue
+
+    store = ResultStore(arguments.store)
+    lease_timeout = arguments.lease_timeout
+    if lease_timeout is None:
+        # Fall back to the coordinator's published policy, then the default.
+        config = TaskQueue.for_store(store).read_config()
+        try:
+            lease_timeout = float(config.get("lease_timeout", DEFAULT_LEASE_TIMEOUT))
+        except (TypeError, ValueError):
+            lease_timeout = DEFAULT_LEASE_TIMEOUT
+    # This process exists to run sweep tasks: injected worker-kill faults
+    # take the real os._exit path here (in-process callers never do).
+    mark_worker_process()
+    executed = run_worker(
+        store,
+        worker_id=arguments.worker_id,
+        poll_interval=arguments.poll_interval,
+        drain=arguments.drain,
+        max_tasks=arguments.max_tasks,
+        lease_timeout=lease_timeout,
+    )
+    print(f"worker exiting: {executed} task{'s' if executed != 1 else ''} executed")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     arguments = build_parser().parse_args(argv)
@@ -752,6 +918,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "traffic": _command_traffic,
         "report": _command_report,
         "sweep": _command_sweep,
+        "sweep-worker": _command_sweep_worker,
     }
     command = commands.get(arguments.command, _command_experiment)
     try:

@@ -49,7 +49,11 @@ The fault-tolerance layer (:mod:`repro.sweep.faults`) adds failure events:
 * :data:`SHM_DEGRADED` — a task fell back from the shared-memory scenario
   tier to the ordinary per-worker build path (results are unaffected);
 * :data:`STORE_CORRUPT` — ``ResultStore.verify()`` found an unreadable or
-  hash-mismatched store entry.
+  hash-mismatched store entry;
+* :data:`LEASE_RECLAIMED` — the distributed coordinator
+  (:mod:`repro.sweep.distributed`) declared a worker dead (its lease
+  heartbeat expired) and requeued or quarantined the claimed task; a
+  matching ``task_failed`` (kind ``crash``) precedes it.
 
 The executor event ordering contract (which executor emits what, when) is
 documented in :mod:`repro.sweep.executors`.
@@ -96,6 +100,7 @@ __all__ = [
     "TASK_QUARANTINED",
     "SHM_DEGRADED",
     "STORE_CORRUPT",
+    "LEASE_RECLAIMED",
     "SWEEP_END",
     "RoundEndEvent",
     "RelocationGrantedEvent",
@@ -112,6 +117,7 @@ __all__ = [
     "TaskQuarantinedEvent",
     "ShmDegradedEvent",
     "StoreCorruptEvent",
+    "LeaseReclaimedEvent",
     "SweepEndEvent",
     "EventHooks",
     "CostTraceRecorder",
@@ -132,6 +138,7 @@ TASK_RETRIED = "task_retried"
 TASK_QUARANTINED = "task_quarantined"
 SHM_DEGRADED = "shm_degraded"
 STORE_CORRUPT = "store_corrupt"
+LEASE_RECLAIMED = "lease_reclaimed"
 SWEEP_END = "sweep_end"
 
 #: An event callback; receives the event dataclass as its only argument.
@@ -314,6 +321,29 @@ class ShmDegradedEvent:
 
 
 @dataclass(frozen=True)
+class LeaseReclaimedEvent:
+    """Published when the distributed coordinator reclaimed an expired lease.
+
+    The worker holding the claimed task stopped heartbeating for longer
+    than the lease timeout; the attempt was charged one crash against
+    ``RetryPolicy.crash_requeues`` and the task was requeued
+    (``will_retry``) or quarantined.  If the worker was merely slow and
+    still finishes, its result is byte-identical to the re-run's, so the
+    reclaim is an observability signal, never a correctness one.
+    """
+
+    index: int
+    task: Any  # a repro.sweep.spec.SweepTask
+    total: int
+    #: Attempt number the reclaimed lease was executing as.
+    attempt: int
+    #: Worker id that held the expired lease (``"unknown"`` when unreadable).
+    worker: str
+    #: Whether the task was requeued (``False`` = crash budget exhausted).
+    will_retry: bool
+
+
+@dataclass(frozen=True)
 class StoreCorruptEvent:
     """Published by ``ResultStore.verify()`` for each corrupt store entry."""
 
@@ -421,6 +451,10 @@ class EventHooks:
     def on_store_corrupt(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`STORE_CORRUPT` (receives a :class:`StoreCorruptEvent`)."""
         return self.subscribe(STORE_CORRUPT, callback)
+
+    def on_lease_reclaimed(self, callback: EventCallback) -> Callable[[], None]:
+        """Subscribe to :data:`LEASE_RECLAIMED` (receives a :class:`LeaseReclaimedEvent`)."""
+        return self.subscribe(LEASE_RECLAIMED, callback)
 
     def on_sweep_end(self, callback: EventCallback) -> Callable[[], None]:
         """Subscribe to :data:`SWEEP_END` (receives a :class:`SweepEndEvent`)."""

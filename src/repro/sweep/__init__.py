@@ -52,14 +52,19 @@ sweep completes with partial results instead of aborting.  A
 :class:`~repro.sweep.faults.FaultPlan` injects deterministic chaos
 (exceptions, hangs, worker kills, shm unlinks) for testing all of it.
 
+The ``distributed`` backend (:mod:`repro.sweep.distributed`) extends all of
+this across processes and hosts: a coordinator enqueues the grid into a
+filesystem work queue inside the store (:mod:`repro.sweep.queue`), any
+number of ``repro sweep-worker`` daemons claim tasks through atomic lease
+files, and dead workers' expired leases are reclaimed onto the crash
+budget — results stay byte-identical to a serial run.
+
 Public typing surface: :data:`~repro.sweep.runners.Runner` (the runner
 callable protocol) and :class:`~repro.sweep.executors.SweepExecutor` (the
-executor base class) are importable from here; ``execute_task`` is a
-deprecated internal (use ``run_sweep`` with the ``serial`` executor, or
-reach for ``repro.sweep.executors.execute_task`` explicitly).
+executor base class) are importable from here.  ``execute_task`` is an
+execution internal owned by :mod:`repro.sweep.executors`; the long-
+deprecated package-level re-export has been removed.
 """
-
-import warnings as _warnings
 
 from repro.sweep.cache import (
     clear_scenario_cache,
@@ -67,6 +72,7 @@ from repro.sweep.cache import (
     scenario_cache_info,
     scenario_data_for,
 )
+from repro.sweep.distributed import DistributedSweepExecutor, run_worker
 from repro.sweep.engine import run_sweep
 from repro.sweep.executors import (
     ChunkedStreamingExecutor,
@@ -77,10 +83,17 @@ from repro.sweep.executors import (
     resolve_executor,
 )
 from repro.sweep.faults import FaultPlan, FaultRule, RetryPolicy, TaskFailure
+from repro.sweep.queue import Lease, QueueEntry, QueueStatus, TaskQueue
 from repro.sweep.result import SweepResult, read_jsonl
 from repro.sweep.runners import Runner, resolve_runner
 from repro.sweep.spec import DEFAULT_RUNNER, SweepSpec, SweepTask, derive_seeds
-from repro.sweep.store import ResultStore, StoredResult, StoreVerification, task_hash
+from repro.sweep.store import (
+    PruneReport,
+    ResultStore,
+    StoredResult,
+    StoreVerification,
+    task_hash,
+)
 
 __all__ = [
     "SweepSpec",
@@ -95,10 +108,17 @@ __all__ = [
     "SerialExecutor",
     "ProcessPoolSweepExecutor",
     "ChunkedStreamingExecutor",
+    "DistributedSweepExecutor",
+    "run_worker",
+    "TaskQueue",
+    "QueueEntry",
+    "QueueStatus",
+    "Lease",
     "resolve_executor",
     "ResultStore",
     "StoredResult",
     "StoreVerification",
+    "PruneReport",
     "task_hash",
     "derive_seeds",
     "DEFAULT_RUNNER",
@@ -111,22 +131,3 @@ __all__ = [
     "scenario_cache_info",
     "clear_scenario_cache",
 ]
-
-#: Names still importable from here for compatibility, but deprecated: they
-#: are execution internals now owned by :mod:`repro.sweep.executors`.
-_DEPRECATED_INTERNALS = {"execute_task"}
-
-
-def __getattr__(name: str):
-    if name in _DEPRECATED_INTERNALS:
-        _warnings.warn(
-            f"importing {name!r} from repro.sweep is deprecated; it is an "
-            "execution internal — run tasks through run_sweep(executor=...) "
-            f"or import repro.sweep.executors.{name} explicitly",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        from repro.sweep import executors as _executors
-
-        return getattr(_executors, name)
-    raise AttributeError(f"module 'repro.sweep' has no attribute {name!r}")

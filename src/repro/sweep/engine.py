@@ -5,7 +5,8 @@ ordered task list, skips every task whose content hash already has a result
 in the (optional) :class:`~repro.sweep.store.ResultStore` — **resume** —
 and hands the remaining tasks to a pluggable
 :class:`~repro.sweep.executors.SweepExecutor` (``serial``, ``process-pool``,
-``chunked-streaming``, or any registered/constructed executor).  Outcomes
+``chunked-streaming``, ``distributed``, or any registered/constructed
+executor).  Outcomes
 are re-ordered by task index, so the final :class:`SweepResult` is
 independent of executor choice, worker count, completion order and of how
 many tasks were loaded versus executed.
@@ -42,6 +43,7 @@ from typing import Any, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.events import (
+    LEASE_RECLAIMED,
     SHM_DEGRADED,
     SWEEP_END,
     TASK_FAILED,
@@ -52,6 +54,7 @@ from repro.events import (
     TASK_SKIPPED,
     TASK_STARTED,
     EventHooks,
+    LeaseReclaimedEvent,
     ShmDegradedEvent,
     SweepEndEvent,
     TaskFailedEvent,
@@ -98,14 +101,18 @@ def run_sweep(
     ----------
     executor:
         How tasks execute: a registered executor name (``"serial"``,
-        ``"process-pool"``, ``"chunked-streaming"``), a JSON-style spec
+        ``"process-pool"``, ``"chunked-streaming"``, ``"distributed"``), a
+        JSON-style spec
         (``{"name": "process-pool", "options": {"max_workers": 8}}``) or a
         :class:`~repro.sweep.executors.SweepExecutor` instance.  Default:
         the serial executor.  Results are identical for every executor.
     workers:
-        Deprecated alias for ``executor``: ``1`` maps to ``serial``,
-        ``N > 1`` to ``process-pool`` with ``N`` workers.  Mutually
-        exclusive with ``executor``.
+        Deprecated alias, kept only for old call sites: ``1`` maps to
+        ``serial``, ``N > 1`` to ``process-pool`` with ``N`` workers, and a
+        ``DeprecationWarning`` is emitted.  Pass an ``executor=`` spec
+        instead — ``executor={"name": "process-pool", "options":
+        {"max_workers": N}}`` — which is also where every other backend's
+        options live.  Mutually exclusive with ``executor``.
     hooks:
         Event hub receiving ``task_started`` / ``task_finished`` /
         ``task_skipped`` / ``task_loaded`` / ``sweep_end``; a private one is
@@ -245,6 +252,21 @@ def run_sweep(
                 ),
             )
 
+    def on_lease_reclaimed(
+        task: SweepTask, attempt: int, worker: str, will_retry: bool
+    ) -> None:
+        hooks.emit(
+            LEASE_RECLAIMED,
+            LeaseReclaimedEvent(
+                index=task.index,
+                task=task,
+                total=total,
+                attempt=attempt,
+                worker=worker,
+                will_retry=will_retry,
+            ),
+        )
+
     shm_server = None
     shm_manifest = None
     if pending and scenario_cache and shm is not False and executor_obj.workers > 1:
@@ -267,6 +289,7 @@ def run_sweep(
         task_timeout=timeout,
         faults=fault_plan,
         on_task_failed=on_task_failed,
+        on_lease_reclaimed=on_lease_reclaimed,
     )
     try:
         for outcome in executor_obj.run(pending, context):

@@ -25,6 +25,20 @@ Three executors ship here:
   keeps coordinator memory (futures, pickled payloads) proportional to the
   window, not the grid.
 
+A fourth backend, ``distributed`` (:mod:`repro.sweep.distributed`), runs
+tasks in separate worker *daemons* — spawned locally or started by hand on
+any host sharing the store directory — coordinated entirely through the
+store's filesystem work queue (:mod:`repro.sweep.queue`).  It honours the
+same contract below; its ``task_started`` events are reconstructed from
+queue observations and it additionally reports reclaimed leases through
+``on_lease_reclaimed``.
+
+The legacy ``run_sweep(workers=N)`` parameter is a deprecated alias for the
+process pool; prefer an executor spec — ``--executor process-pool``
+``--executor-options '{"max_workers": N}'`` on the CLI, or
+``executor={"name": "process-pool", "options": {"max_workers": N}}`` in
+code.
+
 Event ordering contract (all executors)
 ---------------------------------------
 
@@ -138,6 +152,10 @@ def _noop_failed(
     return None
 
 
+def _noop_reclaimed(task: SweepTask, attempt: int, worker: str, will_retry: bool) -> None:
+    return None
+
+
 @dataclass(frozen=True)
 class ExecutorContext:
     """What the engine hands an executor besides the tasks themselves.
@@ -166,6 +184,11 @@ class ExecutorContext:
     task_timeout: Optional[float] = None
     faults: Optional[FaultPlan] = None
     on_task_failed: Callable[..., None] = field(default=_noop_failed)
+    #: Called by the distributed coordinator when it declares a worker dead
+    #: and reclaims its expired lease: ``(task, attempt, worker_id,
+    #: will_retry)``.  The engine turns it into a ``lease_reclaimed`` event;
+    #: in-process executors never call it.
+    on_lease_reclaimed: Callable[..., None] = field(default=_noop_reclaimed)
 
 
 def execute_task(

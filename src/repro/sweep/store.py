@@ -48,6 +48,7 @@ import logging
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
@@ -61,6 +62,7 @@ __all__ = [
     "ResultStore",
     "StoredResult",
     "StoreVerification",
+    "PruneReport",
     "task_hash",
     "canonical_json",
 ]
@@ -119,6 +121,33 @@ class StoreVerification:
     def ok(self) -> bool:
         """Whether the scan found no corrupt entries."""
         return not self.corrupt
+
+
+@dataclass
+class PruneReport:
+    """What :meth:`ResultStore.prune` removed in one pass."""
+
+    #: Scenario pickles examined.
+    scenarios_checked: int = 0
+    #: Scenario pickles no stored task references (a rebuildable cache).
+    scenarios_removed: int = 0
+    #: Stale queue files removed: superseded pending entries, dead leases,
+    #: processed failure records, leftover config/STOP/fatal markers.
+    queue_files_removed: int = 0
+    #: Worker liveness files whose heartbeat went stale.
+    worker_files_removed: int = 0
+    #: Half-written atomic-write temp files left by killed processes.
+    temp_files_removed: int = 0
+
+    @property
+    def removed(self) -> int:
+        """Total files removed."""
+        return (
+            self.scenarios_removed
+            + self.queue_files_removed
+            + self.worker_files_removed
+            + self.temp_files_removed
+        )
 
 
 def _atomic_write_bytes(path: Path, payload: bytes) -> None:
@@ -356,6 +385,108 @@ class ResultStore:
         except (ValueError, KeyError, TypeError, ConfigurationError) as error:
             return f"result payload does not rebuild ({type(error).__name__}: {error})"
         return None
+
+    # -- pruning -------------------------------------------------------------------
+
+    def prune(self, *, stale_after: float = 1800.0, now: Optional[float] = None) -> PruneReport:
+        """Garbage-collect derived state; never touches results or quarantine.
+
+        Removes, in one pass:
+
+        * **orphaned scenario pickles** — scenario-tier entries no stored
+          task references.  The referenced set is computed by rebuilding
+          each stored task's resolved config and hashing its scenario key
+          exactly as the cache does; records that fail to rebuild simply
+          contribute no references, which is safe because the scenario tier
+          is a cache (a deleted pickle is rebuilt on demand);
+        * **stale queue debris** left behind by killed workers and
+          coordinators: pending entries whose task already has a stored
+          result, leases and failure-journal records untouched for longer
+          than *stale_after* seconds, and leftover ``config.json`` /
+          ``STOP`` / ``fatal.json`` markers older than the same threshold;
+        * **stale worker liveness files** (heartbeat older than
+          *stale_after*);
+        * **half-written atomic-write temp files** (``.`` -prefixed, older
+          than *stale_after*) anywhere under the store root.
+
+        Run it while no sweep is using the store: a live coordinator's
+        queue state looks exactly like a dead one's until heartbeats are
+        older than *stale_after*, which is why everything age-gated
+        defaults to a generous 30 minutes.
+        """
+        from repro.registry import scenario_registry
+        from repro.sweep.queue import TaskQueue  # local: queue.py imports this module
+
+        clock = time.time() if now is None else now
+        report = PruneReport()
+
+        # Scenario pickles referenced by at least one stored task record.
+        referenced = set()
+        for hash_hex in self.task_hashes():
+            try:
+                with open(self.task_path(hash_hex), "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+                config = SweepTask.from_dict(record["task"]).session_config()
+                name = scenario_registry.canonical_name(config.scenario)
+                referenced.add(scenario_hash(name, config.experiment_config().scenario))
+            except Exception:  # noqa: BLE001 - unresolvable record = no reference
+                continue
+        scenarios_root = self.root / "scenarios"
+        if scenarios_root.is_dir():
+            for path in sorted(scenarios_root.glob("*/*.pkl")):
+                report.scenarios_checked += 1
+                if path.stem in referenced:
+                    continue
+                if self._prune_unlink(path):
+                    report.scenarios_removed += 1
+
+        # Queue debris.  Entry/record filenames start with the task index;
+        # the content hash is the second dot-separated component.
+        queue = TaskQueue(self.root)
+        for name in queue.pending_names():
+            parts = name.split(".")
+            if len(parts) >= 3 and parts[1] in self:
+                if self._prune_unlink(queue.pending_dir / name):
+                    report.queue_files_removed += 1
+        for directory in (queue.leases_dir, queue.failed_dir):
+            for path in sorted(directory.glob("*.json")) if directory.is_dir() else ():
+                if self._prune_stale(path, clock, stale_after):
+                    report.queue_files_removed += 1
+        for path in (queue.config_path, queue.stop_path, queue.fatal_path):
+            if self._prune_stale(path, clock, stale_after):
+                report.queue_files_removed += 1
+
+        # Worker liveness files whose heartbeat went stale.
+        if queue.workers_dir.is_dir():
+            for path in sorted(queue.workers_dir.glob("*.json")):
+                if self._prune_stale(path, clock, stale_after):
+                    report.worker_files_removed += 1
+
+        # Aged atomic-write temp files anywhere under the store.
+        if self.root.is_dir():
+            for path in sorted(self.root.rglob(".*")):
+                if path.is_file() and self._prune_stale(path, clock, stale_after):
+                    report.temp_files_removed += 1
+        return report
+
+    @staticmethod
+    def _prune_unlink(path: Path) -> bool:
+        try:
+            os.unlink(path)
+            return True
+        except OSError:
+            return False
+
+    @classmethod
+    def _prune_stale(cls, path: Path, clock: float, stale_after: float) -> bool:
+        """Unlink *path* if it has sat untouched for over *stale_after* seconds."""
+        try:
+            mtime = path.stat().st_mtime
+        except OSError:
+            return False
+        if clock - mtime <= stale_after:
+            return False
+        return cls._prune_unlink(path)
 
     # -- scenario data -------------------------------------------------------------
 

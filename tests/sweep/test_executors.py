@@ -325,12 +325,11 @@ class TestDeprecations:
             result = run_sweep(tiny_spec(seeds=(7,)), workers=1)
         assert len(result) == 2
 
-    def test_package_level_execute_task_import_warns(self):
+    def test_package_level_execute_task_removed(self):
         import repro.sweep
 
-        with pytest.warns(DeprecationWarning, match="execute_task"):
-            deprecated = repro.sweep.execute_task
-        assert deprecated is execute_task
+        with pytest.raises(AttributeError):
+            repro.sweep.execute_task
 
     def test_engine_and_executors_modules_do_not_warn(self):
         with warnings.catch_warnings():

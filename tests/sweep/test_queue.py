@@ -1,0 +1,264 @@
+"""Tests for the filesystem work queue: entries, atomic claims, leases,
+failure records, stop/fatal markers and the read-only status snapshot."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.sweep.queue import (
+    DEFAULT_LEASE_TIMEOUT,
+    QueueEntry,
+    TaskQueue,
+    default_worker_id,
+)
+from repro.sweep.store import ResultStore
+
+HASH_A = "a" * 64
+HASH_B = "b" * 64
+
+
+def entry_for(index: int, hash_hex: str = HASH_A, **overrides) -> QueueEntry:
+    values = {"task": {"index": index}, "task_hash": hash_hex, "index": index}
+    values.update(overrides)
+    return QueueEntry(**values)
+
+
+class TestQueueEntry:
+    def test_name_encodes_zero_padded_index_and_hash(self):
+        entry = entry_for(7)
+        assert entry.name == f"00000007.{HASH_A}.json"
+
+    def test_lexicographic_name_order_is_index_order(self):
+        names = [entry_for(index).name for index in (0, 3, 10, 250)]
+        assert sorted(names) == names
+
+    def test_dict_round_trip(self):
+        entry = entry_for(
+            2, attempt=3, failures=1, crashes=1, not_before=12.5, worker="w1"
+        )
+        clone = QueueEntry.from_dict(json.loads(json.dumps(entry.to_dict())))
+        assert clone == entry
+
+    def test_round_trip_defaults_stay_compact(self):
+        record = entry_for(0).to_dict()
+        assert "not_before" not in record
+        assert "worker" not in record
+        assert QueueEntry.from_dict(record) == entry_for(0)
+
+
+class TestClaims:
+    def test_claim_takes_lowest_index_first(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        for index in (4, 1, 9):
+            queue.enqueue(entry_for(index))
+        lease = queue.claim("w1")
+        assert lease is not None
+        assert lease.entry.index == 1
+        assert lease.entry.worker == "w1"
+
+    def test_claim_moves_entry_between_directories(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        queue.enqueue(entry_for(0))
+        lease = queue.claim("w1")
+        assert queue.pending_names() == []
+        assert queue.lease_names() == [lease.entry.name]
+
+    def test_claim_respects_backoff_window(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        queue.enqueue(entry_for(0, not_before=time.time() + 3600))
+        queue.enqueue(entry_for(1))
+        lease = queue.claim("w1")
+        assert lease is not None
+        assert lease.entry.index == 1
+        assert queue.claim("w1") is None  # the deferred entry stays deferred
+
+    def test_contended_claim_has_exactly_one_winner(self, tmp_path):
+        first = TaskQueue(tmp_path)
+        second = TaskQueue(tmp_path)
+        first.enqueue(entry_for(0))
+        a = first.claim("w1")
+        b = second.claim("w2")
+        assert (a is None) != (b is None)
+
+    def test_empty_reflects_both_directories(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        assert queue.empty()
+        queue.enqueue(entry_for(0))
+        assert not queue.empty()
+        lease = queue.claim("w1")
+        assert not queue.empty()
+        lease.release()
+        assert queue.empty()
+
+
+class TestLeases:
+    def test_renew_touches_heartbeat(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        queue.enqueue(entry_for(0))
+        lease = queue.claim("w1")
+        past = time.time() - 120
+        os.utime(lease.path, (past, past))
+        assert lease.renew()
+        assert time.time() - lease.path.stat().st_mtime < 60
+
+    def test_renew_reports_a_stolen_lease(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        queue.enqueue(entry_for(0))
+        lease = queue.claim("w1")
+        os.unlink(lease.path)
+        assert not lease.renew()
+        assert lease.lost
+        assert not lease.renew()  # stays lost
+
+    def test_requeue_from_lease_strips_the_worker(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        queue.enqueue(entry_for(0))
+        lease = queue.claim("w1")
+        entry = lease.entry
+        entry.attempt = 2
+        queue.requeue_from_lease(entry.name, entry)
+        assert queue.lease_names() == []
+        requeued = queue.read_entry(queue.pending_dir / entry.name)
+        assert requeued.attempt == 2
+        assert requeued.worker is None
+
+    def test_discard_lease_drops_without_requeue(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        queue.enqueue(entry_for(0))
+        lease = queue.claim("w1")
+        queue.discard_lease(lease.entry.name)
+        assert queue.empty()
+
+
+class TestFailureRecords:
+    def test_record_and_read_round_trip(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        entry = entry_for(3, attempt=2)
+        queue.record_failure(
+            entry, {"type": "ValueError", "message": "boom"}, will_retry=True, delay=0.5
+        )
+        names = queue.failure_records()
+        assert names == [queue.failure_name(3, 2)]
+        record = queue.read_failure(names[0])
+        assert record["index"] == 3
+        assert record["attempt"] == 2
+        assert record["will_retry"] is True
+        assert record["error"]["type"] == "ValueError"
+        queue.clear_failure(names[0])
+        assert queue.failure_records() == []
+
+    def test_records_sort_by_index_then_attempt(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        for index, attempt in ((2, 1), (0, 2), (0, 1)):
+            queue.record_failure(
+                entry_for(index, attempt=attempt), {}, will_retry=False, delay=0.0
+            )
+        assert queue.failure_records() == [
+            queue.failure_name(0, 1),
+            queue.failure_name(0, 2),
+            queue.failure_name(2, 1),
+        ]
+
+
+class TestMarkersAndConfig:
+    def test_config_round_trip(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        assert queue.read_config() == {}
+        queue.write_config({"lease_timeout": 5.0})
+        assert queue.read_config() == {"lease_timeout": 5.0}
+
+    def test_stop_marker(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        assert not queue.stop_requested()
+        queue.request_stop()
+        assert queue.stop_requested()
+        queue.clear_stop()
+        assert not queue.stop_requested()
+
+    def test_fatal_record_round_trip(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        assert queue.read_fatal() is None
+        queue.record_fatal({"type": "ConfigurationError", "message": "bad"})
+        assert queue.read_fatal()["type"] == "ConfigurationError"
+        queue.clear_fatal()
+        assert queue.read_fatal() is None
+
+
+class TestWorkers:
+    def test_register_heartbeat_deregister(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        queue.register_worker("w1")
+        statuses = list(queue.worker_statuses())
+        assert [status.worker_id for status in statuses] == ["w1"]
+        assert statuses[0].live
+        queue.deregister_worker("w1")
+        assert list(queue.worker_statuses()) == []
+
+    def test_stale_heartbeat_is_not_live(self, tmp_path):
+        queue = TaskQueue(tmp_path, lease_timeout=5.0)
+        queue.register_worker("w1")
+        path = queue.workers_dir / "w1.json"
+        past = time.time() - 3600
+        os.utime(path, (past, past))
+        (status,) = queue.worker_statuses()
+        assert not status.live
+        assert status.age > 5.0
+
+    def test_heartbeat_recreates_a_removed_file(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        queue.heartbeat_worker("w1")
+        assert (queue.workers_dir / "w1.json").exists()
+
+    def test_default_worker_id_is_host_and_pid(self):
+        assert str(os.getpid()) in default_worker_id()
+
+
+class TestStatus:
+    def test_status_counts_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        queue = TaskQueue(tmp_path, lease_timeout=5.0)
+        queue.enqueue(entry_for(0))
+        queue.enqueue(entry_for(1, hash_hex=HASH_B))
+        queue.claim("w1")
+        queue.register_worker("w1")
+        queue.record_failure(entry_for(2), {}, will_retry=False, delay=0.0)
+        status = queue.status(store)
+        assert status.pending == 1
+        assert status.claimed == 1
+        assert status.expired == 0
+        assert status.failure_records == 1
+        assert status.live_workers == 1
+        assert not status.stop_requested
+
+    def test_status_flags_expired_leases(self, tmp_path):
+        queue = TaskQueue(tmp_path, lease_timeout=5.0)
+        queue.enqueue(entry_for(0))
+        lease = queue.claim("w1")
+        past = time.time() - 3600
+        os.utime(lease.path, (past, past))
+        status = queue.status()
+        assert status.claimed == 1
+        assert status.expired == 1
+
+    def test_status_is_read_only(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        queue.enqueue(entry_for(0))
+        before = (queue.pending_dir / entry_for(0).name).stat().st_mtime
+        queue.status()
+        assert queue.pending_names() == [entry_for(0).name]
+        assert (queue.pending_dir / entry_for(0).name).stat().st_mtime == before
+
+
+class TestDefaults:
+    def test_default_lease_timeout_is_generous(self):
+        assert DEFAULT_LEASE_TIMEOUT >= 10.0
+
+    def test_queue_lives_inside_the_store_root(self, tmp_path):
+        queue = TaskQueue(tmp_path)
+        assert queue.root == tmp_path / "queue"
+        store_queue = TaskQueue.for_store(ResultStore(tmp_path / "s"))
+        assert store_queue.root == tmp_path / "s" / "queue"

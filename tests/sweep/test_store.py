@@ -6,6 +6,7 @@ from __future__ import annotations
 import json
 import subprocess
 import sys
+import time
 
 import pytest
 
@@ -469,3 +470,96 @@ class TestScenarioTier:
         digest = store.save_scenario(name, scenario_config, object())
         store.scenario_path(digest).write_bytes(b"not a pickle")
         assert store.load_scenario(name, scenario_config) is None
+
+
+class TestPrune:
+    def test_prune_on_an_empty_store_is_a_no_op(self, tmp_path):
+        report = ResultStore(tmp_path / "store").prune()
+        assert report.removed == 0
+
+    def test_referenced_scenario_pickles_survive(self, tmp_path):
+        store_path = str(tmp_path / "store")
+        run_sweep(tiny_spec(seeds=(7,)), store=store_path)
+        store = ResultStore(store_path)
+        before = sorted((store.root / "scenarios").glob("*/*.pkl"))
+        assert before  # the run populated the scenario tier
+        report = store.prune()
+        assert report.scenarios_removed == 0
+        assert sorted((store.root / "scenarios").glob("*/*.pkl")) == before
+
+    def test_orphaned_scenario_pickles_are_removed(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        config = tiny_spec(strategies=("selfish",), seeds=(7,)).validate()[0].session_config()
+        store.save_scenario(
+            "same-category", config.experiment_config().scenario, {"orphan": True}
+        )
+        report = store.prune()
+        assert report.scenarios_checked == 1
+        assert report.scenarios_removed == 1
+        assert not list((store.root / "scenarios").glob("*/*.pkl"))
+
+    def test_results_and_quarantine_are_never_touched(self, tmp_path):
+        store_path = str(tmp_path / "store")
+        run_sweep(tiny_spec(seeds=(7,)), store=store_path)
+        store = ResultStore(store_path)
+        stored_before = sorted(store.task_hashes())
+        store.prune(stale_after=0.0, now=time.time() + 10_000)
+        assert sorted(store.task_hashes()) == stored_before
+
+    def test_superseded_pending_entries_are_removed(self, tmp_path):
+        from repro.sweep.queue import QueueEntry, TaskQueue
+
+        store_path = str(tmp_path / "store")
+        result = run_sweep(tiny_spec(seeds=(7,)), store=store_path)
+        store = ResultStore(store_path)
+        queue = TaskQueue(store.root)
+        task = result.tasks[0]
+        queue.enqueue(
+            QueueEntry(task=task.to_dict(), task_hash=task_hash(task), index=task.index)
+        )
+        report = store.prune()
+        assert report.queue_files_removed == 1
+        assert queue.pending_names() == []
+
+    def test_unresolved_pending_entries_survive(self, tmp_path):
+        from repro.sweep.queue import QueueEntry, TaskQueue
+
+        store = ResultStore(tmp_path / "store")
+        queue = TaskQueue(store.root)
+        queue.enqueue(QueueEntry(task={}, task_hash="f" * 64, index=0))
+        report = store.prune()
+        assert report.queue_files_removed == 0
+        assert len(queue.pending_names()) == 1
+
+    def test_stale_leases_and_workers_and_temps_are_removed(self, tmp_path):
+        from repro.sweep.queue import QueueEntry, TaskQueue
+
+        store = ResultStore(tmp_path / "store")
+        queue = TaskQueue(store.root)
+        queue.enqueue(QueueEntry(task={}, task_hash="f" * 64, index=0))
+        queue.claim("dead")
+        queue.register_worker("dead")
+        temp = store.root / "tasks" / "ab" / ".junk.json.tmp123"
+        temp.parent.mkdir(parents=True, exist_ok=True)
+        temp.write_bytes(b"half-written")
+        fresh = store.prune(stale_after=3600.0)
+        assert fresh.removed == 0  # everything is younger than the threshold
+        aged = store.prune(stale_after=3600.0, now=time.time() + 7200.0)
+        assert aged.queue_files_removed == 1  # the lease
+        assert aged.worker_files_removed == 1
+        assert aged.temp_files_removed == 1
+        assert queue.lease_names() == []
+
+    def test_prune_after_a_distributed_run_leaves_a_resumable_store(self, tmp_path):
+        spec = tiny_spec(seeds=(7,))
+        store_path = str(tmp_path / "store")
+        run_sweep(
+            spec,
+            executor={"name": "distributed", "options": {"workers": 1, "poll_interval": 0.02}},
+            store=store_path,
+        )
+        store = ResultStore(store_path)
+        store.prune(stale_after=0.0, now=time.time() + 10_000)
+        again = run_sweep(spec, store=store_path)
+        assert again.executed == 0
+        assert again.loaded == len(again.tasks)

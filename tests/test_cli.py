@@ -461,3 +461,139 @@ class TestVerifyStoreFlag:
     def test_verify_store_requires_a_store(self, capsys):
         assert main(["sweep", "--verify-store"]) == 2
         assert "--verify-store requires --store" in capsys.readouterr().err
+
+
+class TestSweepStatusAndPrune:
+    def _populated_store(self, tmp_path):
+        store = tmp_path / "store"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--scale",
+                    "quick",
+                    "--strategy",
+                    "selfish",
+                    "--seeds",
+                    "7",
+                    "--store",
+                    str(store),
+                    "--no-progress",
+                ]
+            )
+            == 0
+        )
+        return store
+
+    def test_status_reports_counts(self, tmp_path, capsys):
+        store = self._populated_store(tmp_path)
+        capsys.readouterr()
+        assert main(["sweep", "--status", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "pending tasks" in output
+        assert "stored results" in output
+        assert "workers live" in output
+
+    def test_status_lists_workers_with_liveness(self, tmp_path, capsys):
+        from repro.sweep.queue import TaskQueue
+
+        store = self._populated_store(tmp_path)
+        TaskQueue(store).register_worker("w1")
+        capsys.readouterr()
+        assert main(["sweep", "--status", "--store", str(store)]) == 0
+        assert "worker w1: live" in capsys.readouterr().out
+
+    def test_status_requires_a_store(self, capsys):
+        assert main(["sweep", "--status"]) == 2
+        assert "--status requires --store" in capsys.readouterr().err
+
+    def test_prune_store_reports_removals(self, tmp_path, capsys):
+        import os
+        import time as time_module
+
+        from repro.sweep.queue import TaskQueue
+
+        store = self._populated_store(tmp_path)
+        queue = TaskQueue(store)
+        queue.register_worker("ghost")
+        past = time_module.time() - 7200
+        os.utime(queue.workers_dir / "ghost.json", (past, past))
+        capsys.readouterr()
+        assert main(["sweep", "--prune-store", "--store", str(store)]) == 0
+        output = capsys.readouterr().out
+        assert "pruned" in output
+        assert "1 worker files" in output
+        assert not (queue.workers_dir / "ghost.json").exists()
+
+    def test_prune_store_requires_a_store(self, capsys):
+        assert main(["sweep", "--prune-store"]) == 2
+        assert "--prune-store requires --store" in capsys.readouterr().err
+
+
+class TestSweepWorkerCommand:
+    def test_parser_defaults(self):
+        arguments = build_parser().parse_args(["sweep-worker", "--store", "s"])
+        assert arguments.store == "s"
+        assert arguments.worker_id is None
+        assert arguments.poll_interval == 0.2
+        assert arguments.lease_timeout is None
+        assert arguments.drain is False
+        assert arguments.max_tasks is None
+
+    def test_store_is_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep-worker"])
+
+    def test_drain_on_an_empty_store_exits_cleanly(self, tmp_path, capsys):
+        # main() marks the process as a worker; undo it so later tests in
+        # this interpreter keep the in-process fault semantics.
+        import repro.sweep.faults as faults
+
+        try:
+            code = main(
+                ["sweep-worker", "--store", str(tmp_path / "store"), "--drain"]
+            )
+        finally:
+            faults._IN_WORKER = False
+        assert code == 0
+        assert "0 tasks executed" in capsys.readouterr().out
+
+    def test_worker_drains_queued_tasks_into_the_store(self, tmp_path, capsys):
+        from repro.sweep import ResultStore, SweepSpec
+        from repro.sweep.queue import QueueEntry, TaskQueue
+        from repro.sweep.store import task_hash
+
+        spec = SweepSpec(
+            strategies=("selfish",),
+            scale="quick",
+            seeds=(7,),
+            overrides={
+                "scenario_overrides": {
+                    "num_peers": 12,
+                    "num_categories": 3,
+                    "documents_per_peer": 4,
+                    "terms_per_document": 3,
+                    "category_vocabulary_size": 15,
+                    "queries_per_peer": 3,
+                }
+            },
+        )
+        task = spec.validate()[0]
+        store = ResultStore(tmp_path / "store")
+        queue = TaskQueue(store.root)
+        queue.write_config({})
+        queue.enqueue(
+            QueueEntry(task=task.to_dict(), task_hash=task_hash(task), index=task.index)
+        )
+        import repro.sweep.faults as faults
+
+        try:
+            code = main(
+                ["sweep-worker", "--store", str(store.root), "--drain", "--max-tasks", "1"]
+            )
+        finally:
+            faults._IN_WORKER = False
+        assert code == 0
+        assert "1 task executed" in capsys.readouterr().out
+        assert store.get(task_hash(task)) is not None
+        assert queue.empty()
